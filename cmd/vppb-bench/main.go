@@ -1,0 +1,175 @@
+// Command vppb-bench regenerates the paper's evaluation: Table 1, figures
+// 2, 4 and 5, the section-5 case study (figures 6 and 7), the section-4
+// intrusion and log-size measurements, and the ablations listed in
+// DESIGN.md.
+//
+// Usage:
+//
+//	vppb-bench -experiment all -out results/
+//	vppb-bench -experiment table1
+//	vppb-bench -experiment case5 -runs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"vppb"
+	"vppb/internal/experiments"
+)
+
+// experimentNames in presentation order.
+var experimentNames = []string{
+	"table1", "fig2", "fig4", "fig5", "case5", "overhead", "logstats",
+	"bound", "commdelay", "lwps", "io",
+}
+
+func main() {
+	if err := runMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vppb-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func runMain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vppb-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		which = fs.String("experiment", "all", "experiment to run: all | "+joinNames())
+		scale = fs.Float64("scale", 1.0, "problem-size multiplier")
+		runs  = fs.Int("runs", 5, "reference executions per Table-1 cell")
+		out   = fs.String("out", "", "directory for SVG artifacts (omit to skip writing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{Scale: *scale, Runs: *runs}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+	}
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	check := fail
+	run := func(name string) {
+		if firstErr != nil {
+			return
+		}
+		fmt.Fprintf(stdout, "==> %s\n\n", name)
+		switch name {
+		case "table1":
+			res, err := vppb.ExperimentTable1(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+			}
+		case "fig2":
+			res, err := vppb.ExperimentFig2(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+			}
+		case "fig4":
+			res, err := vppb.ExperimentFig4(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+			}
+		case "fig5":
+			res, err := vppb.ExperimentFig5(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+				fail(writeSVG(stderr, *out, "fig5.svg", res.SVG))
+			}
+		case "case5":
+			res, err := vppb.ExperimentCase5(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+				fail(writeSVG(stderr, *out, "fig6.svg", res.NaiveSVG))
+				fail(writeSVG(stderr, *out, "fig7.svg", res.ImprovedSVG))
+			}
+		case "overhead":
+			res, err := vppb.ExperimentOverhead(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+			}
+		case "logstats":
+			res, err := vppb.ExperimentLogStats(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+			}
+		case "bound":
+			res, err := vppb.AblationBound(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+			}
+		case "commdelay":
+			res, err := vppb.AblationCommDelay(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+			}
+		case "lwps":
+			res, err := vppb.AblationLWPs(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+			}
+		case "io":
+			res, err := vppb.ExperimentIO(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+			}
+		default:
+			fail(fmt.Errorf("unknown experiment %q (want all | %s)", name, joinNames()))
+		}
+	}
+
+	if *which == "all" {
+		for _, name := range experimentNames {
+			run(name)
+		}
+		return firstErr
+	}
+	run(*which)
+	return firstErr
+}
+
+func writeSVG(stderr io.Writer, dir, name, svg string) error {
+	if dir == "" || svg == "" {
+		return nil
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %s\n", path)
+	return nil
+}
+
+func joinNames() string {
+	s := ""
+	for i, n := range experimentNames {
+		if i > 0 {
+			s += " | "
+		}
+		s += n
+	}
+	return s
+}

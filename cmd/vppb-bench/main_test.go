@@ -1,0 +1,89 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := runMain(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, _, err := runCmd(t, "-experiment", "nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig2Experiment(t *testing.T) {
+	out, _, err := runCmd(t, "-experiment", "fig2", "-scale", "0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"==> fig2", "thr_create thr_a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig5WritesSVG(t *testing.T) {
+	dir := t.TempDir()
+	out, errOut, err := runCmd(t, "-experiment", "fig5", "-scale", "0.2", "-out", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "execution flow") {
+		t.Error("no graphs in report")
+	}
+	if !strings.Contains(errOut, "fig5.svg") {
+		t.Errorf("stderr = %q", errOut)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig5.svg")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogStatsExperiment(t *testing.T) {
+	out, _, err := runCmd(t, "-experiment", "logstats", "-scale", "0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ocean", "events/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestIOExperiment(t *testing.T) {
+	out, _, err := runCmd(t, "-experiment", "io", "-scale", "0.2", "-runs", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "dbserver") {
+		t.Errorf("output missing dbserver:\n%s", out)
+	}
+}
+
+func TestExperimentNamesAllWired(t *testing.T) {
+	// Every advertised experiment must be dispatchable (run them at tiny
+	// scale where cheap; table1/case5/overhead are covered by the
+	// experiments package tests and would dominate runtime here).
+	cheap := map[string]bool{"fig2": true, "fig4": true, "fig5": true, "logstats": true,
+		"bound": true, "commdelay": true, "lwps": true}
+	for _, name := range experimentNames {
+		if !cheap[name] {
+			continue
+		}
+		if _, _, err := runCmd(t, "-experiment", name, "-scale", "0.1", "-runs", "1"); err != nil {
+			t.Errorf("experiment %s failed: %v", name, err)
+		}
+	}
+}

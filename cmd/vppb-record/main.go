@@ -1,0 +1,82 @@
+// Command vppb-record performs a monitored uni-processor execution of a
+// registered workload and writes the recorded log — the Recorder stage of
+// the paper's figure 1.
+//
+// Usage:
+//
+//	vppb-record -workload ocean -threads 8 -out ocean-8.log
+//	vppb-record -workload example -paper
+//	vppb-record -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vppb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vppb-record:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vppb-record", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list the registered workloads and exit")
+		workload = fs.String("workload", "", "workload to record (see -list)")
+		threads  = fs.Int("threads", 1, "worker threads (SPLASH-2 style workloads create one per target processor)")
+		scale    = fs.Float64("scale", 1.0, "problem-size multiplier")
+		out      = fs.String("out", "", "output file; .bin selects the binary format (default: stdout, text)")
+		paper    = fs.Bool("paper", false, "also print the log in the paper's figure-2 listing style")
+		stats    = fs.Bool("stats", false, "also print log statistics (events, events/s, sizes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, name := range vppb.Workloads() {
+			w, err := vppb.GetWorkload(name)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "%-14s %s\n", name, w.Description)
+		}
+		return nil
+	}
+	if *workload == "" {
+		return fmt.Errorf("missing -workload (try -list)")
+	}
+
+	log, err := vppb.RecordWorkload(*workload, vppb.WorkloadParams{Threads: *threads, Scale: *scale})
+	if err != nil {
+		return err
+	}
+
+	if *out != "" {
+		if err := vppb.WriteLog(*out, log); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "recorded %d events over %s to %s\n", len(log.Events), log.Duration(), *out)
+	} else if !*paper && !*stats {
+		if _, err := stdout.Write(vppb.MarshalLogText(log)); err != nil {
+			return err
+		}
+	}
+	if *paper {
+		fmt.Fprint(stdout, vppb.FormatLog(log))
+	}
+	if *stats {
+		st := log.ComputeStats()
+		fmt.Fprintf(stdout, "program   %s\nduration  %s\nevents    %d\nevents/s  %.0f\ntext      %d bytes\nbinary    %d bytes\nintrusion %s\n",
+			log.Header.Program, st.Duration, st.Events, st.EventsPerSec, st.TextBytes, st.BinaryBytes, st.ProbeOverhead)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err = run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, _, err := runCmd(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ocean", "prodcons", "example", "dbserver"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestMissingWorkload(t *testing.T) {
+	if _, _, err := runCmd(t); err == nil {
+		t.Fatal("missing -workload accepted")
+	}
+	if _, _, err := runCmd(t, "-workload", "bogus"); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+}
+
+func TestRecordToStdout(t *testing.T) {
+	out, _, err := runCmd(t, "-workload", "example", "-scale", "0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "# vppb-log v1") {
+		t.Fatalf("stdout is not a text log:\n%.100s", out)
+	}
+}
+
+func TestRecordToFileAndStats(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.bin")
+	_, errOut, err := runCmd(t, "-workload", "example", "-scale", "0.2", "-out", path, "-stats", "-paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "recorded") {
+		t.Fatalf("stderr = %q", errOut)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperListing(t *testing.T) {
+	out, _, err := runCmd(t, "-workload", "example", "-paper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "thr_create thr_a") {
+		t.Fatalf("paper listing missing:\n%s", out)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, _, err := runCmd(t, "-nonsense"); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,222 @@
+// Command vppb-sim predicts a recorded program's multiprocessor execution
+// — the Simulator stage of the paper's figure 1. It reads a log written by
+// vppb-record, simulates it under the given machine configuration, and
+// prints the predicted execution time, the predicted speed-up over a
+// one-processor replay, and optional reports.
+//
+// Usage:
+//
+//	vppb-sim -log ocean-8.log -cpus 8 -perthread -contention -cpureport
+//	vppb-sim -log app.log -cpus 4 -lwps 2 -commdelay 50
+//	vppb-sim -log app.log -cpus 2 -bind 4=cpu:1 -bind 5=lwp -prio 6=55
+//	vppb-sim -log app.log -sweep 1,2,4,8,16
+//	vppb-sim -log app.log -cpus 8 -timeline app.tl   # artifact (g) for vppb-view
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vppb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vppb-sim:", err)
+		os.Exit(1)
+	}
+}
+
+type bindFlags struct {
+	overrides map[vppb.ThreadID]vppb.Override
+}
+
+func (b *bindFlags) String() string { return "" }
+
+// Set parses "TID=cpu:N", "TID=lwp" or "TID=unbound".
+func (b *bindFlags) Set(v string) error {
+	tidStr, spec, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want TID=cpu:N | TID=lwp | TID=unbound, got %q", v)
+	}
+	tid, err := strconv.Atoi(tidStr)
+	if err != nil {
+		return fmt.Errorf("thread id %q: %v", tidStr, err)
+	}
+	ov := b.overrides[vppb.ThreadID(tid)]
+	switch {
+	case spec == "lwp":
+		ov.Binding = vppb.BindLWP
+	case spec == "unbound":
+		ov.Binding = vppb.BindUnbound
+	case strings.HasPrefix(spec, "cpu:"):
+		cpu, err := strconv.Atoi(spec[4:])
+		if err != nil {
+			return fmt.Errorf("cpu %q: %v", spec[4:], err)
+		}
+		ov.Binding = vppb.BindCPU
+		ov.CPU = cpu
+	default:
+		return fmt.Errorf("unknown binding %q", spec)
+	}
+	b.overrides[vppb.ThreadID(tid)] = ov
+	return nil
+}
+
+type prioFlags struct {
+	overrides map[vppb.ThreadID]vppb.Override
+}
+
+func (p *prioFlags) String() string { return "" }
+
+// Set parses "TID=PRIO": pin a thread's priority, ignoring thr_setprio.
+func (p *prioFlags) Set(v string) error {
+	tidStr, prioStr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want TID=PRIO, got %q", v)
+	}
+	tid, err := strconv.Atoi(tidStr)
+	if err != nil {
+		return err
+	}
+	prio, err := strconv.Atoi(prioStr)
+	if err != nil {
+		return err
+	}
+	ov := p.overrides[vppb.ThreadID(tid)]
+	ov.Priority = &prio
+	p.overrides[vppb.ThreadID(tid)] = ov
+	return nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	overrides := map[vppb.ThreadID]vppb.Override{}
+	fs := flag.NewFlagSet("vppb-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		logPath    = fs.String("log", "", "recorded log file (required)")
+		cpus       = fs.Int("cpus", 1, "number of processors")
+		lwps       = fs.Int("lwps", 0, "number of LWPs (0 = one per CPU, honour thr_setconcurrency)")
+		commDelay  = fs.Int64("commdelay", 0, "inter-CPU communication delay in microseconds")
+		noPreempt  = fs.Bool("nopreempt", false, "disable priority preemption")
+		perThread  = fs.Bool("perthread", false, "print per-thread statistics")
+		contention = fs.Bool("contention", false, "print the contention report (top objects and most-blocked threads)")
+		cpuReport  = fs.Bool("cpureport", false, "print per-CPU busy time and utilization")
+		timelineP  = fs.String("timeline", "", "write the predicted execution (figure 1's artifact g) to this file for vppb-view")
+		sweep      = fs.String("sweep", "", "comma-separated CPU counts: print a prediction per machine size instead of one simulation")
+	)
+	fs.Var(&bindFlags{overrides}, "bind", "thread binding override: TID=cpu:N | TID=lwp | TID=unbound (repeatable)")
+	fs.Var(&prioFlags{overrides}, "prio", "pin a thread's priority: TID=PRIO (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *logPath == "" {
+		return fmt.Errorf("missing -log")
+	}
+	log, err := vppb.ReadLog(*logPath)
+	if err != nil {
+		return err
+	}
+
+	if *sweep != "" {
+		return runSweep(stdout, log, *sweep, *lwps, vppb.Duration(*commDelay))
+	}
+
+	machine := vppb.Machine{
+		CPUs:         *cpus,
+		LWPs:         *lwps,
+		CommDelay:    vppb.Duration(*commDelay),
+		NoPreemption: *noPreempt,
+		Overrides:    overrides,
+	}
+	res, err := vppb.Simulate(log, machine)
+	if err != nil {
+		return err
+	}
+	speedup, err := vppb.PredictSpeedup(log, machine)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "program            %s\n", log.Header.Program)
+	fmt.Fprintf(stdout, "recorded duration  %s (on 1 CPU, monitored)\n", log.Duration())
+	fmt.Fprintf(stdout, "machine            %d CPUs, %d LWPs, comm delay %s\n", *cpus, *lwps, vppb.Duration(*commDelay))
+	fmt.Fprintf(stdout, "predicted duration %s\n", res.Duration)
+	fmt.Fprintf(stdout, "predicted speed-up %.2f\n", speedup)
+	fmt.Fprintf(stdout, "simulated events   %d\n", res.Events)
+
+	if *timelineP != "" {
+		data, err := vppb.MarshalTimeline(res.Timeline)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*timelineP, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *timelineP)
+	}
+
+	if *contention {
+		rep, err := vppb.Analyze(res.Timeline)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, rep.Format(10))
+	}
+
+	if *cpuReport {
+		rep, err := vppb.AnalyzeCPUs(res.Timeline)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, rep.Format())
+	}
+
+	if *perThread {
+		ids := make([]vppb.ThreadID, 0, len(res.PerThreadCPU))
+		for id := range res.PerThreadCPU {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		fmt.Fprintf(stdout, "\n%-6s %-14s %12s %12s %12s\n", "thread", "name", "cpu time", "working", "total")
+		for _, id := range ids {
+			tt := res.Timeline.Thread(id)
+			if tt == nil {
+				continue
+			}
+			fmt.Fprintf(stdout, "T%-5d %-14s %12s %12s %12s\n",
+				id, log.ThreadName(id), res.PerThreadCPU[id], tt.WorkTime(), tt.TotalTime())
+		}
+	}
+	return nil
+}
+
+// runSweep prints one prediction per machine size — the paper's core use
+// case of asking "what if I had N processors?" for several N at once.
+func runSweep(stdout io.Writer, log *vppb.Log, spec string, lwps int, delay vppb.Duration) error {
+	uni, err := vppb.Simulate(log, vppb.Machine{CPUs: 1, LWPs: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%6s %16s %10s\n", "CPUs", "predicted time", "speed-up")
+	for _, part := range strings.Split(spec, ",") {
+		cpus, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || cpus < 1 {
+			return fmt.Errorf("-sweep wants positive CPU counts, got %q", part)
+		}
+		res, err := vppb.Simulate(log, vppb.Machine{CPUs: cpus, LWPs: lwps, CommDelay: delay})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%6d %16s %9.2fx\n", cpus, res.Duration, vppb.Speedup(uni.Duration, res.Duration))
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vppb"
+)
+
+// fixtureLog records a workload into a temp file once per test.
+func fixtureLog(t *testing.T, workload string) string {
+	t.Helper()
+	log, err := vppb.RecordWorkload(workload, vppb.WorkloadParams{Scale: 0.2, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), workload+".bin")
+	if err := vppb.WriteLog(path, log); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestBasicPrediction(t *testing.T) {
+	path := fixtureLog(t, "example")
+	out, _, err := runCmd(t, "-log", path, "-cpus", "2", "-perthread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"predicted duration", "predicted speed-up", "thr_a", "thr_b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMissingLog(t *testing.T) {
+	if _, _, err := runCmd(t); err == nil {
+		t.Fatal("missing -log accepted")
+	}
+	if _, _, err := runCmd(t, "-log", "/nonexistent"); err == nil {
+		t.Fatal("unreadable log accepted")
+	}
+}
+
+func TestContentionAndCPUReports(t *testing.T) {
+	path := fixtureLog(t, "prodcons")
+	out, _, err := runCmd(t, "-log", path, "-cpus", "8", "-contention", "-cpureport")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"contention report", "buffer", "per-CPU occupancy", "average utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	path := fixtureLog(t, "example")
+	out, _, err := runCmd(t, "-log", path, "-sweep", "1,2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out, "x\n") != 3 {
+		t.Fatalf("sweep rows:\n%s", out)
+	}
+	if _, _, err := runCmd(t, "-log", path, "-sweep", "1,zero"); err == nil {
+		t.Fatal("bad sweep accepted")
+	}
+}
+
+func TestTimelineOutput(t *testing.T) {
+	path := fixtureLog(t, "example")
+	tlPath := filepath.Join(t.TempDir(), "x.tl")
+	_, errOut, err := runCmd(t, "-log", path, "-cpus", "2", "-timeline", tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "wrote") {
+		t.Fatalf("stderr = %q", errOut)
+	}
+	data, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl, err := vppb.UnmarshalTimeline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.CPUs != 2 {
+		t.Fatalf("timeline CPUs = %d", tl.CPUs)
+	}
+}
+
+func TestOverrideFlags(t *testing.T) {
+	path := fixtureLog(t, "example")
+	out, _, err := runCmd(t, "-log", path, "-cpus", "2",
+		"-bind", "4=cpu:1", "-bind", "5=lwp", "-prio", "4=55")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "predicted duration") {
+		t.Fatal("no prediction output")
+	}
+	// Malformed overrides are rejected.
+	for _, bad := range []string{"x", "4=cpu:x", "4=teapot", "nan=lwp"} {
+		if _, _, err := runCmd(t, "-log", path, "-bind", bad); err == nil {
+			t.Errorf("bad -bind %q accepted", bad)
+		}
+	}
+	for _, bad := range []string{"x", "4=x", "nan=5"} {
+		if _, _, err := runCmd(t, "-log", path, "-prio", bad); err == nil {
+			t.Errorf("bad -prio %q accepted", bad)
+		}
+	}
+}

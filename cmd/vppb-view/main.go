@@ -1,0 +1,173 @@
+// Command vppb-view renders the Visualizer's graphs for a predicted
+// execution: the parallelism graph and the execution flow graph of the
+// paper's figure 5 (plus optional per-CPU lanes), as ASCII on stdout and
+// optionally as SVG or a self-contained HTML report. It also exposes the
+// inspection facilities: event popups, stepping, and source lookup.
+//
+// Usage:
+//
+//	vppb-view -log app.log -cpus 8
+//	vppb-view -timeline app.tl -svg out.svg -html out.html
+//	vppb-view -log app.log -cpus 8 -window 0.5,0.6 -compress -lanes
+//	vppb-view -log app.log -cpus 8 -inspect 4 -at 0.25 -source
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"vppb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vppb-view:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vppb-view", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		logPath  = fs.String("log", "", "recorded log file (simulated on the machine below)")
+		tlPath   = fs.String("timeline", "", "predicted execution written by vppb-sim -timeline (bypasses simulation)")
+		cpus     = fs.Int("cpus", 1, "number of processors to simulate")
+		lwps     = fs.Int("lwps", 0, "number of LWPs (0 = one per CPU)")
+		width    = fs.Int("width", 100, "ASCII graph width in columns")
+		maxRows  = fs.Int("maxrows", 0, "cap flow-graph rows (0 = all)")
+		window   = fs.String("window", "", "visible interval as start,end in seconds (e.g. 0.5,0.75)")
+		zoomIn   = fs.Int("zoom", 0, "zoom in N fine steps (x1.5 each), left edge fixed")
+		compress = fs.Bool("compress", false, "hide threads inactive in the window")
+		lanes    = fs.Bool("lanes", false, "also draw per-CPU lanes (which thread ran where)")
+		threads  = fs.String("threads", "", "comma-separated thread IDs to show (default all)")
+		svgPath  = fs.String("svg", "", "also write an SVG rendering to this file")
+		htmlPath = fs.String("html", "", "also write a self-contained HTML report to this file")
+		inspect  = fs.Int("inspect", 0, "describe the event of thread TID nearest -at")
+		at       = fs.Float64("at", 0, "time (seconds) for -inspect")
+		showSrc  = fs.Bool("source", false, "with -inspect, print the highlighted source excerpt")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var timeline *vppb.Timeline
+	var program string
+	switch {
+	case *tlPath != "":
+		data, err := os.ReadFile(*tlPath)
+		if err != nil {
+			return err
+		}
+		timeline, err = vppb.UnmarshalTimeline(data)
+		if err != nil {
+			return err
+		}
+		program = timeline.Program
+	case *logPath != "":
+		log, err := vppb.ReadLog(*logPath)
+		if err != nil {
+			return err
+		}
+		res, err := vppb.Simulate(log, vppb.Machine{CPUs: *cpus, LWPs: *lwps})
+		if err != nil {
+			return err
+		}
+		timeline = res.Timeline
+		program = log.Header.Program
+	default:
+		return fmt.Errorf("need -log or -timeline")
+	}
+	view, err := vppb.NewView(timeline)
+	if err != nil {
+		return err
+	}
+
+	if *window != "" {
+		lo, hi, ok := strings.Cut(*window, ",")
+		if !ok {
+			return fmt.Errorf("-window wants start,end")
+		}
+		start, err1 := strconv.ParseFloat(lo, 64)
+		end, err2 := strconv.ParseFloat(hi, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("-window wants numbers, got %q", *window)
+		}
+		if err := view.SetWindow(
+			vppb.Time(start*float64(vppb.Second)),
+			vppb.Time(end*float64(vppb.Second))); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < *zoomIn; i++ {
+		view.ZoomIn(vppb.ZoomFine)
+	}
+	view.SetCompressed(*compress)
+	if *threads != "" {
+		var ids []vppb.ThreadID
+		for _, part := range strings.Split(*threads, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return fmt.Errorf("-threads: %v", err)
+			}
+			ids = append(ids, vppb.ThreadID(n))
+		}
+		view.SelectThreads(ids...)
+	}
+
+	if *inspect != 0 {
+		in := vppb.NewInspector(timeline)
+		ref, ok := in.At(vppb.ThreadID(*inspect), vppb.Time(*at*float64(vppb.Second)))
+		if !ok {
+			return fmt.Errorf("thread T%d has no events", *inspect)
+		}
+		desc, err := in.Describe(ref)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, desc)
+		if *showSrc {
+			excerpt, err := in.SourceExcerpt(ref, 3)
+			if err != nil {
+				fmt.Fprintln(stderr, "vppb-view: source:", err)
+			} else {
+				fmt.Fprintln(stdout)
+				fmt.Fprint(stdout, excerpt)
+			}
+		}
+		return nil
+	}
+
+	fmt.Fprint(stdout, vppb.RenderASCII(view, vppb.ASCIIOptions{Width: *width, MaxFlowRows: *maxRows}))
+	if *lanes {
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, vppb.RenderCPULanesASCII(view, vppb.ASCIIOptions{Width: *width}))
+	}
+
+	if *svgPath != "" {
+		svg := vppb.RenderSVG(view, vppb.SVGOptions{
+			Title: fmt.Sprintf("%s on %d simulated CPUs", program, timeline.CPUs),
+		})
+		if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *svgPath)
+	}
+	if *htmlPath != "" {
+		page, err := vppb.RenderHTML(view, vppb.HTMLOptions{
+			Title: fmt.Sprintf("%s on %d simulated CPUs", program, timeline.CPUs),
+		})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*htmlPath, []byte(page), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *htmlPath)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vppb"
+)
+
+func fixtureLog(t *testing.T) string {
+	t.Helper()
+	log, err := vppb.RecordWorkload("example", vppb.WorkloadParams{Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "example.bin")
+	if err := vppb.WriteLog(path, log); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func TestRenderGraphs(t *testing.T) {
+	path := fixtureLog(t)
+	out, _, err := runCmd(t, "-log", path, "-cpus", "2", "-width", "60", "-lanes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"parallelism", "execution flow", "thr_a", "CPU lanes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMissingInputs(t *testing.T) {
+	if _, _, err := runCmd(t); err == nil {
+		t.Fatal("no input accepted")
+	}
+	if _, _, err := runCmd(t, "-log", "/nonexistent"); err == nil {
+		t.Fatal("unreadable log accepted")
+	}
+	if _, _, err := runCmd(t, "-timeline", "/nonexistent"); err == nil {
+		t.Fatal("unreadable timeline accepted")
+	}
+}
+
+func TestWindowAndThreads(t *testing.T) {
+	path := fixtureLog(t)
+	out, _, err := runCmd(t, "-log", path, "-cpus", "2",
+		"-window", "0.01,0.05", "-threads", "4,5", "-zoom", "1", "-compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "main") {
+		t.Fatalf("thread selection ignored:\n%s", out)
+	}
+	for _, bad := range [][]string{
+		{"-window", "zzz"},
+		{"-window", "5,1"},
+		{"-window", "a,b"},
+		{"-threads", "4,x"},
+	} {
+		args := append([]string{"-log", path, "-cpus", "2"}, bad...)
+		if _, _, err := runCmd(t, args...); err == nil {
+			t.Errorf("bad args %v accepted", bad)
+		}
+	}
+}
+
+func TestInspectWithSource(t *testing.T) {
+	path := fixtureLog(t)
+	out, _, err := runCmd(t, "-log", path, "-cpus", "2", "-inspect", "1", "-at", "0.1", "-source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Thread:    T1", "Event:", "Source:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+	if _, _, err := runCmd(t, "-log", path, "-inspect", "99"); err == nil {
+		t.Fatal("inspecting unknown thread accepted")
+	}
+}
+
+func TestSVGAndHTMLFiles(t *testing.T) {
+	path := fixtureLog(t)
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "x.svg")
+	html := filepath.Join(dir, "x.html")
+	_, errOut, err := runCmd(t, "-log", path, "-cpus", "2", "-svg", svg, "-html", html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(errOut, "wrote") != 2 {
+		t.Fatalf("stderr = %q", errOut)
+	}
+	svgData, err := os.ReadFile(svg)
+	if err != nil || !strings.Contains(string(svgData), "<svg") {
+		t.Fatalf("bad svg: %v", err)
+	}
+	htmlData, err := os.ReadFile(html)
+	if err != nil || !strings.Contains(string(htmlData), "<!DOCTYPE html>") {
+		t.Fatalf("bad html: %v", err)
+	}
+}
+
+func TestTimelineInput(t *testing.T) {
+	// Produce a timeline via the library, store it, view it.
+	log, err := vppb.RecordWorkload("example", vppb.WorkloadParams{Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vppb.Simulate(log, vppb.Machine{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := vppb.MarshalTimeline(res.Timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.tl")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := runCmd(t, "-timeline", path, "-width", "50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "execution flow") {
+		t.Fatalf("timeline view failed:\n%s", out)
+	}
+}

@@ -1,0 +1,75 @@
+// I/O-bound server analysis: exercises the I/O extension (the paper's
+// section-6 future work). The dbserver workload alternates CPU work with
+// FIFO-disk requests; its speed-up saturates at the disks' aggregate
+// bandwidth. The example predicts the saturation curve, prints the
+// contention report naming the disks as the bottleneck, and writes a
+// self-contained HTML report.
+//
+// Run with:
+//
+//	go run ./examples/ioserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vppb"
+)
+
+func main() {
+	// Baseline: the single-threaded server on one CPU.
+	base, err := vppb.RecordWorkload("dbserver", vppb.WorkloadParams{Threads: 1, Scale: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	uni, err := vppb.Simulate(base, vppb.Machine{CPUs: 1, LWPs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("dbserver: predicted speed-up (disk-bound; two FIFO disks)")
+	for _, cpus := range []int{2, 4, 8, 16} {
+		rec, err := vppb.RecordWorkload("dbserver", vppb.WorkloadParams{Threads: cpus, Scale: 0.5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := vppb.Simulate(rec, vppb.Machine{CPUs: cpus})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d CPUs: %5.2fx\n", cpus, vppb.Speedup(uni.Duration, res.Duration))
+	}
+
+	// Where does the time go at 8 CPUs? The contention report names the
+	// disks.
+	rec, err := vppb.RecordWorkload("dbserver", vppb.WorkloadParams{Threads: 8, Scale: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := vppb.Simulate(rec, vppb.Machine{CPUs: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := vppb.Analyze(res.Timeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(rep.Format(6))
+
+	// A browsable report with both graphs and the tables.
+	view, err := vppb.NewView(res.Timeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	page, err := vppb.RenderHTML(view, vppb.HTMLOptions{Title: "dbserver on 8 simulated CPUs"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("dbserver-report.html", []byte(page), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote dbserver-report.html")
+}

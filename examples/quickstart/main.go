@@ -1,0 +1,72 @@
+// Quickstart: the full VPPB workflow on the paper's figure-2 example
+// program — write a multithreaded program against the Solaris-style API,
+// record a monitored uni-processor execution, predict the execution on a
+// multiprocessor, and draw the two graphs.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vppb"
+)
+
+func main() {
+	// 1. The program: main creates two workers and joins them (figure 2).
+	setup := func(p *vppb.Process) func(*vppb.Thread) {
+		return func(t *vppb.Thread) {
+			worker := func(w *vppb.Thread) {
+				w.Compute(200 * vppb.Millisecond) // the thread's work
+			}
+			t.Compute(50 * vppb.Millisecond) // sequential setup
+			a := t.Create(worker, vppb.WithName("thr_a"))
+			b := t.Create(worker, vppb.WithName("thr_b"))
+			t.Join(a)
+			t.Join(b)
+		}
+	}
+
+	// 2. Record: a monitored execution on one CPU with one LWP.
+	rec, _, err := vppb.Record(setup, vppb.RecordOptions{Program: "quickstart"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Recorder output (the paper's figure-2 listing):")
+	fmt.Println(vppb.FormatLog(rec))
+
+	// 3. Predict: simulate the recording on machines of growing size.
+	for _, cpus := range []int{1, 2, 4} {
+		s, err := vppb.PredictSpeedup(rec, vppb.Machine{CPUs: cpus})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("predicted speed-up on %d CPUs: %.2f\n", cpus, s)
+	}
+
+	// 4. Visualize: the parallelism and execution flow graphs on 2 CPUs.
+	res, err := vppb.Simulate(rec, vppb.Machine{CPUs: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	view, err := vppb.NewView(res.Timeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(vppb.RenderASCII(view, vppb.ASCIIOptions{Width: 90}))
+
+	// 5. Inspect: the popup for the event nearest the end of main's life.
+	in := vppb.NewInspector(res.Timeline)
+	if ref, ok := in.At(1, vppb.Time(res.Duration)); ok {
+		desc, err := in.Describe(ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("selected event:")
+		fmt.Println(desc)
+	}
+}

@@ -1,0 +1,62 @@
+// SPLASH-2 prediction sweep: record each of the five SPLASH-2 analogues
+// of the paper's Table 1 (one recording per processor count, exactly as
+// the paper did, since the programs create one thread per processor) and
+// predict their speed-ups on 2, 4 and 8 processors.
+//
+// The speed-up baseline is the single-thread uni-processor execution, so
+// parallel overhead that grows with the thread count (FFT's transposes,
+// Ocean's boundary traffic) shows up as sublinear scaling — exactly the
+// shape of the paper's Table 1.
+//
+// Run with:
+//
+//	go run ./examples/splash              # all five applications
+//	go run ./examples/splash ocean        # one application
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"vppb"
+)
+
+func main() {
+	apps := vppb.SplashWorkloads()
+	if len(os.Args) > 1 {
+		apps = os.Args[1:]
+	}
+	scale := 0.25 // keep the demo quick; 1.0 reproduces DESIGN.md numbers
+
+	fmt.Printf("%-14s %14s %14s %14s\n", "application", "2 CPUs", "4 CPUs", "8 CPUs")
+	for _, name := range apps {
+		// T1: the single-thread program replayed on one processor.
+		base, err := vppb.RecordWorkload(name, vppb.WorkloadParams{Threads: 1, Scale: scale})
+		if err != nil {
+			log.Fatal(err)
+		}
+		uni, err := vppb.Simulate(base, vppb.Machine{CPUs: 1, LWPs: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%-14s", name)
+		for _, cpus := range []int{2, 4, 8} {
+			// One recording per processor count: the program creates one
+			// thread per target processor, as SPLASH-2 does.
+			rec, err := vppb.RecordWorkload(name, vppb.WorkloadParams{Threads: cpus, Scale: scale})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := vppb.Simulate(rec, vppb.Machine{CPUs: cpus})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %13.2fx", vppb.Speedup(uni.Duration, res.Duration))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper (real): ocean 1.97/3.87/6.65, water 1.99/3.95/7.67,")
+	fmt.Println("              fft 1.55/2.14/2.62, radix 2.00/3.99/7.79, lu 1.79/3.15/4.82")
+}

@@ -1,0 +1,85 @@
+// Scheduling-parameter tuning: the Simulator accepts the machine and
+// scheduling parameters of the paper's figure 1 (e/f) — number of
+// processors, number of LWPs, communication delay, and per-thread binding
+// and priority overrides. This example records one program and explores
+// those knobs, including the paper's load-balancing use of CPU binding
+// (section 3.2) and the bound-thread cost factors (6.7x create, 5.9x
+// sync).
+//
+// Run with:
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vppb"
+)
+
+func main() {
+	// A program with four unequal workers sharing a semaphore-fed queue.
+	setup := func(p *vppb.Process) func(*vppb.Thread) {
+		work := p.NewSema("work", 0)
+		return func(t *vppb.Thread) {
+			var ids []vppb.ThreadID
+			for i := 0; i < 4; i++ {
+				n := vppb.Duration(40+30*i) * vppb.Millisecond
+				ids = append(ids, t.Create(func(w *vppb.Thread) {
+					work.Wait(w)
+					w.Compute(n)
+				}, vppb.WithName(fmt.Sprintf("worker-%d", i))))
+			}
+			for range ids {
+				work.Post(t)
+			}
+			for _, id := range ids {
+				t.Join(id)
+			}
+		}
+	}
+	rec, _, err := vppb.Record(setup, vppb.RecordOptions{Program: "tuning"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string, m vppb.Machine) {
+		res, err := vppb.Simulate(rec, m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-42s %12s\n", label, res.Duration)
+	}
+
+	fmt.Println("predicted execution time under different machine parameters:")
+	show("2 CPUs", vppb.Machine{CPUs: 2})
+	show("4 CPUs", vppb.Machine{CPUs: 4})
+	show("4 CPUs, 2 LWPs", vppb.Machine{CPUs: 4, LWPs: 2})
+	show("4 CPUs, 500us communication delay", vppb.Machine{CPUs: 4, CommDelay: 500 * vppb.Microsecond})
+
+	// Load balancing by binding (paper section 3.2): pin the two longest
+	// workers to their own CPUs so they never migrate or queue.
+	show("4 CPUs, long workers pinned to CPUs 2,3", vppb.Machine{
+		CPUs: 4,
+		Overrides: map[vppb.ThreadID]vppb.Override{
+			6: {Binding: vppb.BindCPU, CPU: 2},
+			7: {Binding: vppb.BindCPU, CPU: 3},
+		},
+	})
+
+	// Bound threads pay the paper's cost factors.
+	allBound := map[vppb.ThreadID]vppb.Override{}
+	for tid := vppb.ThreadID(4); tid <= 7; tid++ {
+		allBound[tid] = vppb.Override{Binding: vppb.BindLWP}
+	}
+	show("4 CPUs, all workers bound to LWPs", vppb.Machine{CPUs: 4, Overrides: allBound})
+
+	// Priority pinning: a pinned priority makes the Simulator ignore the
+	// thread's recorded thr_setprio calls.
+	hi := 55
+	show("4 CPUs, worker-3 pinned to priority 55", vppb.Machine{
+		CPUs:      4,
+		Overrides: map[vppb.ThreadID]vppb.Override{7: {Priority: &hi}},
+	})
+}

@@ -1,0 +1,3 @@
+module vppb
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package analysis derives tuning-oriented summaries from predicted (or
+// reference) executions: per-object contention reports and per-thread
+// blocking summaries. It is the numeric backing for the bottleneck hunt
+// of the paper's section 5 — instead of clicking every arrow in the flow
+// graph, the report ranks the synchronization objects by the time threads
+// spent in their operations, which immediately names the mutex that
+// serializes the naive producer/consumer program.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// ObjectContention aggregates one synchronization object's operations over
+// an execution.
+type ObjectContention struct {
+	ID   trace.ObjectID
+	Name string
+	Kind trace.ObjectKind
+	// Ops is the number of operations on the object.
+	Ops int
+	// AcquireOps is the number of blocking-capable acquisitions
+	// (mutex_lock, sema_wait, cond_wait, rwlocks).
+	AcquireOps int
+	// TotalTime is the summed duration of all operations on the object,
+	// including time spent blocked inside them.
+	TotalTime vtime.Duration
+	// MaxWait is the longest single operation.
+	MaxWait vtime.Duration
+	// Threads is the number of distinct threads touching the object.
+	Threads int
+}
+
+// ThreadBlocking summarizes one thread's scheduling states.
+type ThreadBlocking struct {
+	ID       trace.ThreadID
+	Name     string
+	Running  vtime.Duration
+	Runnable vtime.Duration
+	Blocked  vtime.Duration
+}
+
+// Report is the full analysis of one execution.
+type Report struct {
+	Duration vtime.Duration
+	Objects  []ObjectContention // sorted by TotalTime, descending
+	Threads  []ThreadBlocking   // sorted by Blocked, descending
+}
+
+// Analyze builds the contention report of an execution.
+func Analyze(tl *trace.Timeline) (*Report, error) {
+	if tl == nil {
+		return nil, fmt.Errorf("analysis: nil timeline")
+	}
+	rep := &Report{Duration: tl.Duration}
+
+	perObject := map[trace.ObjectID]*ObjectContention{}
+	threadsOf := map[trace.ObjectID]map[trace.ThreadID]bool{}
+	for _, th := range tl.Threads {
+		for _, pe := range th.Events {
+			id := pe.Event.Object
+			if id == 0 {
+				continue
+			}
+			oc := perObject[id]
+			if oc == nil {
+				oc = &ObjectContention{ID: id, Name: tl.ObjectName(id)}
+				for _, o := range tl.Objects {
+					if o.ID == id {
+						oc.Kind = o.Kind
+					}
+				}
+				perObject[id] = oc
+				threadsOf[id] = map[trace.ThreadID]bool{}
+			}
+			d := pe.End.Sub(pe.Start)
+			oc.Ops++
+			oc.TotalTime += d
+			if d > oc.MaxWait {
+				oc.MaxWait = d
+			}
+			if pe.Event.Call.Blocking() {
+				oc.AcquireOps++
+			}
+			threadsOf[id][th.Info.ID] = true
+		}
+	}
+	for id, oc := range perObject {
+		oc.Threads = len(threadsOf[id])
+		rep.Objects = append(rep.Objects, *oc)
+		_ = id
+	}
+	sort.Slice(rep.Objects, func(i, j int) bool {
+		if rep.Objects[i].TotalTime != rep.Objects[j].TotalTime {
+			return rep.Objects[i].TotalTime > rep.Objects[j].TotalTime
+		}
+		return rep.Objects[i].ID < rep.Objects[j].ID
+	})
+
+	for _, th := range tl.Threads {
+		tb := ThreadBlocking{ID: th.Info.ID, Name: th.Info.Name}
+		for _, s := range th.Spans {
+			switch s.State {
+			case trace.StateRunning:
+				tb.Running += s.Duration()
+			case trace.StateRunnable:
+				tb.Runnable += s.Duration()
+			default:
+				tb.Blocked += s.Duration()
+			}
+		}
+		rep.Threads = append(rep.Threads, tb)
+	}
+	sort.Slice(rep.Threads, func(i, j int) bool {
+		if rep.Threads[i].Blocked != rep.Threads[j].Blocked {
+			return rep.Threads[i].Blocked > rep.Threads[j].Blocked
+		}
+		return rep.Threads[i].ID < rep.Threads[j].ID
+	})
+	return rep, nil
+}
+
+// Bottleneck returns the object with the largest total operation time, or
+// false when the execution has no synchronization at all.
+func (r *Report) Bottleneck() (ObjectContention, bool) {
+	if len(r.Objects) == 0 {
+		return ObjectContention{}, false
+	}
+	return r.Objects[0], true
+}
+
+// Format renders the report: the top objects and the most-blocked threads.
+func (r *Report) Format(topN int) string {
+	if topN <= 0 {
+		topN = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "contention report (execution time %s)\n\n", r.Duration)
+	fmt.Fprintf(&b, "%-18s %-7s %7s %9s %12s %12s %8s\n",
+		"object", "kind", "ops", "acquires", "total time", "max op", "threads")
+	for i, oc := range r.Objects {
+		if i >= topN {
+			fmt.Fprintf(&b, "... and %d more objects\n", len(r.Objects)-topN)
+			break
+		}
+		fmt.Fprintf(&b, "%-18s %-7s %7d %9d %12s %12s %8d\n",
+			oc.Name, oc.Kind, oc.Ops, oc.AcquireOps, oc.TotalTime, oc.MaxWait, oc.Threads)
+	}
+	b.WriteString("\nmost-blocked threads:\n")
+	fmt.Fprintf(&b, "%-18s %12s %12s %12s\n", "thread", "running", "runnable", "blocked")
+	for i, tb := range r.Threads {
+		if i >= topN {
+			fmt.Fprintf(&b, "... and %d more threads\n", len(r.Threads)-topN)
+			break
+		}
+		name := tb.Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", tb.ID)
+		}
+		fmt.Fprintf(&b, "%-18s %12s %12s %12s\n", name, tb.Running, tb.Runnable, tb.Blocked)
+	}
+	return b.String()
+}

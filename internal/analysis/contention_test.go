@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"vppb/internal/core"
+	"vppb/internal/recorder"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+	"vppb/internal/workloads"
+)
+
+func prodconsTimeline(t *testing.T, name string) *trace.Timeline {
+	t.Helper()
+	w, err := workloads.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := recorder.Record(w.Bind(workloads.Params{Scale: 0.3}), recorder.Options{Program: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Simulate(log, core.Machine{CPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Timeline
+}
+
+func TestAnalyzeFindsProdconsBottleneck(t *testing.T) {
+	rep, err := Analyze(prodconsTimeline(t, "prodcons"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's section-5 diagnosis: the single buffer mutex is the
+	// bottleneck. It must rank first by total operation time.
+	top, ok := rep.Bottleneck()
+	if !ok {
+		t.Fatal("no bottleneck found")
+	}
+	if top.Name != "buffer" {
+		t.Fatalf("bottleneck = %q, want \"buffer\" (report:\n%s)", top.Name, rep.Format(5))
+	}
+	if top.Kind != trace.ObjMutex {
+		t.Fatalf("bottleneck kind = %v", top.Kind)
+	}
+	// Every producer and consumer touches it, plus nobody else's mutex
+	// comes close.
+	if top.Threads < 200 {
+		t.Fatalf("bottleneck threads = %d, want all 225", top.Threads)
+	}
+	if len(rep.Objects) < 2 {
+		t.Fatalf("objects = %d", len(rep.Objects))
+	}
+	second := rep.Objects[1]
+	if top.TotalTime < 2*second.TotalTime {
+		t.Fatalf("bottleneck not dominant: %v vs %v (%s)", top.TotalTime, second.TotalTime, second.Name)
+	}
+}
+
+func TestAnalyzeImprovedProgramSpreadsContention(t *testing.T) {
+	rep, err := Analyze(prodconsTimeline(t, "prodconsopt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := rep.Bottleneck()
+	if !ok {
+		t.Fatal("no objects")
+	}
+	// After the fix, no single mutex dominates: the top object (whatever
+	// it is) holds a small share of total execution time across threads.
+	totalThreadTime := vtime.Duration(0)
+	for _, tb := range rep.Threads {
+		totalThreadTime += tb.Running + tb.Runnable + tb.Blocked
+	}
+	if float64(top.TotalTime) > 0.25*float64(totalThreadTime) {
+		t.Fatalf("improved program still dominated by %q (%v of %v)",
+			top.Name, top.TotalTime, totalThreadTime)
+	}
+}
+
+func TestThreadBlockingSummary(t *testing.T) {
+	rep, err := Analyze(prodconsTimeline(t, "prodcons"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Threads) != 226 { // main + 150 producers + 75 consumers
+		t.Fatalf("threads = %d", len(rep.Threads))
+	}
+	// Sorted by blocked time, descending.
+	for i := 1; i < len(rep.Threads); i++ {
+		if rep.Threads[i].Blocked > rep.Threads[i-1].Blocked {
+			t.Fatal("threads not sorted by blocked time")
+		}
+	}
+}
+
+func TestFormatReport(t *testing.T) {
+	rep, err := Analyze(prodconsTimeline(t, "prodcons"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Format(3)
+	// prodcons has exactly two objects (mutex + semaphore), so the
+	// truncation line appears only for the 226 threads.
+	for _, want := range []string{"contention report", "buffer", "mutex", "most-blocked threads", "more threads"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnalyzeNil(t *testing.T) {
+	if _, err := Analyze(nil); err == nil {
+		t.Fatal("nil timeline accepted")
+	}
+}
+
+func TestAnalyzeEmptyTimeline(t *testing.T) {
+	rep, err := Analyze(&trace.Timeline{Duration: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Bottleneck(); ok {
+		t.Fatal("empty timeline has a bottleneck")
+	}
+	if out := rep.Format(5); !strings.Contains(out, "contention report") {
+		t.Fatal("empty report unformatted")
+	}
+}
+
+func TestAnalyzeCPUs(t *testing.T) {
+	tl := prodconsTimeline(t, "prodconsopt")
+	rep, err := AnalyzeCPUs(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.CPUs) != 8 {
+		t.Fatalf("cpus = %d", len(rep.CPUs))
+	}
+	for _, u := range rep.CPUs {
+		if u.Utilization < 0 || u.Utilization > 1.0001 {
+			t.Fatalf("cpu %d utilization %.3f", u.CPU, u.Utilization)
+		}
+	}
+	// The improved producer/consumer keeps 8 CPUs busy: high average.
+	if rep.Average() < 0.7 {
+		t.Fatalf("average utilization %.2f, want > 0.7", rep.Average())
+	}
+	out := rep.Format()
+	for _, want := range []string{"per-CPU occupancy", "average utilization", "cpu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+
+	// The naive program wastes the machine: average utilization is tiny.
+	naive, err := AnalyzeCPUs(prodconsTimeline(t, "prodcons"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Average() > 0.35 {
+		t.Fatalf("naive average utilization %.2f, want low", naive.Average())
+	}
+}
+
+func TestAnalyzeCPUsNil(t *testing.T) {
+	if _, err := AnalyzeCPUs(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// CPUUsage summarizes one processor's occupancy over an execution.
+type CPUUsage struct {
+	CPU int
+	// Busy is the time the processor ran any thread.
+	Busy vtime.Duration
+	// Utilization is Busy divided by the execution time.
+	Utilization float64
+	// Threads is the number of distinct threads that ran on the CPU.
+	Threads int
+	// Dispatches counts the running spans (a proxy for scheduling churn).
+	Dispatches int
+}
+
+// CPUReport is the per-processor occupancy of an execution.
+type CPUReport struct {
+	Duration vtime.Duration
+	CPUs     []CPUUsage
+}
+
+// AnalyzeCPUs computes per-processor busy time and utilization.
+func AnalyzeCPUs(tl *trace.Timeline) (*CPUReport, error) {
+	if tl == nil {
+		return nil, fmt.Errorf("analysis: nil timeline")
+	}
+	busy := map[int]*CPUUsage{}
+	threads := map[int]map[trace.ThreadID]bool{}
+	for _, th := range tl.Threads {
+		for _, s := range th.Spans {
+			if s.State != trace.StateRunning {
+				continue
+			}
+			cpu := int(s.CPU)
+			u := busy[cpu]
+			if u == nil {
+				u = &CPUUsage{CPU: cpu}
+				busy[cpu] = u
+				threads[cpu] = map[trace.ThreadID]bool{}
+			}
+			u.Busy += s.Duration()
+			u.Dispatches++
+			threads[cpu][th.Info.ID] = true
+		}
+	}
+	rep := &CPUReport{Duration: tl.Duration}
+	for c := 0; c < tl.CPUs; c++ {
+		u := busy[c]
+		if u == nil {
+			u = &CPUUsage{CPU: c}
+		}
+		u.Threads = len(threads[c])
+		if tl.Duration > 0 {
+			u.Utilization = float64(u.Busy) / float64(tl.Duration)
+		}
+		rep.CPUs = append(rep.CPUs, *u)
+	}
+	sort.Slice(rep.CPUs, func(i, j int) bool { return rep.CPUs[i].CPU < rep.CPUs[j].CPU })
+	return rep, nil
+}
+
+// Average returns the mean utilization across processors.
+func (r *CPUReport) Average() float64 {
+	if len(r.CPUs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, u := range r.CPUs {
+		total += u.Utilization
+	}
+	return total / float64(len(r.CPUs))
+}
+
+// Format renders the per-CPU table.
+func (r *CPUReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-CPU occupancy (execution time %s)\n\n", r.Duration)
+	fmt.Fprintf(&b, "%4s %12s %12s %8s %11s\n", "cpu", "busy", "utilization", "threads", "dispatches")
+	for _, u := range r.CPUs {
+		fmt.Fprintf(&b, "%4d %12s %11.1f%% %8d %11d\n",
+			u.CPU, u.Busy, 100*u.Utilization, u.Threads, u.Dispatches)
+	}
+	fmt.Fprintf(&b, "\naverage utilization %.1f%%\n", 100*r.Average())
+	return b.String()
+}

@@ -1,0 +1,128 @@
+// Package core implements the VPPB Simulator — the paper's primary
+// contribution. Starting from the behaviour profile of a monitored
+// uni-processor execution (trace.BuildProfile), it replays every thread's
+// sequence of CPU bursts and thread-library calls on a simulated
+// multiprocessor: N CPUs, a configurable number of LWPs, Solaris TS-class
+// priorities with time slicing, and an inter-CPU communication delay.
+//
+// The semantic rules follow sections 3.2 and 6 of the paper:
+//
+//   - mutex_trylock / sema_trywait follow their recorded outcome: a try
+//     operation that succeeded in the log is simulated as a blocking
+//     acquire, one that failed is a no-op;
+//   - cond_timedwait that timed out in the log is simulated as a delay of
+//     its timeout; otherwise it is an ordinary cond_wait;
+//   - cond_broadcast applies the barrier fix: if fewer threads are waiting
+//     on the condition than the broadcast released in the recording, the
+//     broadcaster blocks until that many have arrived, and the last
+//     arrival releases everyone;
+//   - a wildcard thr_join completes on the first exit in the simulation,
+//     which may differ from the recording;
+//   - creating a bound thread costs 6.7 times an unbound creation, and
+//     synchronization by bound threads 5.9 times unbound synchronization;
+//   - the simulator deliberately models neither caches nor LWP context
+//     switch overhead — the paper's stated sources of prediction error.
+package core
+
+import (
+	"fmt"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// Binding selects how a simulated thread is attached to LWPs and CPUs,
+// overriding the recording ("each thread can individually be unbound,
+// bound to a LWP, or bound to a certain CPU", paper section 3.2).
+type Binding uint8
+
+// Bindings.
+const (
+	// BindAsRecorded keeps the thread's recorded binding.
+	BindAsRecorded Binding = iota
+	// BindUnbound multiplexes the thread on the LWP pool.
+	BindUnbound
+	// BindLWP gives the thread a dedicated LWP.
+	BindLWP
+	// BindCPU gives the thread a dedicated LWP pinned to Override.CPU.
+	BindCPU
+)
+
+// Override adjusts one thread's scheduling in the simulation.
+type Override struct {
+	// Binding replaces the thread's recorded binding.
+	Binding Binding
+	// CPU is the processor for BindCPU.
+	CPU int
+	// Priority, when non-nil, pins the thread's priority; thr_setprio
+	// events for the thread are then ignored (paper section 3.2).
+	Priority *int
+}
+
+// Machine is the simulated hardware and scheduling configuration —
+// artifacts (e) and (f) of the paper's figure 1.
+type Machine struct {
+	// CPUs is the number of processors (0 means 1).
+	CPUs int
+	// LWPs fixes the LWP pool; thr_setconcurrency is then ignored.
+	// 0 sizes the pool to the CPU count and honours thr_setconcurrency.
+	LWPs int
+	// CommDelay is how long an event on one CPU takes to propagate to
+	// another CPU: a thread woken from a different CPU than it last ran
+	// on becomes runnable only after this delay.
+	CommDelay vtime.Duration
+	// NoPreemption disables priority preemption of running LWPs.
+	NoPreemption bool
+	// BoundCreateFactor and BoundSyncFactor are the bound-thread cost
+	// ratios; zero values mean the paper's 6.7 and 5.9.
+	BoundCreateFactor float64
+	BoundSyncFactor   float64
+	// Overrides adjusts individual threads.
+	Overrides map[trace.ThreadID]Override
+}
+
+func (m Machine) withDefaults() Machine {
+	if m.CPUs <= 0 {
+		m.CPUs = 1
+	}
+	if m.BoundCreateFactor == 0 {
+		m.BoundCreateFactor = 6.7
+	}
+	if m.BoundSyncFactor == 0 {
+		m.BoundSyncFactor = 5.9
+	}
+	return m
+}
+
+// Result describes a predicted execution — artifact (g) of figure 1.
+type Result struct {
+	// Machine echoes the simulated configuration.
+	Machine Machine
+	// Duration is the predicted execution time.
+	Duration vtime.Duration
+	// Timeline is the predicted execution for the Visualizer.
+	Timeline *trace.Timeline
+	// PerThreadCPU is the CPU time each thread consumed.
+	PerThreadCPU map[trace.ThreadID]vtime.Duration
+	// Events is the number of simulated probe events placed.
+	Events int64
+}
+
+// Simulate predicts the execution of a recorded program on machine m.
+func Simulate(log *trace.Log, m Machine) (*Result, error) {
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return SimulateProfile(prof, m)
+}
+
+// SimulateProfile predicts the execution of a behaviour profile on machine
+// m. The profile's log supplies the thread and object tables.
+func SimulateProfile(prof *trace.Profile, m Machine) (*Result, error) {
+	s, err := newSim(prof, m.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// concProg is a fork-join program that relies on thr_setconcurrency for
+// its parallelism.
+func concProg(p *threadlib.Process) func(*threadlib.Thread) {
+	return func(th *threadlib.Thread) {
+		th.SetConcurrency(4)
+		var ids []trace.ThreadID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, th.Create(func(w *threadlib.Thread) {
+				w.Compute(40 * vtime.Millisecond)
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	}
+}
+
+func TestSimHonoursSetConcurrencyWithDynamicLWPs(t *testing.T) {
+	log := record(t, concProg)
+	// Machine.LWPs = 0: the recorded thr_setconcurrency(4) grows the pool
+	// beyond the initial one-per-CPU... here CPUs=4 so the pool is
+	// already 4; use CPUs=4, LWPs=0 vs LWPs=2 to see the difference.
+	free, err := Simulate(log, Machine{CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Duration > 45*vtime.Millisecond {
+		t.Fatalf("dynamic LWPs: %v, want ~40ms", free.Duration)
+	}
+	// A fixed pool of 2 overrides the program's request (paper 3.2).
+	fixed, err := Simulate(log, Machine{CPUs: 4, LWPs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Duration < 80*vtime.Millisecond {
+		t.Fatalf("fixed 2 LWPs: %v, want >= 80ms", fixed.Duration)
+	}
+}
+
+func TestSimSetConcurrencyGrowsDynamicPool(t *testing.T) {
+	// Record with 4 workers; simulate on 8 CPUs where the initial pool is
+	// 8 — then on 2 CPUs with dynamic LWPs, where setconcurrency(4) grows
+	// the pool to 4 but only 2 CPUs exist: duration = 2 workers at a time.
+	log := record(t, concProg)
+	dual, err := Simulate(log, Machine{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dual.Duration; d < 80*vtime.Millisecond || d > 90*vtime.Millisecond {
+		t.Fatalf("2-CPU duration = %v, want ~80ms", d)
+	}
+}
+
+func TestSimNoPreemption(t *testing.T) {
+	// A high-priority wake on a busy machine: with preemption the woken
+	// thread runs promptly; without it, it waits for the running burst.
+	prog := func(p *threadlib.Process) func(*threadlib.Thread) {
+		gate := p.NewSema("gate", 0)
+		return func(th *threadlib.Thread) {
+			sleeper := th.Create(func(w *threadlib.Thread) {
+				gate.Wait(w)
+				w.Compute(5 * vtime.Millisecond)
+			}, threadlib.WithName("sleeper"))
+			hog := th.Create(func(w *threadlib.Thread) {
+				w.Compute(100 * vtime.Millisecond)
+			}, threadlib.WithName("hog"))
+			th.Compute(1 * vtime.Millisecond)
+			gate.Post(th)
+			// Keep the CPU busy after the post: only preemption lets the
+			// boosted sleeper run before this burst finishes.
+			th.Compute(50 * vtime.Millisecond)
+			th.Join(sleeper)
+			th.Join(hog)
+		}
+	}
+	log := record(t, prog)
+	// Two CPUs: the sleeper blocks on the gate on CPU 1 before the post;
+	// both CPUs are then busy (main computing, hog computing) when the
+	// boosted wake arrives.
+	pre, err := Simulate(log, Machine{CPUs: 2, LWPs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nopre, err := Simulate(log, Machine{CPUs: 2, LWPs: 3, NoPreemption: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleeperEnd := func(res *Result) vtime.Time {
+		return res.Timeline.Thread(4).Ended
+	}
+	if sleeperEnd(pre) >= sleeperEnd(nopre) {
+		t.Fatalf("preemption should let the sleeper finish earlier: %v vs %v",
+			sleeperEnd(pre), sleeperEnd(nopre))
+	}
+}
+
+func TestMachineDefaults(t *testing.T) {
+	m := Machine{}.withDefaults()
+	if m.CPUs != 1 || m.BoundCreateFactor != 6.7 || m.BoundSyncFactor != 5.9 {
+		t.Fatalf("defaults = %+v", m)
+	}
+}
+
+func TestSimulatedEventsCount(t *testing.T) {
+	log := record(t, concProg)
+	res := mustSim(t, log, Machine{CPUs: 2})
+	if res.Events == 0 {
+		t.Fatal("no simulated events")
+	}
+	// Every thread's placed events are well-formed: End >= Start, within
+	// the execution, with monotone starts per thread.
+	for _, th := range res.Timeline.Threads {
+		var prev vtime.Time
+		for _, pe := range th.Events {
+			if pe.End < pe.Start {
+				t.Fatalf("event ends before it starts: %+v", pe)
+			}
+			if pe.Start < prev {
+				t.Fatalf("events out of order for T%d", th.Info.ID)
+			}
+			prev = pe.Start
+			if pe.End > vtime.Time(0).Add(res.Duration) {
+				t.Fatalf("event past the end of the execution: %+v", pe)
+			}
+		}
+	}
+}

@@ -1,0 +1,559 @@
+package core
+
+import (
+	"fmt"
+
+	"vppb/internal/dispatch"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// applyOp executes the semantic effect of the thread's current call record
+// under the paper's replay rules. It returns true when the thread can no
+// longer continue on this CPU.
+func (s *sim) applyOp(cpu *scpu, t *sthread, r *trace.CallRecord) (blocked bool) {
+	switch r.Call {
+	case trace.CallStartCollect, trace.CallEndCollect:
+		return false
+	case trace.CallThrCreate:
+		return s.opCreate(t, r)
+	case trace.CallThrExit:
+		s.exitThread(cpu, t)
+		return true
+	case trace.CallThrJoin:
+		return s.opJoin(cpu, t, r)
+	case trace.CallThrYield:
+		return s.opYield(cpu, t)
+	case trace.CallThrSetPrio:
+		if !t.prioPinned {
+			t.prio = dispatch.Clamp(int(r.Prio))
+			if s.removeUserRunQ(t) {
+				s.pushUserRunQ(t)
+			}
+		}
+		return false
+	case trace.CallThrSetConcurrency:
+		s.opSetConcurrency(int(r.Prio))
+		return false
+	case trace.CallMutexLock:
+		return s.opMutexLock(cpu, t, r)
+	case trace.CallMutexTryLock:
+		// Paper rule: a try that succeeded in the log is simulated as a
+		// blocking lock; a failed try is a no-op.
+		if r.OK {
+			return s.opMutexLock(cpu, t, r)
+		}
+		return false
+	case trace.CallMutexUnlock:
+		return s.opMutexUnlock(t, r)
+	case trace.CallSemaWait:
+		return s.opSemaWait(cpu, t, r)
+	case trace.CallSemaTryWait:
+		if r.OK {
+			return s.opSemaWait(cpu, t, r)
+		}
+		return false
+	case trace.CallSemaPost:
+		s.semaPost(t, s.obj(r.Object))
+		return false
+	case trace.CallCondWait:
+		return s.opCondWait(cpu, t, r, false)
+	case trace.CallCondTimedWait:
+		if !r.OK {
+			// Timed out in the log: simulated as a delay of the timeout.
+			return s.opTimedOutWait(cpu, t, r)
+		}
+		return s.opCondWait(cpu, t, r, true)
+	case trace.CallCondSignal:
+		s.condSignal(t, s.obj(r.Object), 1)
+		return false
+	case trace.CallCondBroadcast:
+		return s.opBroadcast(cpu, t, r)
+	case trace.CallRWRdLock:
+		return s.opRWRdLock(cpu, t, r)
+	case trace.CallRWWrLock:
+		return s.opRWWrLock(cpu, t, r)
+	case trace.CallRWUnlock:
+		return s.opRWUnlock(t, r)
+	case trace.CallIO:
+		return s.opIO(cpu, t, r)
+	case trace.CallThrSuspend:
+		return s.opSuspend(cpu, t, r)
+	case trace.CallThrContinue:
+		s.opContinue(t, r)
+		return false
+	}
+	s.fail(fmt.Errorf("core: thread T%d has unknown call %v in its profile", t.id(), r.Call))
+	return true
+}
+
+// obj resolves an object ID, failing the run on dangling references.
+func (s *sim) obj(id trace.ObjectID) *sobject {
+	o := s.objects[id]
+	if o == nil {
+		s.fail(fmt.Errorf("core: profile references unknown object %d", id))
+		// Return an inert object so callers can proceed to the error exit.
+		return &sobject{readers: make(map[*sthread]bool)}
+	}
+	return o
+}
+
+func (s *sim) opCreate(t *sthread, r *trace.CallRecord) bool {
+	child, ok := s.threads[r.Target]
+	if !ok {
+		// The created thread generated no events in the recording;
+		// nothing to replay for it.
+		return false
+	}
+	s.startThread(child)
+	return false
+}
+
+func (s *sim) opJoin(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
+	if r.Target == 0 {
+		// Wildcard join: first exit in the simulation wins (paper
+		// section 6: it "may not be the one that exited in the log").
+		if len(s.zombies) > 0 {
+			z := s.zombies[0]
+			s.zombies = s.zombies[1:]
+			z.reaped = true
+			t.joinedID = z.id()
+			return false
+		}
+		s.anyJoiners = append(s.anyJoiners, t)
+		s.blockThread(cpu, t, nil)
+		return true
+	}
+	target, ok := s.threads[r.Target]
+	if ok && target.state == tZombie && !target.reaped {
+		for i, z := range s.zombies {
+			if z == target {
+				s.zombies = append(s.zombies[:i], s.zombies[i+1:]...)
+				break
+			}
+		}
+		target.reaped = true
+		t.joinedID = target.id()
+		return false
+	}
+	if !ok || target.state == tZombie {
+		// Already reaped or never recorded: complete immediately, as
+		// thr_join would with ESRCH.
+		t.joinedID = r.Target
+		return false
+	}
+	s.joinWaiters[r.Target] = append(s.joinWaiters[r.Target], t)
+	s.blockThread(cpu, t, nil)
+	return true
+}
+
+func (s *sim) opYield(cpu *scpu, t *sthread) bool {
+	l := t.lwp
+	t.stage = stWaiting
+	t.state = tRunnable
+	s.setTState(t, trace.StateRunnable, -1, int32(l.id))
+	cpu.epoch++
+	l.sliceEpoch++
+	l.cpu = nil
+	cpu.lwp = nil
+	s.pushKernelQ(l)
+	return true
+}
+
+func (s *sim) opSetConcurrency(n int) {
+	if s.m.LWPs > 0 {
+		// The user-supplied LWP count overrides thr_setconcurrency
+		// (paper section 3.2).
+		return
+	}
+	have := 0
+	for _, l := range s.lwps {
+		if !l.dedicated && !l.dead {
+			have++
+		}
+	}
+	for ; have < n; have++ {
+		nl := s.newLWP(false)
+		if next := s.popUserRunQ(); next != nil {
+			nl.thread = next
+			next.lwp = nl
+			s.pushKernelQ(nl)
+		} else {
+			s.idleLWPs = append(s.idleLWPs, nl)
+		}
+	}
+}
+
+// ---- mutex -----------------------------------------------------------------
+
+func (s *sim) opMutexLock(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
+	o := s.obj(r.Object)
+	if o.owner == nil {
+		o.owner = t
+		return false
+	}
+	if o.owner == t {
+		s.fail(fmt.Errorf("core: thread T%d relocks mutex %q (replay diverged?)", t.id(), o.info.Name))
+		return true
+	}
+	o.waiters = append(o.waiters, t)
+	s.blockThread(cpu, t, o)
+	return true
+}
+
+func (s *sim) opMutexUnlock(t *sthread, r *trace.CallRecord) bool {
+	o := s.obj(r.Object)
+	if o.owner != t {
+		s.fail(fmt.Errorf("core: thread T%d unlocks mutex %q it does not hold in the simulation", t.id(), o.info.Name))
+		return true
+	}
+	s.mutexRelease(t, o)
+	return false
+}
+
+func (s *sim) mutexRelease(by *sthread, o *sobject) {
+	o.owner = nil
+	if len(o.waiters) == 0 {
+		return
+	}
+	next := o.waiters[0]
+	o.waiters = o.waiters[1:]
+	o.owner = next
+	s.wake(next, fromCPUOf(by), true)
+}
+
+// fromCPUOf is the CPU on which the waking thread last ran, used for the
+// communication-delay rule.
+func fromCPUOf(t *sthread) int {
+	if t == nil {
+		return -1
+	}
+	return t.lastCPU
+}
+
+// ---- semaphore ---------------------------------------------------------------
+
+func (s *sim) opSemaWait(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
+	o := s.obj(r.Object)
+	if o.count > 0 {
+		o.count--
+		return false
+	}
+	o.swaiters = append(o.swaiters, t)
+	s.blockThread(cpu, t, o)
+	return true
+}
+
+func (s *sim) semaPost(by *sthread, o *sobject) {
+	if len(o.swaiters) > 0 {
+		next := o.swaiters[0]
+		o.swaiters = o.swaiters[1:]
+		s.wake(next, fromCPUOf(by), true)
+		return
+	}
+	o.count++
+}
+
+// ---- condition variable -------------------------------------------------------
+
+func (s *sim) opCondWait(cpu *scpu, t *sthread, r *trace.CallRecord, timed bool) bool {
+	o := s.obj(r.Object)
+	m := s.objects[r.MutexObject]
+	if m != nil && m.owner == t {
+		s.mutexRelease(t, m)
+	}
+	t.okResult = true
+	o.cwaiters = append(o.cwaiters, t)
+	// Suspend first: a pending barrier broadcast may release this very
+	// arrival immediately (it was the last one needed), which requires
+	// the thread to be off-CPU before it is woken again.
+	s.blockThread(cpu, t, o)
+	s.checkPendingBroadcast(t, o)
+	return true
+}
+
+func (s *sim) opTimedOutWait(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
+	o := s.obj(r.Object)
+	m := s.objects[r.MutexObject]
+	if m != nil && m.owner == t {
+		s.mutexRelease(t, m)
+	}
+	t.okResult = false
+	t.timerEpoch++
+	s.events.Push(s.now.Add(r.Timeout), sevent{kind: evTimer, t: t, epoch: t.timerEpoch})
+	s.blockThread(cpu, t, o)
+	return true
+}
+
+// timerExpired resumes a timed wait that was simulated as a delay.
+func (s *sim) timerExpired(t *sthread) {
+	s.reacquireMutexAndWake(t)
+}
+
+// condSignal releases up to n waiters; each must re-acquire its mutex.
+func (s *sim) condSignal(by *sthread, o *sobject, n int) {
+	for i := 0; i < n && len(o.cwaiters) > 0; i++ {
+		t := o.cwaiters[0]
+		o.cwaiters = o.cwaiters[1:]
+		t.okResult = true
+		s.reacquireMutexAndWake(t)
+	}
+}
+
+// opBroadcast implements the barrier fix of section 6: when fewer threads
+// wait on the condition than the recording released, the broadcaster
+// blocks until the recorded number have arrived; the last arrival releases
+// everybody, including the broadcaster.
+func (s *sim) opBroadcast(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
+	o := s.obj(r.Object)
+	needed := int(r.Released)
+	if len(o.cwaiters) >= needed {
+		s.condSignal(t, o, len(o.cwaiters))
+		return false
+	}
+	// The broadcaster waits "at the barrier" for the recorded number of
+	// arrivals; like a cond_wait it must release the mutex it holds so
+	// that the other threads can reach the condition, and re-acquire it
+	// when released.
+	if m := s.objects[r.MutexObject]; m != nil && m.owner == t {
+		s.mutexRelease(t, m)
+	}
+	o.pendingBroadcasts = append(o.pendingBroadcasts, &pendingBroadcast{
+		broadcaster: t,
+		needed:      needed,
+	})
+	s.blockThread(cpu, t, o)
+	return true
+}
+
+// checkPendingBroadcast fires the oldest pending broadcast once enough
+// waiters have arrived.
+func (s *sim) checkPendingBroadcast(arriver *sthread, o *sobject) {
+	if len(o.pendingBroadcasts) == 0 {
+		return
+	}
+	pb := o.pendingBroadcasts[0]
+	if len(o.cwaiters) < pb.needed {
+		return
+	}
+	o.pendingBroadcasts = o.pendingBroadcasts[1:]
+	s.condSignal(arriver, o, len(o.cwaiters))
+	s.reacquireMutexAndWake(pb.broadcaster)
+}
+
+// reacquireMutexAndWake finishes the wait: the thread re-acquires its
+// recorded mutex (queueing if contended) and then wakes.
+func (s *sim) reacquireMutexAndWake(t *sthread) {
+	r := t.rec()
+	var m *sobject
+	if r != nil {
+		m = s.objects[r.MutexObject]
+	}
+	if m == nil {
+		s.wake(t, -1, true)
+		return
+	}
+	if m.owner == nil {
+		m.owner = t
+		s.wake(t, -1, true)
+		return
+	}
+	m.waiters = append(m.waiters, t)
+	t.waitObj = m
+}
+
+// ---- readers/writer lock -------------------------------------------------------
+
+func (s *sim) opRWRdLock(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
+	o := s.obj(r.Object)
+	if o.writer == nil && len(o.wwaiters) == 0 {
+		o.readers[t] = true
+		return false
+	}
+	o.rwaiters = append(o.rwaiters, t)
+	s.blockThread(cpu, t, o)
+	return true
+}
+
+func (s *sim) opRWWrLock(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
+	o := s.obj(r.Object)
+	if o.writer == nil && len(o.readers) == 0 {
+		o.writer = t
+		return false
+	}
+	o.wwaiters = append(o.wwaiters, t)
+	s.blockThread(cpu, t, o)
+	return true
+}
+
+func (s *sim) opRWUnlock(t *sthread, r *trace.CallRecord) bool {
+	o := s.obj(r.Object)
+	switch {
+	case o.writer == t:
+		o.writer = nil
+	case o.readers[t]:
+		delete(o.readers, t)
+		if len(o.readers) > 0 {
+			return false
+		}
+	default:
+		s.fail(fmt.Errorf("core: thread T%d unlocks rwlock %q it does not hold in the simulation", t.id(), o.info.Name))
+		return true
+	}
+	s.rwRelease(t, o)
+	return false
+}
+
+func (s *sim) rwRelease(by *sthread, o *sobject) {
+	if o.writer != nil || len(o.readers) > 0 {
+		return
+	}
+	if len(o.wwaiters) > 0 {
+		next := o.wwaiters[0]
+		o.wwaiters = o.wwaiters[1:]
+		o.writer = next
+		s.wake(next, fromCPUOf(by), true)
+		return
+	}
+	for len(o.rwaiters) > 0 {
+		next := o.rwaiters[0]
+		o.rwaiters = o.rwaiters[1:]
+		o.readers[next] = true
+		s.wake(next, fromCPUOf(by), true)
+	}
+}
+
+// ---- I/O device (replayed with the recorded service times) -------------------
+
+func (s *sim) opIO(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
+	o := s.obj(r.Object)
+	service := r.Timeout
+	if service < 0 {
+		service = 0
+	}
+	if o.ioCurrent == nil {
+		s.ioStart(o, t, service)
+	} else {
+		o.ioQueue = append(o.ioQueue, sioRequest{t: t, service: service})
+	}
+	s.blockThread(cpu, t, o)
+	return true
+}
+
+func (s *sim) ioStart(o *sobject, t *sthread, service vtime.Duration) {
+	o.ioCurrent = t
+	o.ioEpoch++
+	s.events.Push(s.now.Add(service), sevent{kind: evIODone, obj: o, epoch: o.ioEpoch})
+}
+
+func (s *sim) ioDone(o *sobject, epoch uint64) {
+	if o.ioEpoch != epoch || o.ioCurrent == nil {
+		return
+	}
+	done := o.ioCurrent
+	o.ioCurrent = nil
+	s.wake(done, -1, true)
+	if len(o.ioQueue) > 0 {
+		next := o.ioQueue[0]
+		o.ioQueue = o.ioQueue[1:]
+		s.ioStart(o, next.t, next.service)
+	}
+}
+
+// ---- thr_suspend / thr_continue (replayed) ------------------------------------
+
+func (s *sim) opSuspend(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
+	target, ok := s.threads[r.Target]
+	if !ok {
+		return false
+	}
+	if target.suspended || target.state == tZombie || target.state == tNotStarted {
+		return false
+	}
+	target.suspended = true
+	switch {
+	case target == t:
+		t.parkedReady = true
+		t.stage = stWaiting
+		t.state = tSleeping
+		s.setTState(t, trace.StateBlocked, -1, -1)
+		s.detachFromCPU(cpu, t)
+		return true
+	case target.state == tRunning:
+		tcpu := target.lwp.cpu
+		s.account(tcpu)
+		s.parkOffCPU(tcpu, target)
+		target.parkedReady = true
+		return false
+	case target.state == tRunnable:
+		s.unqueueRunnable(target)
+		target.parkedReady = true
+		target.state = tSleeping
+		s.setTState(target, trace.StateBlocked, -1, -1)
+		return false
+	case target.state == tWakePending:
+		// The communication-delayed wake converts to a deferred grant.
+		target.state = tSleeping
+		target.grantLater = true
+		target.wakeEpoch++
+		return false
+	default:
+		return false
+	}
+}
+
+func (s *sim) parkOffCPU(cpu *scpu, t *sthread) {
+	t.state = tSleeping
+	s.setTState(t, trace.StateBlocked, -1, -1)
+	l := t.lwp
+	cpu.epoch++
+	l.sliceEpoch++
+	l.cpu = nil
+	cpu.lwp = nil
+	if !t.bound {
+		l.thread = nil
+		t.lwp = nil
+		s.lwpNext(cpu, l)
+	}
+}
+
+func (s *sim) unqueueRunnable(t *sthread) {
+	if t.lwp == nil {
+		s.removeUserRunQ(t)
+		return
+	}
+	l := t.lwp
+	for i, q := range s.kernelQ {
+		if q == l {
+			s.kernelQ = append(s.kernelQ[:i], s.kernelQ[i+1:]...)
+			break
+		}
+	}
+	if !t.bound {
+		l.thread = nil
+		t.lwp = nil
+		if next := s.popUserRunQ(); next != nil {
+			l.thread = next
+			next.lwp = l
+			s.pushKernelQ(l)
+		} else {
+			s.idleLWPs = append(s.idleLWPs, l)
+		}
+	}
+}
+
+func (s *sim) opContinue(t *sthread, r *trace.CallRecord) {
+	target, ok := s.threads[r.Target]
+	if !ok || !target.suspended || target.state == tZombie {
+		return
+	}
+	target.suspended = false
+	switch {
+	case target.parkedReady:
+		target.parkedReady = false
+		s.wake(target, fromCPUOf(t), true)
+	case target.grantLater:
+		target.grantLater = false
+		s.wake(target, fromCPUOf(t), true)
+	}
+}

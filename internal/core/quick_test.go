@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vppb/internal/recorder"
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// Property-based tests of the Simulator over random fork-join recordings.
+
+type replayCase struct {
+	WorkMS []uint8
+	CPUs   uint8
+	LWPs   uint8
+	Delay  uint16
+}
+
+func (c replayCase) normalize() (works []vtime.Duration, m Machine) {
+	for i, w := range c.WorkMS {
+		if i >= 10 {
+			break
+		}
+		works = append(works, vtime.Duration(int(w)%40+1)*vtime.Millisecond)
+	}
+	if len(works) == 0 {
+		works = []vtime.Duration{7 * vtime.Millisecond}
+	}
+	m = Machine{
+		CPUs:      int(c.CPUs)%8 + 1,
+		LWPs:      int(c.LWPs) % 10,
+		CommDelay: vtime.Duration(c.Delay % 500),
+	}
+	return works, m
+}
+
+func forkJoinLog(t *testing.T, works []vtime.Duration) *trace.Log {
+	t.Helper()
+	log, _, err := recorder.Record(func(p *threadlib.Process) func(*threadlib.Thread) {
+		return func(th *threadlib.Thread) {
+			th.SetConcurrency(len(works))
+			var ids []trace.ThreadID
+			for _, w := range works {
+				d := w
+				ids = append(ids, th.Create(func(x *threadlib.Thread) { x.Compute(d) }))
+			}
+			for _, id := range ids {
+				th.Join(id)
+			}
+		}
+	}, recorder.Options{Program: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// TestQuickReplayBounds: predicted duration stays within [work/capacity,
+// serial sum + overheads], the timeline validates, and work is conserved.
+func TestQuickReplayBounds(t *testing.T) {
+	f := func(c replayCase) bool {
+		works, m := c.normalize()
+		log := forkJoinLog(t, works)
+		res, err := Simulate(log, m)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := res.Timeline.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		var total vtime.Duration
+		for _, w := range works {
+			total += w
+		}
+		capacity := m.CPUs
+		if m.LWPs > 0 && m.LWPs < m.CPUs {
+			capacity = m.LWPs
+		}
+		if res.Duration < vtime.Duration(int64(total)/int64(capacity)) {
+			t.Logf("duration %v below capacity bound", res.Duration)
+			return false
+		}
+		// Upper bound: serial time plus call costs and any comm delays.
+		slack := vtime.Duration(len(log.Events))*vtime.Millisecond + 100*m.CommDelay
+		if res.Duration > total+slack {
+			t.Logf("duration %v above serial+slack %v", res.Duration, total+slack)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickReplayDeterminism: the Simulator is a pure function of
+// (log, machine).
+func TestQuickReplayDeterminism(t *testing.T) {
+	f := func(c replayCase) bool {
+		works, m := c.normalize()
+		log := forkJoinLog(t, works)
+		a, err := Simulate(log, m)
+		if err != nil {
+			return false
+		}
+		b, err := Simulate(log, m)
+		if err != nil {
+			return false
+		}
+		return a.Duration == b.Duration && a.Events == b.Events
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCommDelayUniprocessorInvariant: on a single CPU there are no
+// cross-CPU wakeups, so the communication delay must not change the
+// prediction at all. (On multiprocessors a delay can occasionally
+// *shorten* the makespan by reordering dispatches — the classic
+// scheduling anomaly — so strict monotonicity is not an invariant.)
+func TestQuickCommDelayUniprocessorInvariant(t *testing.T) {
+	f := func(c replayCase) bool {
+		works, _ := c.normalize()
+		log := forkJoinLog(t, works)
+		a, err := Simulate(log, Machine{CPUs: 1, LWPs: 1})
+		if err != nil {
+			return false
+		}
+		b, err := Simulate(log, Machine{CPUs: 1, LWPs: 1, CommDelay: 3 * vtime.Millisecond})
+		if err != nil {
+			return false
+		}
+		return a.Duration == b.Duration
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,938 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vppb/internal/dispatch"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+type tstate uint8
+
+const (
+	tNotStarted tstate = iota
+	tRunnable
+	tRunning
+	tSleeping
+	tWakePending // woken, communication delay in flight
+	tZombie
+)
+
+func (s tstate) String() string {
+	switch s {
+	case tNotStarted:
+		return "not-started"
+	case tRunnable:
+		return "runnable"
+	case tRunning:
+		return "running"
+	case tSleeping:
+		return "sleeping"
+	case tWakePending:
+		return "wake-pending"
+	case tZombie:
+		return "zombie"
+	}
+	return "?"
+}
+
+type opStage uint8
+
+const (
+	stCompute opStage = iota // burst preceding the call
+	stCall                   // the call's own cost
+	stWaiting                // suspended awaiting completion
+)
+
+// sthread replays one recorded thread.
+type sthread struct {
+	info  trace.ThreadInfo
+	calls []trace.CallRecord
+	idx   int
+
+	state    tstate
+	stage    opStage
+	workLeft vtime.Duration
+
+	bound      bool
+	boundCPU   int
+	prio       int
+	prioPinned bool
+
+	lwp     *slwp
+	lastCPU int
+
+	waitObj    *sobject
+	timerEpoch uint64
+	wakeEpoch  uint64
+
+	// thr_suspend bookkeeping (see the threadlib kernel for semantics).
+	suspended   bool
+	grantLater  bool // a wake arrived while suspended
+	parkedReady bool // was runnable/running when suspended
+
+	// join bookkeeping
+	reaped   bool
+	joinedID trace.ThreadID
+
+	// timed-wait outcome delivered at the After event
+	okResult bool
+
+	cpuTime vtime.Duration
+
+	// timeline
+	curState  trace.ThreadState
+	spanStart vtime.Time
+	curCPU    int32
+	curLWP    int32
+	inTL      bool
+	beforeEv  trace.Event
+}
+
+func (t *sthread) id() trace.ThreadID { return t.info.ID }
+
+// rec returns the thread's current call record, or nil when exhausted.
+func (t *sthread) rec() *trace.CallRecord {
+	if t.idx >= len(t.calls) {
+		return nil
+	}
+	return &t.calls[t.idx]
+}
+
+// slwp is a simulated LWP.
+type slwp struct {
+	id          int
+	prio        int
+	quantumLeft vtime.Duration
+	thread      *sthread
+	cpu         *scpu
+	dedicated   bool
+	dead        bool
+	sliceEpoch  uint64
+}
+
+// scpu is a simulated processor.
+type scpu struct {
+	id            int
+	lwp           *slwp
+	epoch         uint64
+	lastAccounted vtime.Time
+}
+
+// sobject is the simulated state of a synchronization object.
+type sobject struct {
+	info trace.ObjectInfo
+
+	owner   *sthread
+	waiters []*sthread
+
+	count    int
+	swaiters []*sthread
+
+	cwaiters []*sthread
+	// pendingBroadcasts are barrier-fix broadcasters waiting for their
+	// recorded number of arrivals (paper section 6), FIFO.
+	pendingBroadcasts []*pendingBroadcast
+
+	readers  map[*sthread]bool
+	writer   *sthread
+	rwaiters []*sthread
+	wwaiters []*sthread
+
+	// I/O device (FIFO service)
+	ioCurrent *sthread
+	ioQueue   []sioRequest
+	ioEpoch   uint64
+}
+
+type sioRequest struct {
+	t       *sthread
+	service vtime.Duration
+}
+
+type pendingBroadcast struct {
+	broadcaster *sthread
+	needed      int
+}
+
+type sevKind uint8
+
+const (
+	evBurst sevKind = iota
+	evSlice
+	evTimer  // cond_timedwait delay expiry
+	evWake   // delayed (cross-CPU) wake delivery
+	evIODone // device completes its current request
+)
+
+type sevent struct {
+	kind  sevKind
+	cpu   *scpu
+	lwp   *slwp
+	t     *sthread
+	obj   *sobject
+	epoch uint64
+}
+
+// sim is one simulation run.
+type sim struct {
+	m     Machine
+	prof  *trace.Profile
+	table *dispatch.Table
+
+	now    vtime.Time
+	events vtime.EventQueue[sevent]
+
+	threads  map[trace.ThreadID]*sthread
+	order    []*sthread
+	objects  map[trace.ObjectID]*sobject
+	cpus     []*scpu
+	lwps     []*slwp
+	nextLWP  int
+	userRunQ []*sthread
+	kernelQ  []*slwp
+	idleLWPs []*slwp
+
+	zombies     []*sthread // unreaped, exit order
+	joinWaiters map[trace.ThreadID][]*sthread
+	anyJoiners  []*sthread
+
+	tb       *trace.TimelineBuilder
+	eventSeq int64
+	live     int
+	err      error
+}
+
+func newSim(prof *trace.Profile, m Machine) (*sim, error) {
+	s := &sim{
+		m:           m,
+		prof:        prof,
+		table:       dispatch.NewTable(),
+		threads:     make(map[trace.ThreadID]*sthread),
+		objects:     make(map[trace.ObjectID]*sobject),
+		joinWaiters: make(map[trace.ThreadID][]*sthread),
+		tb:          trace.NewTimelineBuilder(),
+	}
+	for i := 0; i < m.CPUs; i++ {
+		s.cpus = append(s.cpus, &scpu{id: i})
+	}
+	pool := m.LWPs
+	if pool <= 0 {
+		pool = m.CPUs
+	}
+	for i := 0; i < pool; i++ {
+		s.idleLWPs = append(s.idleLWPs, s.newLWP(false))
+	}
+	for _, oi := range prof.Log.Objects {
+		o := &sobject{info: oi, count: int(oi.InitCount)}
+		if oi.Kind == trace.ObjRWLock {
+			o.readers = make(map[*sthread]bool)
+		}
+		s.objects[oi.ID] = o
+	}
+	// Instantiate every thread appearing in the profile. Threads other
+	// than main stay dormant until their recorded thr_create replays.
+	ids := make([]trace.ThreadID, 0, len(prof.Threads))
+	for id := range prof.Threads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		tp := prof.Threads[id]
+		t := &sthread{
+			info:     tp.Info,
+			calls:    tp.Calls,
+			state:    tNotStarted,
+			bound:    tp.Info.Bound,
+			boundCPU: int(tp.Info.BoundCPU),
+			prio:     dispatch.Clamp(int(tp.Info.Prio)),
+			lastCPU:  -1,
+			curState: trace.StateBlocked,
+			curCPU:   -1,
+			curLWP:   -1,
+		}
+		s.applyOverride(t)
+		s.threads[id] = t
+		s.order = append(s.order, t)
+	}
+	if _, ok := s.threads[trace.MainThread]; !ok {
+		return nil, fmt.Errorf("core: recording has no main thread")
+	}
+	return s, nil
+}
+
+func (s *sim) applyOverride(t *sthread) {
+	ov, ok := s.m.Overrides[t.info.ID]
+	if !ok {
+		return
+	}
+	switch ov.Binding {
+	case BindUnbound:
+		t.bound = false
+		t.boundCPU = -1
+	case BindLWP:
+		t.bound = true
+		t.boundCPU = -1
+	case BindCPU:
+		t.bound = true
+		t.boundCPU = ov.CPU
+		if t.boundCPU >= s.m.CPUs || t.boundCPU < 0 {
+			t.boundCPU = s.m.CPUs - 1
+		}
+	}
+	if ov.Priority != nil {
+		t.prio = dispatch.Clamp(*ov.Priority)
+		t.prioPinned = true
+	}
+}
+
+func (s *sim) newLWP(dedicated bool) *slwp {
+	l := &slwp{id: s.nextLWP, prio: dispatch.DefaultPriority, dedicated: dedicated}
+	l.quantumLeft = vtime.Duration(s.table.Quantum(l.prio))
+	s.nextLWP++
+	s.lwps = append(s.lwps, l)
+	return l
+}
+
+func (s *sim) fail(err error) {
+	if s.err == nil && err != nil {
+		s.err = err
+	}
+}
+
+// run drives the event loop to completion.
+func (s *sim) run() (*Result, error) {
+	s.startThread(s.threads[trace.MainThread])
+	s.dispatchAll()
+	s.preemptPass()
+	for s.live > 0 && s.err == nil {
+		if s.events.Len() == 0 {
+			s.fail(s.deadlockError())
+			break
+		}
+		at, ev := s.events.Pop()
+		if at > s.now {
+			s.now = at
+		}
+		s.handle(ev)
+		s.dispatchAll()
+		s.preemptPass()
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	res := &Result{
+		Machine:      s.m,
+		Duration:     s.now.Sub(0),
+		PerThreadCPU: make(map[trace.ThreadID]vtime.Duration, len(s.order)),
+		Events:       s.eventSeq,
+	}
+	for _, t := range s.order {
+		res.PerThreadCPU[t.id()] = t.cpuTime
+	}
+	res.Timeline = s.tb.Build(s.prof.Log.Header.Program, s.m.CPUs, len(s.lwps), res.Duration)
+	res.Timeline.Objects = append([]trace.ObjectInfo(nil), s.prof.Log.Objects...)
+	return res, nil
+}
+
+func (s *sim) deadlockError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: simulation deadlock at %v:", s.now)
+	for _, t := range s.order {
+		if t.state == tZombie || t.state == tNotStarted {
+			continue
+		}
+		what := "?"
+		if r := t.rec(); r != nil {
+			what = r.Call.String()
+			if t.waitObj != nil {
+				what += fmt.Sprintf(" on %s %q", t.waitObj.info.Kind, t.waitObj.info.Name)
+			}
+		}
+		fmt.Fprintf(&b, " T%d %s in %s;", t.id(), t.state, what)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// startThread activates a thread at the current time.
+func (s *sim) startThread(t *sthread) {
+	if t.state != tNotStarted {
+		s.fail(fmt.Errorf("core: thread T%d started twice", t.id()))
+		return
+	}
+	s.live++
+	if t.bound {
+		l := s.newLWP(true)
+		l.thread = t
+		t.lwp = l
+	}
+	s.tb.StartThread(t.info, s.now)
+	t.spanStart = s.now
+	t.inTL = true
+	t.stage = stCompute
+	if r := t.rec(); r != nil {
+		t.workLeft = r.CPUBefore
+	} else {
+		// A thread with no recorded events exits immediately.
+		t.workLeft = 0
+	}
+	t.state = tSleeping // wake() requires a non-runnable state
+	s.wake(t, -1, false)
+}
+
+// ---- queues (identical discipline to the execution substrate) -------------
+
+func (s *sim) pushUserRunQ(t *sthread) {
+	i := len(s.userRunQ)
+	for i > 0 && s.userRunQ[i-1].prio < t.prio {
+		i--
+	}
+	s.userRunQ = append(s.userRunQ, nil)
+	copy(s.userRunQ[i+1:], s.userRunQ[i:])
+	s.userRunQ[i] = t
+}
+
+func (s *sim) popUserRunQ() *sthread {
+	if len(s.userRunQ) == 0 {
+		return nil
+	}
+	t := s.userRunQ[0]
+	s.userRunQ = s.userRunQ[1:]
+	return t
+}
+
+func (s *sim) removeUserRunQ(t *sthread) bool {
+	for i, c := range s.userRunQ {
+		if c == t {
+			s.userRunQ = append(s.userRunQ[:i], s.userRunQ[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sim) pushKernelQ(l *slwp) {
+	i := len(s.kernelQ)
+	for i > 0 && s.kernelQ[i-1].prio < l.prio {
+		i--
+	}
+	s.kernelQ = append(s.kernelQ, nil)
+	copy(s.kernelQ[i+1:], s.kernelQ[i:])
+	s.kernelQ[i] = l
+}
+
+func (s *sim) lwpEligible(cpu *scpu, l *slwp) bool {
+	t := l.thread
+	return t == nil || t.boundCPU < 0 || t.boundCPU == cpu.id
+}
+
+func (s *sim) takeKernelQ(cpu *scpu) *slwp {
+	for i, l := range s.kernelQ {
+		if s.lwpEligible(cpu, l) {
+			s.kernelQ = append(s.kernelQ[:i], s.kernelQ[i+1:]...)
+			return l
+		}
+	}
+	return nil
+}
+
+func (s *sim) peekKernelQ(cpu *scpu) (int, bool) {
+	for _, l := range s.kernelQ {
+		if s.lwpEligible(cpu, l) {
+			return l.prio, true
+		}
+	}
+	return 0, false
+}
+
+// ---- timeline --------------------------------------------------------------
+
+func (s *sim) setTState(t *sthread, st trace.ThreadState, cpu, lwp int32) {
+	if t.inTL {
+		s.tb.AddSpan(t.id(), trace.Span{
+			Start: t.spanStart, End: s.now,
+			State: t.curState, CPU: t.curCPU, LWP: t.curLWP,
+		})
+	}
+	t.curState = st
+	t.curCPU = cpu
+	t.curLWP = lwp
+	t.spanStart = s.now
+}
+
+func (s *sim) endTimeline(t *sthread) {
+	if t.inTL {
+		s.tb.AddSpan(t.id(), trace.Span{
+			Start: t.spanStart, End: s.now,
+			State: t.curState, CPU: t.curCPU, LWP: t.curLWP,
+		})
+		s.tb.EndThread(t.id(), s.now)
+		t.inTL = false
+	}
+}
+
+// simEvent synthesizes a simulated probe event for the thread's current
+// call record.
+func (s *sim) simEvent(t *sthread, class trace.EventClass) trace.Event {
+	r := t.rec()
+	ev := trace.Event{
+		Seq:    s.eventSeq,
+		Time:   s.now,
+		Thread: t.id(),
+		Class:  class,
+		Call:   r.Call,
+		Object: r.Object,
+		Loc:    r.Loc,
+	}
+	s.eventSeq++
+	switch r.Call {
+	case trace.CallThrCreate:
+		ev.Target = r.Target
+	case trace.CallThrJoin:
+		if class == trace.Before {
+			ev.Target = r.Target
+		} else {
+			ev.Target = t.joinedID
+		}
+	case trace.CallCondTimedWait:
+		ev.Timeout = r.Timeout
+		ev.OK = t.okResult
+	case trace.CallMutexTryLock, trace.CallSemaTryWait:
+		ev.OK = r.OK
+	case trace.CallThrSetPrio, trace.CallThrSetConcurrency:
+		ev.Prio = r.Prio
+	}
+	return ev
+}
+
+// placeAfter emits the After event and the placed-event record for the
+// thread's completed call.
+func (s *sim) placeAfter(t *sthread) {
+	ev := s.simEvent(t, trace.After)
+	s.tb.AddEvent(t.id(), trace.PlacedEvent{
+		Event: ev,
+		CPU:   int32(t.lastCPU),
+		Start: t.beforeEv.Time,
+		End:   ev.Time,
+	})
+}
+
+// ---- scheduling -------------------------------------------------------------
+
+// wake makes a thread runnable. fromCPU identifies where the waking event
+// happened; a cross-CPU wake is delayed by the machine's communication
+// delay. boost applies the TS sleep-return priority lift.
+func (s *sim) wake(t *sthread, fromCPU int, boost bool) {
+	if t.suspended {
+		t.grantLater = true
+		return
+	}
+	if t.state == tWakePending {
+		return
+	}
+	if s.m.CommDelay > 0 && fromCPU >= 0 && t.lastCPU >= 0 && fromCPU != t.lastCPU {
+		t.state = tWakePending
+		t.wakeEpoch++
+		s.events.Push(s.now.Add(s.m.CommDelay), sevent{kind: evWake, t: t, epoch: t.wakeEpoch})
+		return
+	}
+	s.deliverWake(t, boost)
+}
+
+func (s *sim) deliverWake(t *sthread, boost bool) {
+	t.state = tRunnable
+	t.waitObj = nil
+	if t.bound {
+		l := t.lwp
+		if boost {
+			l.prio = s.table.AfterSleepReturn(l.prio)
+		}
+		l.quantumLeft = vtime.Duration(s.table.Quantum(l.prio))
+		s.setTState(t, trace.StateRunnable, -1, int32(l.id))
+		s.pushKernelQ(l)
+		return
+	}
+	if len(s.idleLWPs) > 0 {
+		l := s.idleLWPs[0]
+		s.idleLWPs = s.idleLWPs[1:]
+		l.thread = t
+		t.lwp = l
+		if boost {
+			l.prio = s.table.AfterSleepReturn(l.prio)
+		}
+		l.quantumLeft = vtime.Duration(s.table.Quantum(l.prio))
+		s.setTState(t, trace.StateRunnable, -1, int32(l.id))
+		s.pushKernelQ(l)
+		return
+	}
+	s.setTState(t, trace.StateRunnable, -1, -1)
+	s.pushUserRunQ(t)
+}
+
+func (s *sim) preemptPass() {
+	if s.m.NoPreemption {
+		return
+	}
+	for {
+		preempted := false
+		for _, l := range s.kernelQ {
+			var victim *scpu
+			for _, c := range s.cpus {
+				if !s.lwpEligible(c, l) || c.lwp == nil {
+					continue
+				}
+				if c.lwp.prio < l.prio && (victim == nil || c.lwp.prio < victim.lwp.prio) {
+					victim = c
+				}
+			}
+			if victim != nil {
+				s.undispatch(victim)
+				s.dispatchAll()
+				preempted = true
+				break
+			}
+		}
+		if !preempted {
+			return
+		}
+	}
+}
+
+func (s *sim) undispatch(cpu *scpu) {
+	s.account(cpu)
+	l := cpu.lwp
+	if l == nil {
+		return
+	}
+	t := l.thread
+	cpu.lwp = nil
+	cpu.epoch++
+	l.sliceEpoch++
+	l.cpu = nil
+	if t != nil {
+		t.state = tRunnable
+		s.setTState(t, trace.StateRunnable, -1, int32(l.id))
+	}
+	s.pushKernelQ(l)
+}
+
+func (s *sim) dispatchAll() {
+	for {
+		progress := false
+		for _, cpu := range s.cpus {
+			if cpu.lwp != nil {
+				continue
+			}
+			l := s.takeKernelQ(cpu)
+			if l == nil {
+				continue
+			}
+			s.runOn(cpu, l)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (s *sim) runOn(cpu *scpu, l *slwp) {
+	t := l.thread
+	cpu.lwp = l
+	l.cpu = cpu
+	cpu.lastAccounted = s.now
+	t.lastCPU = cpu.id
+	t.state = tRunning
+	s.setTState(t, trace.StateRunning, int32(cpu.id), int32(l.id))
+	if t.stage == stWaiting {
+		s.completeOp(cpu, t)
+		if s.err != nil || cpu.lwp != l || l.thread != t {
+			return
+		}
+	}
+	s.scheduleBurst(cpu)
+	s.scheduleSlice(l)
+}
+
+// completeOp finishes a call whose completion happened while the thread
+// was off-CPU: emit the After event and advance to the next record.
+func (s *sim) completeOp(cpu *scpu, t *sthread) {
+	s.placeAfter(t)
+	s.advanceRecord(cpu, t)
+}
+
+// advanceRecord moves the thread to its next call record.
+func (s *sim) advanceRecord(cpu *scpu, t *sthread) {
+	t.idx++
+	t.stage = stCompute
+	if r := t.rec(); r != nil {
+		t.workLeft = r.CPUBefore
+		return
+	}
+	// Recording exhausted without thr_exit: treat as exit (collection
+	// markers end this way for main).
+	s.exitThread(cpu, t)
+}
+
+func (s *sim) scheduleBurst(cpu *scpu) {
+	cpu.epoch++
+	l := cpu.lwp
+	if l == nil || l.thread == nil {
+		return
+	}
+	s.events.Push(s.now.Add(l.thread.workLeft), sevent{kind: evBurst, cpu: cpu, epoch: cpu.epoch})
+}
+
+func (s *sim) scheduleSlice(l *slwp) {
+	l.sliceEpoch++
+	if l.quantumLeft <= 0 {
+		l.quantumLeft = vtime.Duration(s.table.Quantum(l.prio))
+	}
+	s.events.Push(s.now.Add(l.quantumLeft), sevent{kind: evSlice, lwp: l, epoch: l.sliceEpoch})
+}
+
+func (s *sim) account(cpu *scpu) {
+	dt := s.now.Sub(cpu.lastAccounted)
+	cpu.lastAccounted = s.now
+	l := cpu.lwp
+	if l == nil || dt <= 0 {
+		return
+	}
+	l.quantumLeft -= dt
+	t := l.thread
+	if t == nil {
+		return
+	}
+	if dt > t.workLeft {
+		dt = t.workLeft
+	}
+	t.workLeft -= dt
+	t.cpuTime += dt
+}
+
+func (s *sim) handle(ev sevent) {
+	switch ev.kind {
+	case evBurst:
+		cpu := ev.cpu
+		if cpu.epoch != ev.epoch || cpu.lwp == nil {
+			return
+		}
+		s.account(cpu)
+		s.advanceThread(cpu)
+	case evSlice:
+		l := ev.lwp
+		if l.sliceEpoch != ev.epoch || l.cpu == nil || l.dead {
+			return
+		}
+		s.sliceExpired(l)
+	case evTimer:
+		t := ev.t
+		if t.timerEpoch != ev.epoch {
+			return
+		}
+		s.timerExpired(t)
+	case evWake:
+		t := ev.t
+		if t.wakeEpoch != ev.epoch || t.state != tWakePending {
+			return
+		}
+		if t.suspended {
+			t.grantLater = true
+			t.state = tSleeping
+			return
+		}
+		s.deliverWake(t, true)
+	case evIODone:
+		s.ioDone(ev.obj, ev.epoch)
+	}
+}
+
+func (s *sim) sliceExpired(l *slwp) {
+	cpu := l.cpu
+	s.account(cpu)
+	l.prio = s.table.AfterQuantumExpiry(l.prio)
+	l.quantumLeft = vtime.Duration(s.table.Quantum(l.prio))
+	if prio, ok := s.peekKernelQ(cpu); ok && prio >= l.prio {
+		s.undispatch(cpu)
+		return
+	}
+	s.scheduleSlice(l)
+}
+
+// advanceThread drives the running thread through its record phases.
+func (s *sim) advanceThread(cpu *scpu) {
+	for {
+		l := cpu.lwp
+		if l == nil {
+			return
+		}
+		t := l.thread
+		if t == nil {
+			return
+		}
+		if t.workLeft > 0 {
+			s.scheduleBurst(cpu)
+			return
+		}
+		r := t.rec()
+		if r == nil {
+			s.exitThread(cpu, t)
+			return
+		}
+		switch t.stage {
+		case stCompute:
+			t.beforeEv = s.simEvent(t, trace.Before)
+			t.stage = stCall
+			t.workLeft = s.callCost(t, r)
+		case stCall:
+			blocked := s.applyOp(cpu, t, r)
+			if blocked || s.err != nil {
+				return
+			}
+			if t.state == tZombie {
+				return
+			}
+			s.placeAfter(t)
+			s.advanceRecord(cpu, t)
+			if t.state == tZombie {
+				return
+			}
+		case stWaiting:
+			return
+		}
+	}
+}
+
+// callCost scales the recorded call cost when an override changes the
+// caller's (or created thread's) binding relative to the recording.
+func (s *sim) callCost(t *sthread, r *trace.CallRecord) vtime.Duration {
+	cost := r.CallCPU
+	switch {
+	case r.Call == trace.CallThrCreate:
+		child, ok := s.threads[r.Target]
+		if !ok {
+			return cost
+		}
+		recBound := child.info.Bound
+		effBound := child.bound
+		if recBound == effBound {
+			return cost
+		}
+		if effBound {
+			return vtime.Duration(float64(cost) * s.m.BoundCreateFactor)
+		}
+		return vtime.Duration(float64(cost) / s.m.BoundCreateFactor)
+	case r.Call.Sync():
+		recBound := t.info.Bound
+		effBound := t.bound
+		if recBound == effBound {
+			return cost
+		}
+		if effBound {
+			return vtime.Duration(float64(cost) * s.m.BoundSyncFactor)
+		}
+		return vtime.Duration(float64(cost) / s.m.BoundSyncFactor)
+	}
+	return cost
+}
+
+// blockThread suspends the running thread.
+func (s *sim) blockThread(cpu *scpu, t *sthread, obj *sobject) {
+	t.state = tSleeping
+	t.stage = stWaiting
+	t.waitObj = obj
+	s.setTState(t, trace.StateBlocked, -1, -1)
+	s.detachFromCPU(cpu, t)
+}
+
+func (s *sim) detachFromCPU(cpu *scpu, t *sthread) {
+	l := t.lwp
+	cpu.epoch++
+	if t.bound {
+		l.sliceEpoch++
+		l.cpu = nil
+		cpu.lwp = nil
+		return
+	}
+	l.thread = nil
+	t.lwp = nil
+	s.lwpNext(cpu, l)
+}
+
+func (s *sim) lwpNext(cpu *scpu, l *slwp) {
+	next := s.popUserRunQ()
+	if next == nil {
+		l.sliceEpoch++
+		l.cpu = nil
+		cpu.lwp = nil
+		s.idleLWPs = append(s.idleLWPs, l)
+		return
+	}
+	l.thread = next
+	next.lwp = l
+	next.lastCPU = cpu.id
+	next.state = tRunning
+	s.setTState(next, trace.StateRunning, int32(cpu.id), int32(l.id))
+	if next.stage == stWaiting {
+		s.completeOp(cpu, next)
+		if s.err != nil || cpu.lwp != l || l.thread != next {
+			return
+		}
+	}
+	s.scheduleBurst(cpu)
+	s.scheduleSlice(l)
+}
+
+// exitThread finalizes a simulated thread.
+func (s *sim) exitThread(cpu *scpu, t *sthread) {
+	// Place the exit event if the thread ended on a thr_exit record.
+	if r := t.rec(); r != nil && r.Call == trace.CallThrExit {
+		s.tb.AddEvent(t.id(), trace.PlacedEvent{
+			Event: t.beforeEv,
+			CPU:   int32(t.lastCPU),
+			Start: t.beforeEv.Time,
+			End:   s.now,
+		})
+	}
+	s.endTimeline(t)
+	t.state = tZombie
+	s.live--
+
+	joined := false
+	for _, j := range s.joinWaiters[t.id()] {
+		j.joinedID = t.id()
+		s.wake(j, t.lastCPU, true)
+		joined = true
+	}
+	delete(s.joinWaiters, t.id())
+	if !joined && len(s.anyJoiners) > 0 {
+		j := s.anyJoiners[0]
+		s.anyJoiners = s.anyJoiners[1:]
+		j.joinedID = t.id()
+		s.wake(j, t.lastCPU, true)
+		joined = true
+	}
+	if joined {
+		t.reaped = true
+	} else {
+		s.zombies = append(s.zombies, t)
+	}
+
+	l := t.lwp
+	t.lwp = nil
+	cpu.epoch++
+	if l != nil {
+		if l.dedicated {
+			l.dead = true
+			l.sliceEpoch++
+			l.cpu = nil
+			cpu.lwp = nil
+		} else {
+			l.thread = nil
+			s.lwpNext(cpu, l)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package dispatch models the Solaris time-sharing (TS) scheduling class
+// dispatch table that governs LWP priorities.
+//
+// The VPPB Simulator "emulates the priority adjustment as it is handled in
+// Solaris" and adjusts the time-slice length with the priority level
+// (paper, section 3.2). In Solaris the TS class is driven by a 60-row
+// dispatch table: each user priority level has a time quantum (ts_quantum),
+// the priority assigned when a thread uses up its quantum (ts_tqexp, lower:
+// CPU hogs sink), and the priority assigned when it returns from sleep
+// (ts_slpret, higher: interactive work floats). The concrete table below is
+// synthesized to the documented shape of the Solaris 2.5 ts_dptbl —
+// quanta of 200 ms at priority 0 falling to 20 ms at priority 59 — since
+// the original table is not redistributable.
+package dispatch
+
+// Levels is the number of TS priority levels (0..Levels-1).
+const Levels = 60
+
+// MaxUserPriority is the highest TS user priority.
+const MaxUserPriority = Levels - 1
+
+// DefaultPriority is the priority a new LWP starts at, mid-table as in
+// Solaris.
+const DefaultPriority = 29
+
+// Row is one dispatch-table entry.
+type Row struct {
+	// QuantumUS is the time slice in microseconds an LWP at this level may
+	// run before the kernel reevaluates it.
+	QuantumUS int64
+	// TQExp is the new priority after the LWP consumes its full quantum.
+	TQExp int
+	// SlpRet is the new priority after the LWP wakes from a sleep
+	// (blocking on a synchronization object counts as sleeping).
+	SlpRet int
+}
+
+// Table is a full TS dispatch table indexed by priority level.
+type Table [Levels]Row
+
+// NewTable builds the default table. Quanta interpolate linearly from
+// 200 ms at level 0 to 20 ms at level 59 in 10 ms steps of banding;
+// quantum expiry costs 10 levels (floor 0); sleep return boosts to at
+// least level 50, preserving relative order above that.
+func NewTable() *Table {
+	var t Table
+	for p := 0; p < Levels; p++ {
+		q := 200 - (180*p)/(Levels-1) // 200ms .. 20ms
+		tq := p - 10
+		if tq < 0 {
+			tq = 0
+		}
+		sr := p + 10
+		if sr < 50 {
+			sr = 50
+		}
+		if sr > MaxUserPriority {
+			sr = MaxUserPriority
+		}
+		t[p] = Row{
+			QuantumUS: int64(q) * 1000,
+			TQExp:     tq,
+			SlpRet:    sr,
+		}
+	}
+	return &t
+}
+
+// Clamp limits p to the valid priority range.
+func Clamp(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p > MaxUserPriority {
+		return MaxUserPriority
+	}
+	return p
+}
+
+// Quantum returns the time slice in microseconds for priority p.
+func (t *Table) Quantum(p int) int64 { return t[Clamp(p)].QuantumUS }
+
+// AfterQuantumExpiry returns the priority assigned to an LWP that consumed
+// its entire quantum at priority p.
+func (t *Table) AfterQuantumExpiry(p int) int { return t[Clamp(p)].TQExp }
+
+// AfterSleepReturn returns the priority assigned to an LWP that wakes from
+// a sleep while at priority p.
+func (t *Table) AfterSleepReturn(p int) int { return t[Clamp(p)].SlpRet }

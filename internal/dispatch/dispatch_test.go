@@ -1,0 +1,114 @@
+package dispatch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTableShape(t *testing.T) {
+	tbl := NewTable()
+	if got := tbl.Quantum(0); got != 200_000 {
+		t.Fatalf("Quantum(0) = %d, want 200000", got)
+	}
+	if got := tbl.Quantum(MaxUserPriority); got != 20_000 {
+		t.Fatalf("Quantum(59) = %d, want 20000", got)
+	}
+}
+
+func TestQuantaMonotoneNonIncreasing(t *testing.T) {
+	tbl := NewTable()
+	for p := 1; p < Levels; p++ {
+		if tbl.Quantum(p) > tbl.Quantum(p-1) {
+			t.Fatalf("quantum increased from level %d (%d) to %d (%d)",
+				p-1, tbl.Quantum(p-1), p, tbl.Quantum(p))
+		}
+	}
+}
+
+func TestQuantumExpirySinks(t *testing.T) {
+	tbl := NewTable()
+	for p := 0; p < Levels; p++ {
+		np := tbl.AfterQuantumExpiry(p)
+		if np > p {
+			t.Fatalf("expiry raised priority %d -> %d", p, np)
+		}
+		if np < 0 || np > MaxUserPriority {
+			t.Fatalf("expiry priority out of range: %d", np)
+		}
+	}
+	if tbl.AfterQuantumExpiry(0) != 0 {
+		t.Fatal("expiry at floor must stay at floor")
+	}
+}
+
+func TestSleepReturnBoosts(t *testing.T) {
+	tbl := NewTable()
+	for p := 0; p < Levels; p++ {
+		np := tbl.AfterSleepReturn(p)
+		if np < p {
+			t.Fatalf("sleep return lowered priority %d -> %d", p, np)
+		}
+		if np < 50 && p < 50 {
+			t.Fatalf("sleep return from %d gave %d, want >= 50", p, np)
+		}
+		if np > MaxUserPriority {
+			t.Fatalf("sleep return out of range: %d", np)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-5, 0}, {0, 0}, {29, 29}, {59, 59}, {70, 59},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOutOfRangeLookupsClamp(t *testing.T) {
+	tbl := NewTable()
+	if tbl.Quantum(-1) != tbl.Quantum(0) {
+		t.Fatal("Quantum(-1) must clamp to level 0")
+	}
+	if tbl.Quantum(1000) != tbl.Quantum(MaxUserPriority) {
+		t.Fatal("Quantum(1000) must clamp to max level")
+	}
+	if tbl.AfterSleepReturn(-1) != tbl.AfterSleepReturn(0) {
+		t.Fatal("AfterSleepReturn must clamp")
+	}
+	if tbl.AfterQuantumExpiry(1000) != tbl.AfterQuantumExpiry(MaxUserPriority) {
+		t.Fatal("AfterQuantumExpiry must clamp")
+	}
+}
+
+func TestDefaultPriorityValid(t *testing.T) {
+	if DefaultPriority < 0 || DefaultPriority > MaxUserPriority {
+		t.Fatal("DefaultPriority out of range")
+	}
+}
+
+// Property: repeated quantum expiries always converge to the floor, and
+// repeated sleep returns always converge to a fixed point at or above 50.
+func TestPriorityDynamicsConverge(t *testing.T) {
+	tbl := NewTable()
+	f := func(start uint8) bool {
+		p := Clamp(int(start) % Levels)
+		for i := 0; i < Levels+1; i++ {
+			p = tbl.AfterQuantumExpiry(p)
+		}
+		if p != 0 {
+			return false
+		}
+		p = Clamp(int(start) % Levels)
+		for i := 0; i < Levels+1; i++ {
+			p = tbl.AfterSleepReturn(p)
+		}
+		return p >= 50 && p <= MaxUserPriority && tbl.AfterSleepReturn(p) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vppb/internal/core"
+	"vppb/internal/metrics"
+	"vppb/internal/recorder"
+	"vppb/internal/trace"
+	"vppb/internal/viz"
+	"vppb/internal/workloads"
+)
+
+// FigureResult bundles a figure's report and, when graphical, its SVG.
+type FigureResult struct {
+	Report string
+	SVG    string
+	Log    *trace.Log
+}
+
+// recordNamed records a registered workload.
+func recordNamed(name string, prm workloads.Params) (*trace.Log, error) {
+	w, err := workloads.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	log, _, err := recorder.Record(w.Bind(prm), recorder.Options{Program: name})
+	if err != nil {
+		return nil, err
+	}
+	return log, nil
+}
+
+// Fig2 regenerates figure 2: the example program's Recorder output in the
+// paper's listing format.
+func Fig2(opts Options) (*FigureResult, error) {
+	opts = opts.normalized()
+	log, err := recordNamed("example", workloads.Params{Scale: opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2: the example program and the output from the Recorder\n\n")
+	b.WriteString(trace.FormatPaper(log))
+	return &FigureResult{Report: b.String(), Log: log}, nil
+}
+
+// Fig4 regenerates figure 4: the Simulator's sorting of the log into one
+// event list per thread.
+func Fig4(opts Options) (*FigureResult, error) {
+	opts = opts.normalized()
+	log, err := recordNamed("example", workloads.Params{Scale: opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 4: the Simulator's sorting of the log from the Recorder\n\n")
+	for _, id := range log.ThreadIDs() {
+		byThread := log.PerThread()[id]
+		fmt.Fprintf(&b, "%s's event list:\n", log.ThreadName(id))
+		sub := &trace.Log{Header: log.Header, Threads: log.Threads, Objects: log.Objects, Events: byThread}
+		b.WriteString(trace.FormatPaper(sub))
+		b.WriteByte('\n')
+	}
+	return &FigureResult{Report: b.String(), Log: log}, nil
+}
+
+// Fig5 regenerates figure 5: the parallelism and execution flow graphs of
+// a simulated execution of the example program on two processors.
+func Fig5(opts Options) (*FigureResult, error) {
+	opts = opts.normalized()
+	log, err := recordNamed("example", workloads.Params{Scale: opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Simulate(log, core.Machine{CPUs: 2, LWPs: 2})
+	if err != nil {
+		return nil, err
+	}
+	v, err := viz.NewView(res.Timeline)
+	if err != nil {
+		return nil, err
+	}
+	report := "Figure 5: the execution parallelism and flow graphs after a simulation\n" +
+		"(example program on 2 simulated processors)\n\n" +
+		viz.Render(v, viz.ASCIIOptions{Width: 100}) + "\n" + viz.Legend()
+	svg := viz.RenderSVG(v, viz.SVGOptions{Title: "example program, 2 simulated CPUs (figure 5)"})
+	return &FigureResult{Report: report, SVG: svg, Log: log}, nil
+}
+
+// Case5Result is the section-5 producer/consumer case study.
+type Case5Result struct {
+	NaiveGain    float64 // predicted gain of the naive program on 8 CPUs
+	ImprovedPred float64 // predicted speed-up of the improved program
+	ImprovedReal float64 // median measured speed-up of the improved program
+	Error        float64 // prediction error of the improved program
+	Report       string
+	NaiveSVG     string // figure 6
+	ImprovedSVG  string // figure 7
+}
+
+// Case5 regenerates the section-5 case study: the naive producer/consumer
+// program barely gains from eight CPUs (figure 6 shows why: every thread
+// serializes on one mutex); the improved program reaches a predicted
+// speed-up near 7.75 against a measured 7.90 (figure 7).
+func Case5(opts Options) (*Case5Result, error) {
+	opts = opts.normalized()
+	out := &Case5Result{}
+	var b strings.Builder
+	b.WriteString("Section 5 case study: producer/consumer\n\n")
+
+	// Naive program.
+	naiveLog, err := recordNamed("prodcons", workloads.Params{Scale: opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	uni, err := core.Simulate(naiveLog, core.Machine{CPUs: 1, LWPs: 1})
+	if err != nil {
+		return nil, err
+	}
+	oct, err := core.Simulate(naiveLog, core.Machine{CPUs: 8})
+	if err != nil {
+		return nil, err
+	}
+	out.NaiveGain = float64(uni.Duration)/float64(oct.Duration) - 1
+	fmt.Fprintf(&b, "naive:    predicted to run %.1f%% faster on 8 CPUs (paper: 2.2%%)\n", 100*out.NaiveGain)
+
+	vNaive, err := viz.NewView(oct.Timeline)
+	if err != nil {
+		return nil, err
+	}
+	vNaive.SetCompressed(true)
+	// Show a small slice mid-execution, as figure 6 does.
+	start, end := vNaive.Window()
+	span := end.Sub(start)
+	if err := vNaive.SetWindow(start.Add(span/2), start.Add(span/2+span/50)); err != nil {
+		return nil, err
+	}
+	out.NaiveSVG = viz.RenderSVG(vNaive, viz.SVGOptions{Title: "naive producer/consumer, 8 simulated CPUs (figure 6)"})
+	b.WriteString("\nFigure 6 (parts of the initial program's execution):\n")
+	b.WriteString(viz.Render(vNaive, viz.ASCIIOptions{Width: 100, MaxFlowRows: 12}))
+
+	// Improved program.
+	w, err := workloads.Get("prodconsopt")
+	if err != nil {
+		return nil, err
+	}
+	prm := workloads.Params{Scale: opts.Scale}
+	t1, err := uniBaseline(w, prm)
+	if err != nil {
+		return nil, err
+	}
+	predTP, _, err := predictDuration(w, prm, core.Machine{CPUs: 8})
+	if err != nil {
+		return nil, err
+	}
+	out.ImprovedPred = metrics.Speedup(t1, predTP)
+	var reals metrics.RunSet
+	for run := 0; run < opts.Runs; run++ {
+		tp, err := referenceRun(w, prm, 8, uint64(run+1), cacheBonus("prodconsopt", 8))
+		if err != nil {
+			return nil, err
+		}
+		reals.Add(metrics.Speedup(t1, tp))
+	}
+	out.ImprovedReal = reals.Median()
+	out.Error = metrics.PredictionError(out.ImprovedReal, out.ImprovedPred)
+	fmt.Fprintf(&b, "\nimproved: predicted speed-up %.2f on 8 CPUs (paper: 7.75)\n", out.ImprovedPred)
+	fmt.Fprintf(&b, "improved: measured  speed-up %.2f (median of %d runs; paper: 7.90)\n", out.ImprovedReal, opts.Runs)
+	fmt.Fprintf(&b, "improved: prediction error %.1f%% (paper: 1.9%%)\n", 100*abs(out.Error))
+
+	impLog, err := recordNamed("prodconsopt", prm)
+	if err != nil {
+		return nil, err
+	}
+	impSim, err := core.Simulate(impLog, core.Machine{CPUs: 8})
+	if err != nil {
+		return nil, err
+	}
+	vImp, err := viz.NewView(impSim.Timeline)
+	if err != nil {
+		return nil, err
+	}
+	vImp.SetCompressed(true)
+	s2, e2 := vImp.Window()
+	sp2 := e2.Sub(s2)
+	if err := vImp.SetWindow(s2.Add(sp2/2), s2.Add(sp2/2+sp2/50)); err != nil {
+		return nil, err
+	}
+	out.ImprovedSVG = viz.RenderSVG(vImp, viz.SVGOptions{Title: "improved producer/consumer, 8 simulated CPUs (figure 7)"})
+	b.WriteString("\nFigure 7 (simulated execution of the improved program):\n")
+	b.WriteString(viz.RenderParallelismASCII(vImp, viz.ASCIIOptions{Width: 100}))
+	out.Report = b.String()
+	return out, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vppb/internal/core"
+	"vppb/internal/recorder"
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+	"vppb/internal/workloads"
+)
+
+// OverheadRow is one application of the section-4 intrusion measurement.
+type OverheadRow struct {
+	Application string
+	Bare        vtime.Duration
+	Monitored   vtime.Duration
+	Overhead    float64
+}
+
+// OverheadResult is experiment E6.
+type OverheadResult struct {
+	Rows   []OverheadRow
+	Max    float64
+	Report string
+}
+
+// Overhead reproduces the section-4 recording-intrusion measurement: each
+// application runs on the uniprocessor with and without the Recorder
+// attached; the paper's bound is 3% with a maximum of 2.6% (Ocean).
+func Overhead(opts Options) (*OverheadResult, error) {
+	opts = opts.normalized()
+	out := &OverheadResult{}
+	var b strings.Builder
+	b.WriteString("Recording intrusion (paper: below 3%, max 2.6% for Ocean)\n\n")
+	fmt.Fprintf(&b, "%-14s %12s %12s %9s\n", "Application", "bare", "monitored", "overhead")
+	for _, name := range workloads.Splash() {
+		w, err := workloads.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		prm := workloads.Params{Threads: 8, Scale: opts.Scale}
+		costs := threadlib.DefaultCosts()
+		p := threadlib.NewProcess(threadlib.Config{CPUs: 1, LWPs: 1, Costs: &costs})
+		bare, err := p.Run(w.Bind(prm)(p))
+		if err != nil {
+			return nil, err
+		}
+		_, monitored, err := recorder.Record(w.Bind(prm), recorder.Options{Program: name})
+		if err != nil {
+			return nil, err
+		}
+		row := OverheadRow{
+			Application: name,
+			Bare:        bare.Duration,
+			Monitored:   monitored.Duration,
+			Overhead:    float64(monitored.Duration-bare.Duration) / float64(monitored.Duration),
+		}
+		out.Rows = append(out.Rows, row)
+		if row.Overhead > out.Max {
+			out.Max = row.Overhead
+		}
+		fmt.Fprintf(&b, "%-14s %12s %12s %8.2f%%\n", name, row.Bare, row.Monitored, 100*row.Overhead)
+	}
+	fmt.Fprintf(&b, "\nmax overhead = %.2f%%\n", 100*out.Max)
+	out.Report = b.String()
+	return out, nil
+}
+
+// LogStatsRow is one application of the section-4 log measurements.
+type LogStatsRow struct {
+	Application string
+	Stats       trace.Stats
+}
+
+// LogStatsResult is experiment E7.
+type LogStatsResult struct {
+	Rows   []LogStatsRow
+	Report string
+}
+
+// LogStats reproduces the section-4 log measurements: events per second
+// and log sizes per application (paper: largest log 1.4 MByte and highest
+// event rate 653 events/s, both Ocean).
+func LogStats(opts Options) (*LogStatsResult, error) {
+	opts = opts.normalized()
+	out := &LogStatsResult{}
+	var b strings.Builder
+	b.WriteString("Log statistics (paper: max 653 events/s and largest log 1.4 MB, both Ocean)\n\n")
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s %12s %12s\n", "Application", "duration", "events", "events/s", "text bytes", "binary bytes")
+	for _, name := range workloads.Splash() {
+		log, err := recordNamed(name, workloads.Params{Threads: 8, Scale: opts.Scale})
+		if err != nil {
+			return nil, err
+		}
+		st := log.ComputeStats()
+		out.Rows = append(out.Rows, LogStatsRow{Application: name, Stats: st})
+		fmt.Fprintf(&b, "%-14s %10s %10d %10.0f %12d %12d\n",
+			name, st.Duration, st.Events, st.EventsPerSec, st.TextBytes, st.BinaryBytes)
+	}
+	out.Report = b.String()
+	return out, nil
+}
+
+// AblationResult is a generic sweep outcome.
+type AblationResult struct {
+	Labels    []string
+	Durations []vtime.Duration
+	Report    string
+}
+
+// AblationBound compares the improved producer/consumer with unbound
+// threads against the same program with every worker re-bound to an LWP in
+// the Simulator — exercising the paper's 6.7x creation and 5.9x
+// synchronization cost factors (section 3.2).
+func AblationBound(opts Options) (*AblationResult, error) {
+	opts = opts.normalized()
+	log, err := recordNamed("prodconsopt", workloads.Params{Scale: opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	unbound, err := core.Simulate(log, core.Machine{CPUs: 8})
+	if err != nil {
+		return nil, err
+	}
+	over := make(map[trace.ThreadID]core.Override)
+	for _, th := range log.Threads {
+		if th.ID != trace.MainThread {
+			over[th.ID] = core.Override{Binding: core.BindLWP}
+		}
+	}
+	bound, err := core.Simulate(log, core.Machine{CPUs: 8, Overrides: over})
+	if err != nil {
+		return nil, err
+	}
+	slow := float64(bound.Duration)/float64(unbound.Duration) - 1
+	report := "Ablation: bound vs unbound threads (improved producer/consumer, 8 CPUs)\n\n" +
+		fmt.Sprintf("unbound: %s\nbound:   %s  (+%.1f%%)\n", unbound.Duration, bound.Duration, 100*slow) +
+		"(bound threads pay 6.7x creation and 5.9x synchronization, paper section 3.2)\n"
+	return &AblationResult{
+		Labels:    []string{"unbound", "bound"},
+		Durations: []vtime.Duration{unbound.Duration, bound.Duration},
+		Report:    report,
+	}, nil
+}
+
+// AblationCommDelay sweeps the Simulator's inter-CPU communication delay
+// on the Ocean recording — the machine parameter of figure 1(e/f).
+func AblationCommDelay(opts Options) (*AblationResult, error) {
+	opts = opts.normalized()
+	log, err := recordNamed("ocean", workloads.Params{Threads: 8, Scale: opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	delays := []vtime.Duration{0, 10, 50, 200, 1000}
+	out := &AblationResult{}
+	var b strings.Builder
+	b.WriteString("Ablation: communication delay (ocean, 8 CPUs)\n\n")
+	fmt.Fprintf(&b, "%12s %14s\n", "delay", "predicted time")
+	for _, d := range delays {
+		res, err := core.Simulate(log, core.Machine{CPUs: 8, CommDelay: d})
+		if err != nil {
+			return nil, err
+		}
+		out.Labels = append(out.Labels, d.String())
+		out.Durations = append(out.Durations, res.Duration)
+		fmt.Fprintf(&b, "%12s %14s\n", d, res.Duration)
+	}
+	b.WriteString("(a larger delay slows every cross-CPU wakeup)\n")
+	out.Report = b.String()
+	return out, nil
+}
+
+// AblationLWPs sweeps the number of LWPs below and above the CPU count —
+// the "no. of LWPs" machine parameter, which overrides
+// thr_setconcurrency (paper section 3.2).
+func AblationLWPs(opts Options) (*AblationResult, error) {
+	opts = opts.normalized()
+	log, err := recordNamed("prodconsopt", workloads.Params{Scale: opts.Scale})
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationResult{}
+	var b strings.Builder
+	b.WriteString("Ablation: LWP count (improved producer/consumer, 8 CPUs)\n\n")
+	fmt.Fprintf(&b, "%6s %14s\n", "LWPs", "predicted time")
+	for _, lwps := range []int{1, 2, 4, 8, 16} {
+		res, err := core.Simulate(log, core.Machine{CPUs: 8, LWPs: lwps})
+		if err != nil {
+			return nil, err
+		}
+		out.Labels = append(out.Labels, fmt.Sprintf("%d", lwps))
+		out.Durations = append(out.Durations, res.Duration)
+		fmt.Fprintf(&b, "%6d %14s\n", lwps, res.Duration)
+	}
+	b.WriteString("(fewer LWPs than CPUs starves the machine; more than 8 adds nothing)\n")
+	out.Report = b.String()
+	return out, nil
+}

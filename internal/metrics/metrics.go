@@ -1,0 +1,213 @@
+// Package metrics computes and formats the quantities the paper reports:
+// speed-ups, prediction errors, and the measured-vs-predicted rows of
+// Table 1.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vppb/internal/vtime"
+)
+
+// Speedup is T1/TP.
+func Speedup(t1, tp vtime.Duration) float64 {
+	if tp <= 0 {
+		return 0
+	}
+	return float64(t1) / float64(tp)
+}
+
+// PredictionError is the paper's error definition:
+// ((real speed-up) - (predicted speed-up)) / (real speed-up).
+func PredictionError(real, predicted float64) float64 {
+	if real == 0 {
+		return 0
+	}
+	return (real - predicted) / real
+}
+
+// RunSet summarizes repeated measurements of one quantity: the paper
+// reports the middle value of five executions with the minimum and maximum
+// in parentheses.
+type RunSet struct {
+	Values []float64
+}
+
+// Add appends one measurement.
+func (r *RunSet) Add(v float64) { r.Values = append(r.Values, v) }
+
+// Median returns the middle value (mean of middles for even counts).
+func (r *RunSet) Median() float64 {
+	n := len(r.Values)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), r.Values...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Min returns the smallest measurement.
+func (r *RunSet) Min() float64 {
+	if len(r.Values) == 0 {
+		return 0
+	}
+	m := r.Values[0]
+	for _, v := range r.Values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest measurement.
+func (r *RunSet) Max() float64 {
+	if len(r.Values) == 0 {
+		return 0
+	}
+	m := r.Values[0]
+	for _, v := range r.Values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Cell is one application × processor-count entry of Table 1.
+type Cell struct {
+	CPUs      int
+	Real      RunSet  // speed-ups of repeated reference executions
+	Predicted float64 // speed-up predicted by the Simulator
+	// PaperReal and PaperPredicted are the values printed in the paper,
+	// for side-by-side comparison in the harness output.
+	PaperReal      float64
+	PaperPredicted float64
+}
+
+// Error returns the prediction error of the cell.
+func (c *Cell) Error() float64 {
+	return PredictionError(c.Real.Median(), c.Predicted)
+}
+
+// Row is one application of Table 1.
+type Row struct {
+	Application string
+	Cells       []Cell
+}
+
+// Table is the paper's Table 1: measured and predicted speed-ups.
+type Table struct {
+	Rows []Row
+}
+
+// Format renders the table in the paper's layout: per application, a Real
+// line with (min-max), a Pred line, and an Error line. When paper values
+// are present a "Paper" column pair is appended.
+func (t *Table) Format() string {
+	var b strings.Builder
+	cpuSet := map[int]bool{}
+	for _, r := range t.Rows {
+		for _, c := range r.Cells {
+			cpuSet[c.CPUs] = true
+		}
+	}
+	cpus := make([]int, 0, len(cpuSet))
+	for c := range cpuSet {
+		cpus = append(cpus, c)
+	}
+	sort.Ints(cpus)
+
+	fmt.Fprintf(&b, "%-14s %-6s", "Application", "")
+	for _, c := range cpus {
+		fmt.Fprintf(&b, " %16s", fmt.Sprintf("%d processors", c))
+	}
+	b.WriteByte('\n')
+	hr := strings.Repeat("-", 21+17*len(cpus))
+	fmt.Fprintln(&b, hr)
+	for _, row := range t.Rows {
+		cellFor := func(cpu int) *Cell {
+			for i := range row.Cells {
+				if row.Cells[i].CPUs == cpu {
+					return &row.Cells[i]
+				}
+			}
+			return nil
+		}
+		fmt.Fprintf(&b, "%-14s %-6s", row.Application, "Real")
+		for _, cpu := range cpus {
+			if c := cellFor(cpu); c != nil {
+				fmt.Fprintf(&b, " %16s", fmt.Sprintf("%.2f (%.2f-%.2f)", c.Real.Median(), c.Real.Min(), c.Real.Max()))
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-14s %-6s", "", "Pred")
+		for _, cpu := range cpus {
+			if c := cellFor(cpu); c != nil {
+				fmt.Fprintf(&b, " %16.2f", c.Predicted)
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-14s %-6s", "", "Error")
+		for _, cpu := range cpus {
+			if c := cellFor(cpu); c != nil {
+				fmt.Fprintf(&b, " %15.1f%%", 100*abs(c.Error()))
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+		if hasPaper(row) {
+			fmt.Fprintf(&b, "%-14s %-6s", "", "Paper")
+			for _, cpu := range cpus {
+				if c := cellFor(cpu); c != nil && c.PaperReal != 0 {
+					fmt.Fprintf(&b, " %16s", fmt.Sprintf("%.2f/%.2f", c.PaperReal, c.PaperPredicted))
+				} else {
+					fmt.Fprintf(&b, " %16s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintln(&b, hr)
+	}
+	return b.String()
+}
+
+func hasPaper(r Row) bool {
+	for _, c := range r.Cells {
+		if c.PaperReal != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MaxAbsError returns the largest absolute prediction error in the table.
+func (t *Table) MaxAbsError() float64 {
+	max := 0.0
+	for _, r := range t.Rows {
+		for i := range r.Cells {
+			if e := abs(r.Cells[i].Error()); e > max {
+				max = e
+			}
+		}
+	}
+	return max
+}

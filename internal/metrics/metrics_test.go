@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"vppb/internal/vtime"
+)
+
+func TestSpeedup(t *testing.T) {
+	if s := Speedup(100*vtime.Second, 25*vtime.Second); s != 4.0 {
+		t.Fatalf("Speedup = %v", s)
+	}
+	if s := Speedup(100, 0); s != 0 {
+		t.Fatalf("Speedup with zero TP = %v", s)
+	}
+}
+
+func TestPredictionError(t *testing.T) {
+	// Paper example: Ocean on 8 CPUs, real 6.65, predicted 6.24: 6.2%.
+	e := PredictionError(6.65, 6.24)
+	if e < 0.061 || e > 0.063 {
+		t.Fatalf("error = %v, want ~0.062", e)
+	}
+	if PredictionError(0, 5) != 0 {
+		t.Fatal("zero real must give zero error")
+	}
+	// Over-prediction gives a negative error.
+	if PredictionError(2.0, 2.2) >= 0 {
+		t.Fatal("over-prediction should be negative")
+	}
+}
+
+func TestRunSetStats(t *testing.T) {
+	var r RunSet
+	for _, v := range []float64{3.87, 3.91, 3.79, 3.95, 3.83} {
+		r.Add(v)
+	}
+	if m := r.Median(); m != 3.87 {
+		t.Fatalf("median = %v", m)
+	}
+	if r.Min() != 3.79 || r.Max() != 3.95 {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	var even RunSet
+	even.Add(1)
+	even.Add(3)
+	if even.Median() != 2 {
+		t.Fatalf("even median = %v", even.Median())
+	}
+	var empty RunSet
+	if empty.Median() != 0 || empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatal("empty RunSet stats must be zero")
+	}
+}
+
+func buildTable() *Table {
+	cell := func(cpus int, real []float64, pred, pReal, pPred float64) Cell {
+		c := Cell{CPUs: cpus, Predicted: pred, PaperReal: pReal, PaperPredicted: pPred}
+		for _, v := range real {
+			c.Real.Add(v)
+		}
+		return c
+	}
+	return &Table{Rows: []Row{
+		{Application: "Ocean", Cells: []Cell{
+			cell(2, []float64{1.97, 1.96, 1.98}, 1.96, 1.97, 1.96),
+			cell(8, []float64{6.65, 6.18, 6.82}, 6.24, 6.65, 6.24),
+		}},
+		{Application: "FFT", Cells: []Cell{
+			cell(2, []float64{1.55}, 1.55, 1.55, 1.55),
+			cell(8, []float64{2.62}, 2.61, 2.62, 2.61),
+		}},
+	}}
+}
+
+func TestTableFormat(t *testing.T) {
+	out := buildTable().Format()
+	for _, want := range []string{
+		"Ocean", "FFT", "Real", "Pred", "Error", "Paper",
+		"2 processors", "8 processors",
+		"6.65 (6.18-6.82)", "6.24", "6.2%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMaxAbsError(t *testing.T) {
+	tb := buildTable()
+	e := tb.MaxAbsError()
+	if e < 0.061 || e > 0.063 {
+		t.Fatalf("MaxAbsError = %v", e)
+	}
+}
+
+func TestCellError(t *testing.T) {
+	c := Cell{Predicted: 3.0}
+	c.Real.Add(4.0)
+	if e := c.Error(); e != 0.25 {
+		t.Fatalf("cell error = %v", e)
+	}
+}

@@ -1,0 +1,160 @@
+// Package posix is a POSIX-threads-flavoured veneer over the execution
+// substrate, backing the paper's claim that "the tool can easily be
+// adjusted to support, e.g., POSIX threads with only small modifications"
+// (section 6). Programs written against this API — pthread_create with
+// attributes, mutexes, condition variables, read-write locks and barriers
+// — record, predict and visualize exactly like Solaris-threads programs,
+// because every call maps onto the same probed substrate primitives.
+package posix
+
+import (
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// Thread aliases the substrate handle; pthread bodies receive the same
+// type so the two APIs can be mixed.
+type Thread = threadlib.Thread
+
+// ContentionScope mirrors pthread_attr_setscope.
+type ContentionScope int
+
+// Scopes.
+const (
+	// ScopeProcess multiplexes the thread over the LWP pool
+	// (PTHREAD_SCOPE_PROCESS, an unbound Solaris thread).
+	ScopeProcess ContentionScope = iota
+	// ScopeSystem gives the thread its own LWP (PTHREAD_SCOPE_SYSTEM, a
+	// bound Solaris thread, paying the paper's 6.7x/5.9x factors).
+	ScopeSystem
+)
+
+// Attr mirrors pthread_attr_t: the creation attributes this model honours.
+type Attr struct {
+	Name     string
+	Scope    ContentionScope
+	Priority int
+	// HasPriority marks Priority as explicitly set.
+	HasPriority bool
+}
+
+// Create starts a new thread like pthread_create(3C). A nil attr uses the
+// defaults (process scope, inherited priority).
+func Create(t *Thread, attr *Attr, body func(*Thread)) trace.ThreadID {
+	var opts []threadlib.CreateOption
+	if attr != nil {
+		if attr.Name != "" {
+			opts = append(opts, threadlib.WithName(attr.Name))
+		}
+		if attr.Scope == ScopeSystem {
+			opts = append(opts, threadlib.Bound())
+		}
+		if attr.HasPriority {
+			opts = append(opts, threadlib.WithPriority(attr.Priority))
+		}
+	}
+	return t.Create(body, opts...)
+}
+
+// Join waits for a thread like pthread_join(3C).
+func Join(t *Thread, id trace.ThreadID) { t.Join(id) }
+
+// Exit terminates the calling thread like pthread_exit(3C).
+func Exit(t *Thread) { t.Exit() }
+
+// YieldThread cedes the processor like sched_yield(3C).
+func YieldThread(t *Thread) { t.Yield() }
+
+// Mutex mirrors pthread_mutex_t.
+type Mutex struct{ m *threadlib.Mutex }
+
+// NewMutex initializes a mutex like pthread_mutex_init(3C).
+func NewMutex(p *threadlib.Process, name string) *Mutex {
+	return &Mutex{m: p.NewMutex(name)}
+}
+
+// Lock is pthread_mutex_lock.
+func (m *Mutex) Lock(t *Thread) { m.m.Lock(t) }
+
+// TryLock is pthread_mutex_trylock.
+func (m *Mutex) TryLock(t *Thread) bool { return m.m.TryLock(t) }
+
+// Unlock is pthread_mutex_unlock.
+func (m *Mutex) Unlock(t *Thread) { m.m.Unlock(t) }
+
+// Cond mirrors pthread_cond_t.
+type Cond struct{ c *threadlib.Cond }
+
+// NewCond initializes a condition variable like pthread_cond_init(3C).
+func NewCond(p *threadlib.Process, name string) *Cond {
+	return &Cond{c: p.NewCond(name)}
+}
+
+// Wait is pthread_cond_wait.
+func (c *Cond) Wait(t *Thread, m *Mutex) { c.c.Wait(t, m.m) }
+
+// TimedWait is pthread_cond_timedwait; it reports false on timeout.
+func (c *Cond) TimedWait(t *Thread, m *Mutex, d vtime.Duration) bool {
+	return c.c.TimedWait(t, m.m, d)
+}
+
+// Signal is pthread_cond_signal.
+func (c *Cond) Signal(t *Thread) { c.c.Signal(t) }
+
+// Broadcast is pthread_cond_broadcast.
+func (c *Cond) Broadcast(t *Thread) { c.c.Broadcast(t) }
+
+// RWLock mirrors pthread_rwlock_t.
+type RWLock struct{ l *threadlib.RWLock }
+
+// NewRWLock initializes a read-write lock like pthread_rwlock_init(3C).
+func NewRWLock(p *threadlib.Process, name string) *RWLock {
+	return &RWLock{l: p.NewRWLock(name)}
+}
+
+// RdLock is pthread_rwlock_rdlock.
+func (l *RWLock) RdLock(t *Thread) { l.l.RdLock(t) }
+
+// WrLock is pthread_rwlock_wrlock.
+func (l *RWLock) WrLock(t *Thread) { l.l.WrLock(t) }
+
+// Unlock is pthread_rwlock_unlock.
+func (l *RWLock) Unlock(t *Thread) { l.l.Unlock(t) }
+
+// Barrier mirrors pthread_barrier_t, built from a mutex and a condition
+// variable the way the Simulator's barrier fix expects (paper section 6).
+type Barrier struct {
+	m       *threadlib.Mutex
+	cv      *threadlib.Cond
+	parties int
+	arrived int
+	gen     int
+}
+
+// NewBarrier initializes a barrier for count parties like
+// pthread_barrier_init(3C).
+func NewBarrier(p *threadlib.Process, name string, count int) *Barrier {
+	return &Barrier{m: p.NewMutex(name + ".m"), cv: p.NewCond(name + ".cv"), parties: count}
+}
+
+// Wait blocks until count threads have arrived, like
+// pthread_barrier_wait(3C). It reports true for exactly one caller per
+// generation (the PTHREAD_BARRIER_SERIAL_THREAD return).
+func (b *Barrier) Wait(t *Thread) bool {
+	b.m.Lock(t)
+	gen := b.gen
+	b.arrived++
+	serial := b.arrived == b.parties
+	if serial {
+		b.arrived = 0
+		b.gen++
+		b.cv.Broadcast(t)
+	} else {
+		for gen == b.gen {
+			b.cv.Wait(t, b.m)
+		}
+	}
+	b.m.Unlock(t)
+	return serial
+}

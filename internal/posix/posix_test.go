@@ -1,0 +1,179 @@
+package posix
+
+import (
+	"testing"
+
+	"vppb/internal/core"
+	"vppb/internal/recorder"
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// pthreadProgram is a pthread-styled fork-join program with a barrier.
+func pthreadProgram(p *threadlib.Process) func(*Thread) {
+	m := NewMutex(p, "m")
+	cv := NewCond(p, "cv")
+	bar := NewBarrier(p, "bar", 4)
+	ready := 0
+	return func(t *Thread) {
+		var ids []trace.ThreadID
+		for i := 0; i < 4; i++ {
+			d := vtime.Duration(10*(i+1)) * vtime.Millisecond
+			ids = append(ids, Create(t, &Attr{Name: "pt"}, func(w *Thread) {
+				w.Compute(d)
+				bar.Wait(w)
+				m.Lock(w)
+				ready++
+				if ready == 4 {
+					cv.Broadcast(w)
+				} else {
+					for ready < 4 {
+						cv.Wait(w, m)
+					}
+				}
+				m.Unlock(w)
+				w.Compute(5 * vtime.Millisecond)
+			}))
+		}
+		for _, id := range ids {
+			Join(t, id)
+		}
+	}
+}
+
+func TestPthreadProgramRecordsAndPredicts(t *testing.T) {
+	log, _, err := recorder.Record(func(p *threadlib.Process) func(*threadlib.Thread) {
+		return pthreadProgram(p)
+	}, recorder.Options{Program: "pthread"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	uni, err := core.Simulate(log, core.Machine{CPUs: 1, LWPs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := core.Simulate(log, core.Machine{CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quad.Duration >= uni.Duration {
+		t.Fatalf("no parallel gain: %v vs %v", quad.Duration, uni.Duration)
+	}
+}
+
+func TestScopeSystemIsBound(t *testing.T) {
+	costs := threadlib.DefaultCosts()
+	costs.ContextSwitch = 0
+	costs.Migration = 0
+	run := func(scope ContentionScope) vtime.Duration {
+		p := threadlib.NewProcess(threadlib.Config{CPUs: 1, Costs: &costs})
+		s := p.NewSema("s", 1)
+		res, err := p.Run(func(t *threadlib.Thread) {
+			id := Create(t, &Attr{Scope: scope}, func(w *Thread) {
+				for i := 0; i < 50; i++ {
+					s.Wait(w)
+					s.Post(w)
+				}
+			})
+			Join(t, id)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Duration
+	}
+	if bound, unbound := run(ScopeSystem), run(ScopeProcess); bound <= unbound {
+		t.Fatalf("system scope (%v) should cost more than process scope (%v)", bound, unbound)
+	}
+}
+
+func TestAttrPriorityAndName(t *testing.T) {
+	p := threadlib.NewProcess(threadlib.Config{CPUs: 1})
+	var name string
+	_, err := p.Run(func(t *threadlib.Thread) {
+		id := Create(t, &Attr{Name: "prio-thread", Priority: 50, HasPriority: true}, func(w *Thread) {
+			name = w.Name()
+		})
+		Join(t, id)
+		_ = id
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "prio-thread" {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestBarrierSerialThread(t *testing.T) {
+	p := threadlib.NewProcess(threadlib.Config{CPUs: 2})
+	bar := NewBarrier(p, "b", 3)
+	serials := 0
+	_, err := p.Run(func(t *threadlib.Thread) {
+		var ids []trace.ThreadID
+		for i := 0; i < 3; i++ {
+			d := vtime.Duration(i+1) * vtime.Millisecond
+			ids = append(ids, Create(t, nil, func(w *Thread) {
+				w.Compute(d)
+				if bar.Wait(w) {
+					serials++
+				}
+			}))
+		}
+		for _, id := range ids {
+			Join(t, id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serials != 1 {
+		t.Fatalf("serial threads = %d, want exactly 1", serials)
+	}
+}
+
+func TestTryLockAndTimedWait(t *testing.T) {
+	p := threadlib.NewProcess(threadlib.Config{CPUs: 1})
+	m := NewMutex(p, "m")
+	cv := NewCond(p, "cv")
+	var try bool
+	var timed bool
+	_, err := p.Run(func(t *threadlib.Thread) {
+		try = m.TryLock(t)
+		timed = cv.TimedWait(t, m, 10*vtime.Millisecond)
+		m.Unlock(t)
+		YieldThread(t)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !try {
+		t.Fatal("trylock on a free mutex failed")
+	}
+	if timed {
+		t.Fatal("timed wait with no signaller should time out")
+	}
+}
+
+func TestRWLockVeneer(t *testing.T) {
+	p := threadlib.NewProcess(threadlib.Config{CPUs: 2})
+	l := NewRWLock(p, "rw")
+	_, err := p.Run(func(t *threadlib.Thread) {
+		a := Create(t, nil, func(w *Thread) {
+			l.RdLock(w)
+			w.Compute(vtime.Millisecond)
+			l.Unlock(w)
+		})
+		l.WrLock(t)
+		t.Compute(vtime.Millisecond)
+		l.Unlock(t)
+		Join(t, a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

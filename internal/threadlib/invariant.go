@@ -1,0 +1,97 @@
+package threadlib
+
+import "fmt"
+
+// debugChecks enables exhaustive internal invariant checking in tests.
+var debugChecks = false
+
+func (p *Process) checkPushKernelQ(l *klwp) {
+	if !debugChecks {
+		return
+	}
+	if l.thread == nil {
+		panic(fmt.Sprintf("pushKernelQ: LWP %d has no thread", l.id))
+	}
+	for _, q := range p.kernelQ {
+		if q == l {
+			panic(fmt.Sprintf("pushKernelQ: LWP %d already queued (thread T%d)", l.id, l.thread.id))
+		}
+	}
+	for _, q := range p.idleLWPs {
+		if q == l {
+			panic(fmt.Sprintf("pushKernelQ: LWP %d is in idle list", l.id))
+		}
+	}
+	if l.cpu != nil {
+		panic(fmt.Sprintf("pushKernelQ: LWP %d still on cpu %d", l.id, l.cpu.id))
+	}
+}
+
+// checkInvariants validates the cross-linking of CPUs, LWPs, threads and
+// queues. Called after every event when debugChecks is on.
+func (p *Process) checkInvariants(where string) {
+	if !debugChecks {
+		return
+	}
+	die := func(format string, args ...any) {
+		panic(fmt.Sprintf("invariant (%s): %s", where, fmt.Sprintf(format, args...)))
+	}
+	seen := map[*klwp]string{}
+	for _, c := range p.cpus {
+		if c.lwp == nil {
+			continue
+		}
+		if prev, dup := seen[c.lwp]; dup {
+			die("LWP %d both %s and on cpu %d", c.lwp.id, prev, c.id)
+		}
+		seen[c.lwp] = fmt.Sprintf("on cpu %d", c.id)
+		if c.lwp.cpu != c {
+			die("cpu %d runs LWP %d but LWP points elsewhere", c.id, c.lwp.id)
+		}
+		if c.lwp.thread == nil {
+			die("cpu %d runs threadless LWP %d", c.id, c.lwp.id)
+		}
+	}
+	for _, l := range p.kernelQ {
+		if prev, dup := seen[l]; dup {
+			die("LWP %d both %s and in kernelQ", l.id, prev)
+		}
+		seen[l] = "in kernelQ"
+		if l.thread == nil {
+			die("threadless LWP %d in kernelQ", l.id)
+		}
+		if l.cpu != nil {
+			die("queued LWP %d claims cpu %d", l.id, l.cpu.id)
+		}
+	}
+	for _, l := range p.idleLWPs {
+		if prev, dup := seen[l]; dup {
+			die("LWP %d both %s and idle", l.id, prev)
+		}
+		seen[l] = "idle"
+		if l.thread != nil {
+			die("idle LWP %d has thread T%d", l.id, l.thread.id)
+		}
+	}
+	for _, kt := range p.threads {
+		if kt.state == tZombie {
+			continue
+		}
+		if kt.lwp != nil && kt.lwp.thread != kt {
+			die("T%d points to LWP %d which runs another thread", kt.id, kt.lwp.id)
+		}
+		if kt.state == tRunning {
+			if kt.lwp == nil || kt.lwp.cpu == nil {
+				die("running T%d has no LWP/CPU", kt.id)
+			}
+		}
+	}
+	for _, kt := range p.userRunQ {
+		if kt.lwp != nil {
+			die("T%d in userRunQ but attached to LWP %d", kt.id, kt.lwp.id)
+		}
+		if kt.state != tRunnable {
+			die("T%d in userRunQ in wrong state")
+		}
+	}
+}

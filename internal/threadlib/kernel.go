@@ -1,0 +1,1065 @@
+package threadlib
+
+import (
+	"fmt"
+	"strings"
+
+	"vppb/internal/dispatch"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+const defaultUserPrio = 29
+
+// tstate is a thread's scheduling state.
+type tstate uint8
+
+const (
+	tRunnable tstate = iota
+	tRunning
+	tSleeping
+	tZombie
+)
+
+// opStage tracks where a thread is within its current request.
+type opStage uint8
+
+const (
+	stCompute opStage = iota // consuming the burst preceding the call
+	stCall                   // consuming the call's own cost
+	stWaiting                // suspended (or requeued) awaiting completion
+)
+
+// kthread is the kernel-side representation of a thread.
+type kthread struct {
+	id    trace.ThreadID
+	name  string
+	fname string
+	prio  int // user-level priority
+	bound bool
+	// boundCPU is -1 unless the thread is bound to one processor.
+	boundCPU int
+
+	ut    *Thread
+	grant chan response
+	start chan struct{}
+	began bool
+
+	state    tstate
+	stage    opStage
+	req      *request
+	resp     response
+	workLeft vtime.Duration
+	// extraWork folds probe costs into the next work phase.
+	extraWork vtime.Duration
+	beforeEv  trace.Event
+
+	lwp     *klwp
+	lastCPU int
+
+	waitObj    *object
+	joiners    []*kthread
+	timerEpoch uint64
+	// suspended marks a thr_suspend'ed thread; wakePending remembers a
+	// resource grant that arrived while suspended; parkedReady marks a
+	// thread that was runnable or running when suspended and needs no
+	// further wake.
+	suspended   bool
+	wakePending bool
+	parkedReady bool
+	// held is the stack of mutexes the thread currently owns; the top
+	// entry is stamped onto cond_broadcast events so the Simulator's
+	// barrier fix knows which mutex a blocked broadcaster must release.
+	held []*object
+
+	cpuTime vtime.Duration
+
+	// timeline bookkeeping
+	curState  trace.ThreadState
+	spanStart vtime.Time
+	curCPU    int32
+	curLWP    int32
+	inTL      bool
+}
+
+// klwp is a lightweight process: the schedulable kernel entity.
+type klwp struct {
+	id          int
+	prio        int // kernel (TS) priority
+	quantumLeft vtime.Duration
+	thread      *kthread
+	cpu         *kcpu
+	dedicated   bool // created for (and owned by) one bound thread
+	sliceEpoch  uint64
+	dead        bool
+}
+
+// kcpu is one simulated processor.
+type kcpu struct {
+	id            int
+	lwp           *klwp
+	epoch         uint64
+	overheadLeft  vtime.Duration
+	lastAccounted vtime.Time
+	lastLWP       *klwp
+}
+
+type kevKind uint8
+
+const (
+	evBurst kevKind = iota
+	evSlice
+	evTimer
+	evIODone
+)
+
+type kevent struct {
+	kind  kevKind
+	cpu   *kcpu
+	lwp   *klwp
+	kt    *kthread
+	obj   *object
+	epoch uint64
+}
+
+// Process is one run of a multithreaded program on the virtual machine.
+type Process struct {
+	cfg   Config
+	table *dispatch.Table
+	rng   *vtime.Rand
+
+	now    vtime.Time
+	events vtime.EventQueue[kevent]
+	reqCh  chan reqEnvelope
+
+	threads    []*kthread
+	byID       map[trace.ThreadID]*kthread
+	nextTID    trace.ThreadID
+	nextOID    trace.ObjectID
+	objects    []*object
+	cpus       []*kcpu
+	lwps       []*klwp
+	nextLWP    int
+	userRunQ   []*kthread // runnable unbound threads awaiting an LWP
+	kernelQ    []*klwp    // runnable LWPs awaiting a CPU
+	idleLWPs   []*klwp    // pool LWPs with no thread
+	zombies    []*kthread // exited, unreaped threads
+	anyJoiners []*kthread // threads blocked in wildcard thr_join
+
+	tb          *trace.TimelineBuilder
+	eventSeq    int64
+	liveThreads int
+	err         error
+	started     bool
+	finished    bool
+	opsNoTime   int
+}
+
+// NewProcess prepares a process with the given configuration. Synchronization
+// objects may be created immediately; Run starts the program.
+func NewProcess(cfg Config) *Process {
+	c := cfg.withDefaults()
+	p := &Process{
+		cfg:     c,
+		table:   dispatch.NewTable(),
+		rng:     vtime.NewRand(c.Seed),
+		reqCh:   make(chan reqEnvelope),
+		byID:    make(map[trace.ThreadID]*kthread),
+		nextTID: trace.FirstDynamicThread,
+		nextOID: 1,
+	}
+	for i := 0; i < c.CPUs; i++ {
+		p.cpus = append(p.cpus, &kcpu{id: i})
+	}
+	// A fixed LWP count is honoured exactly; the dynamic default starts
+	// with one LWP per CPU, standing in for Solaris's automatic pool
+	// growth on SIGWAITING.
+	pool := c.LWPs
+	if pool <= 0 {
+		pool = c.CPUs
+	}
+	for i := 0; i < pool; i++ {
+		p.idleLWPs = append(p.idleLWPs, p.newLWP(false))
+	}
+	if c.CollectTimeline {
+		p.tb = trace.NewTimelineBuilder()
+	}
+	return p
+}
+
+// Now returns the current virtual time.
+func (p *Process) Now() vtime.Time { return p.now }
+
+// Err returns the first error the run encountered.
+func (p *Process) Err() error { return p.err }
+
+func (p *Process) newLWP(dedicated bool) *klwp {
+	l := &klwp{
+		id:        p.nextLWP,
+		prio:      dispatch.DefaultPriority,
+		dedicated: dedicated,
+	}
+	l.quantumLeft = vtime.Duration(p.table.Quantum(l.prio))
+	p.nextLWP++
+	p.lwps = append(p.lwps, l)
+	return l
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Duration is the virtual execution time of the program.
+	Duration vtime.Duration
+	// Timeline describes the execution, when collection was enabled.
+	Timeline *trace.Timeline
+	// Threads is the total number of threads that ran.
+	Threads int
+	// Events is the number of probe events fired.
+	Events int64
+	// PerThreadCPU maps each thread to the CPU time it consumed.
+	PerThreadCPU map[trace.ThreadID]vtime.Duration
+}
+
+// Run executes main as the program's initial thread and drives the virtual
+// machine until every thread has exited. It returns the run summary, or an
+// error if the program deadlocked, livelocked, panicked or misused the
+// thread API.
+func (p *Process) Run(main func(*Thread)) (*Result, error) {
+	if p.started {
+		return nil, fmt.Errorf("threadlib: process already run")
+	}
+	if main == nil {
+		return nil, fmt.Errorf("threadlib: nil main function")
+	}
+	p.started = true
+
+	mt := p.newThread(trace.MainThread, "main", funcName(main), createOpts{boundCPU: -1, prio: defaultUserPrio})
+	p.fireMarker(mt, trace.CallStartCollect)
+	p.spawn(mt, main)
+	p.fetchInto(mt)
+	p.wakeThread(mt, false)
+	p.dispatchAll()
+	p.preemptPass()
+
+	for p.liveThreads > 0 && p.err == nil {
+		if p.events.Len() == 0 {
+			p.fail(p.deadlockError())
+			break
+		}
+		at, ev := p.events.Pop()
+		if at > p.now {
+			p.now = at
+			p.opsNoTime = 0
+		}
+		if p.cfg.MaxDuration > 0 && p.now > vtime.Time(0).Add(p.cfg.MaxDuration) {
+			p.fail(fmt.Errorf(
+				"threadlib: virtual time budget %v exceeded at %v: the program did not terminate (a spinning thread never yields its LWP under the Recorder, paper section 6)",
+				p.cfg.MaxDuration, p.now))
+			break
+		}
+		p.handle(ev)
+		p.checkInvariants("post-handle")
+		p.dispatchAll()
+		p.preemptPass()
+		p.checkInvariants("post-dispatch")
+	}
+	p.finished = true
+
+	if p.err != nil {
+		p.abortAll()
+		return nil, p.err
+	}
+
+	res := &Result{
+		Duration:     p.now.Sub(0),
+		Threads:      len(p.threads),
+		Events:       p.eventSeq,
+		PerThreadCPU: make(map[trace.ThreadID]vtime.Duration, len(p.threads)),
+	}
+	for _, kt := range p.threads {
+		res.PerThreadCPU[kt.id] = kt.cpuTime
+	}
+	if p.tb != nil {
+		res.Timeline = p.tb.Build(p.cfg.Program, p.cfg.CPUs, len(p.lwps), res.Duration)
+		for _, o := range p.objects {
+			res.Timeline.Objects = append(res.Timeline.Objects, trace.ObjectInfo{
+				ID: o.id, Kind: o.kind, Name: o.name, InitCount: int32(o.initCount),
+			})
+		}
+	}
+	return res, nil
+}
+
+func (p *Process) fail(err error) {
+	if p.err == nil && err != nil {
+		p.err = err
+	}
+}
+
+func (p *Process) deadlockError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "threadlib: deadlock at %v:", p.now)
+	for _, kt := range p.threads {
+		if kt.state == tZombie {
+			continue
+		}
+		obj := "?"
+		if kt.waitObj != nil {
+			obj = fmt.Sprintf("%s %q", kt.waitObj.kind, kt.waitObj.name)
+		} else if kt.req != nil && kt.req.kind == trace.CallThrJoin {
+			obj = fmt.Sprintf("thr_join T%d", kt.req.target)
+		}
+		fmt.Fprintf(&b, " T%d(%s) %s on %s at %s;", kt.id, kt.name, kt.state.String(), obj, kt.req.loc)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+func (s tstate) String() string {
+	switch s {
+	case tRunnable:
+		return "runnable"
+	case tRunning:
+		return "running"
+	case tSleeping:
+		return "sleeping"
+	case tZombie:
+		return "zombie"
+	}
+	return "?"
+}
+
+// abortAll releases every live goroutine with an abort response so the host
+// process does not leak them after a failed run.
+func (p *Process) abortAll() {
+	for _, kt := range p.threads {
+		if kt.state != tZombie {
+			kt.state = tZombie
+			kt.grant <- response{abort: true}
+		}
+	}
+}
+
+func (p *Process) newThread(id trace.ThreadID, name, fname string, co createOpts) *kthread {
+	if name == "" {
+		name = fmt.Sprintf("T%d", id)
+	}
+	kt := &kthread{
+		id:       id,
+		name:     name,
+		fname:    fname,
+		prio:     dispatch.Clamp(co.prio),
+		bound:    co.bound,
+		boundCPU: co.boundCPU,
+		grant:    make(chan response),
+		start:    make(chan struct{}),
+		state:    tSleeping,
+		stage:    stCompute,
+		lastCPU:  -1,
+		curState: trace.StateBlocked,
+		curCPU:   -1,
+		curLWP:   -1,
+	}
+	if kt.boundCPU >= p.cfg.CPUs {
+		kt.boundCPU = p.cfg.CPUs - 1
+	}
+	if kt.bound {
+		lwp := p.newLWP(true)
+		lwp.thread = kt
+		kt.lwp = lwp
+	}
+	p.threads = append(p.threads, kt)
+	p.byID[id] = kt
+	p.liveThreads++
+	info := p.threadInfo(kt)
+	if p.cfg.Hook != nil {
+		p.cfg.Hook.HandleThread(info)
+	}
+	if p.tb != nil {
+		p.tb.StartThread(info, p.now)
+		kt.spanStart = p.now
+		kt.inTL = true
+	}
+	return kt
+}
+
+func (p *Process) threadInfo(kt *kthread) trace.ThreadInfo {
+	return trace.ThreadInfo{
+		ID:       kt.id,
+		Name:     kt.name,
+		Func:     kt.fname,
+		Bound:    kt.bound,
+		BoundCPU: int32(kt.boundCPU),
+		Prio:     int32(kt.prio),
+	}
+}
+
+func (p *Process) allocTID() trace.ThreadID {
+	id := p.nextTID
+	p.nextTID++
+	return id
+}
+
+// spawn starts a thread body as a goroutine parked until its first fetch.
+func (p *Process) spawn(kt *kthread, body func(*Thread)) {
+	ut := &Thread{p: p, kt: kt}
+	kt.ut = ut
+	go func() {
+		<-kt.start
+		var exitErr error
+		aborted := false
+		func() {
+			defer func() {
+				switch r := recover(); r {
+				case nil, panicExit:
+				case panicAbort:
+					aborted = true
+				default:
+					exitErr = fmt.Errorf("threadlib: thread T%d (%s) panicked: %v", kt.id, kt.name, r)
+				}
+			}()
+			body(ut)
+		}()
+		if !aborted {
+			ut.exitCall(exitErr)
+		}
+	}()
+}
+
+// fetchInto resumes a thread's goroutine until its next library call and
+// installs the resulting request. The goroutine parks again before this
+// returns, so the kernel stays single-threaded.
+func (p *Process) fetchInto(kt *kthread) {
+	if !kt.began {
+		kt.began = true
+		close(kt.start)
+	} else {
+		panic("threadlib: fetchInto on running thread without grant")
+	}
+	p.receive(kt)
+}
+
+// grantAndFetch completes the thread's current call and obtains its next
+// request.
+func (p *Process) grantAndFetch(kt *kthread, resp response) {
+	kt.grant <- resp
+	p.receive(kt)
+}
+
+func (p *Process) receive(kt *kthread) {
+	env := <-p.reqCh
+	if env.kt != kt {
+		panic(fmt.Sprintf("threadlib: request from T%d while fetching from T%d", env.kt.id, kt.id))
+	}
+	req := env.req
+	if p.cfg.CacheBonus > 0 {
+		req.burst = vtime.Duration(float64(req.burst) * (1 - p.cfg.CacheBonus))
+	}
+	if p.cfg.JitterAmp > 0 {
+		req.burst = p.rng.Jitter(req.burst, p.cfg.JitterAmp)
+	}
+	kt.req = req
+	kt.resp = response{}
+	kt.stage = stCompute
+	kt.workLeft = req.burst + kt.extraWork
+	kt.extraWork = 0
+}
+
+// fireProbe emits one instrumentation event and charges its intrusion.
+func (p *Process) fireProbe(kt *kthread, ev trace.Event) trace.Event {
+	ev.Seq = p.eventSeq
+	p.eventSeq++
+	ev.Time = p.now
+	ev.Thread = kt.id
+	if p.cfg.Hook != nil {
+		p.cfg.Hook.HandleEvent(ev)
+		kt.extraWork += p.cfg.Costs.Probe
+	}
+	return ev
+}
+
+// fireMarker emits a collection marker (start_collect).
+func (p *Process) fireMarker(kt *kthread, call trace.Call) {
+	p.fireProbe(kt, trace.Event{Class: trace.Before, Call: call})
+}
+
+// beforeEvent builds the Before probe for the thread's pending request.
+func (p *Process) beforeEvent(kt *kthread) trace.Event {
+	req := kt.req
+	ev := trace.Event{Class: trace.Before, Call: req.kind, Loc: req.loc}
+	if req.obj != nil {
+		ev.Object = req.obj.id
+	}
+	if req.mutex != nil {
+		ev.Mutex = req.mutex.id
+	}
+	if req.kind == trace.CallCondBroadcast && len(kt.held) > 0 {
+		ev.Mutex = kt.held[len(kt.held)-1].id
+	}
+	switch req.kind {
+	case trace.CallThrCreate:
+		req.reservedTID = p.allocTID()
+		ev.Target = req.reservedTID
+	case trace.CallThrJoin:
+		ev.Target = req.target
+	case trace.CallCondTimedWait, trace.CallIO:
+		ev.Timeout = req.timeout
+	case trace.CallThrSetPrio:
+		ev.Prio = int32(req.prio)
+	case trace.CallThrSetConcurrency:
+		ev.Prio = int32(req.n)
+	case trace.CallThrSuspend, trace.CallThrContinue:
+		ev.Target = req.target
+	}
+	return ev
+}
+
+// afterEvent builds the After probe completing the thread's request.
+func (p *Process) afterEvent(kt *kthread) trace.Event {
+	req := kt.req
+	ev := trace.Event{Class: trace.After, Call: req.kind, Loc: req.loc}
+	if req.obj != nil {
+		ev.Object = req.obj.id
+	}
+	if req.mutex != nil {
+		ev.Mutex = req.mutex.id
+	}
+	if req.kind == trace.CallCondBroadcast && len(kt.held) > 0 {
+		ev.Mutex = kt.held[len(kt.held)-1].id
+	}
+	switch req.kind {
+	case trace.CallThrCreate:
+		ev.Target = req.reservedTID
+	case trace.CallThrJoin:
+		ev.Target = kt.resp.tid
+	case trace.CallMutexTryLock, trace.CallSemaTryWait, trace.CallCondTimedWait:
+		ev.OK = kt.resp.ok
+	case trace.CallThrSetPrio:
+		ev.Prio = int32(req.prio)
+	case trace.CallThrSetConcurrency:
+		ev.Prio = int32(req.n)
+	case trace.CallIO:
+		ev.Timeout = req.timeout
+	case trace.CallThrSuspend, trace.CallThrContinue:
+		ev.Target = req.target
+	}
+	return ev
+}
+
+// emitPlaced records a completed call in the timeline as a placed event
+// spanning Before..now. ev is the completed (After) view of the call; the
+// exit path passes the Before event since thr_exit has no After.
+func (p *Process) emitPlaced(kt *kthread, ev trace.Event) {
+	if p.tb == nil {
+		return
+	}
+	p.tb.AddEvent(kt.id, trace.PlacedEvent{
+		Event: ev,
+		CPU:   int32(kt.lastCPU),
+		Start: kt.beforeEv.Time,
+		End:   p.now,
+	})
+}
+
+// setTState updates timeline spans when a thread changes state.
+func (p *Process) setTState(kt *kthread, st trace.ThreadState, cpu, lwp int32) {
+	if p.tb != nil && kt.inTL {
+		p.tb.AddSpan(kt.id, trace.Span{
+			Start: kt.spanStart, End: p.now,
+			State: kt.curState, CPU: kt.curCPU, LWP: kt.curLWP,
+		})
+	}
+	kt.curState = st
+	kt.curCPU = cpu
+	kt.curLWP = lwp
+	kt.spanStart = p.now
+}
+
+func (p *Process) endTimeline(kt *kthread) {
+	if p.tb != nil && kt.inTL {
+		p.tb.AddSpan(kt.id, trace.Span{
+			Start: kt.spanStart, End: p.now,
+			State: kt.curState, CPU: kt.curCPU, LWP: kt.curLWP,
+		})
+		p.tb.EndThread(kt.id, p.now)
+		kt.inTL = false
+	}
+}
+
+// ---- run queues -----------------------------------------------------------
+
+// pushUserRunQ inserts an unbound runnable thread by descending user
+// priority, FIFO within a priority.
+func (p *Process) pushUserRunQ(kt *kthread) {
+	i := len(p.userRunQ)
+	for i > 0 && p.userRunQ[i-1].prio < kt.prio {
+		i--
+	}
+	p.userRunQ = append(p.userRunQ, nil)
+	copy(p.userRunQ[i+1:], p.userRunQ[i:])
+	p.userRunQ[i] = kt
+}
+
+func (p *Process) popUserRunQ() *kthread {
+	if len(p.userRunQ) == 0 {
+		return nil
+	}
+	kt := p.userRunQ[0]
+	p.userRunQ = p.userRunQ[1:]
+	return kt
+}
+
+func (p *Process) removeUserRunQ(kt *kthread) bool {
+	for i, c := range p.userRunQ {
+		if c == kt {
+			p.userRunQ = append(p.userRunQ[:i], p.userRunQ[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// pushKernelQ inserts a runnable LWP by descending kernel priority, FIFO
+// within a priority.
+func (p *Process) pushKernelQ(l *klwp) {
+	p.checkPushKernelQ(l)
+	i := len(p.kernelQ)
+	for i > 0 && p.kernelQ[i-1].prio < l.prio {
+		i--
+	}
+	p.kernelQ = append(p.kernelQ, nil)
+	copy(p.kernelQ[i+1:], p.kernelQ[i:])
+	p.kernelQ[i] = l
+}
+
+func (p *Process) lwpEligible(cpu *kcpu, l *klwp) bool {
+	kt := l.thread
+	return kt == nil || kt.boundCPU < 0 || kt.boundCPU == cpu.id
+}
+
+// takeKernelQ removes and returns the best LWP runnable on cpu.
+func (p *Process) takeKernelQ(cpu *kcpu) *klwp {
+	for i, l := range p.kernelQ {
+		if p.lwpEligible(cpu, l) {
+			p.kernelQ = append(p.kernelQ[:i], p.kernelQ[i+1:]...)
+			return l
+		}
+	}
+	return nil
+}
+
+// peekKernelQ reports the priority of the best LWP runnable on cpu, or
+// math.MinInt-ish if none.
+func (p *Process) peekKernelQ(cpu *kcpu) (int, bool) {
+	for _, l := range p.kernelQ {
+		if p.lwpEligible(cpu, l) {
+			return l.prio, true
+		}
+	}
+	return 0, false
+}
+
+// ---- scheduling -----------------------------------------------------------
+
+// wakeThread makes a sleeping (or brand new) thread runnable. boost applies
+// the dispatch table's sleep-return priority lift to the carrying LWP.
+func (p *Process) wakeThread(kt *kthread, boost bool) {
+	if kt.suspended {
+		// The grant arrived while the thread is thr_suspend'ed: deliver
+		// it when thr_continue runs.
+		kt.wakePending = true
+		return
+	}
+	kt.state = tRunnable
+	kt.waitObj = nil
+	if kt.bound {
+		l := kt.lwp
+		if boost {
+			l.prio = p.table.AfterSleepReturn(l.prio)
+		}
+		l.quantumLeft = vtime.Duration(p.table.Quantum(l.prio))
+		p.setTState(kt, trace.StateRunnable, -1, int32(l.id))
+		p.pushKernelQ(l)
+		return
+	}
+	if n := len(p.idleLWPs); n > 0 {
+		l := p.idleLWPs[0]
+		p.idleLWPs = p.idleLWPs[1:]
+		l.thread = kt
+		kt.lwp = l
+		if boost {
+			l.prio = p.table.AfterSleepReturn(l.prio)
+		}
+		l.quantumLeft = vtime.Duration(p.table.Quantum(l.prio))
+		p.setTState(kt, trace.StateRunnable, -1, int32(l.id))
+		p.pushKernelQ(l)
+		return
+	}
+	p.setTState(kt, trace.StateRunnable, -1, -1)
+	p.pushUserRunQ(kt)
+}
+
+// preemptPass runs after each event: as long as a queued LWP outranks a
+// running one on an eligible CPU, evict the victim and re-dispatch.
+// Preemption happens only at event boundaries, never in the middle of an
+// operation, so an exiting or blocking thread cannot be preempted while
+// the kernel is still mutating its state.
+func (p *Process) preemptPass() {
+	if p.cfg.NoPreemption {
+		return
+	}
+	for {
+		preempted := false
+		for _, l := range p.kernelQ {
+			var victim *kcpu
+			for _, c := range p.cpus {
+				if !p.lwpEligible(c, l) || c.lwp == nil {
+					continue
+				}
+				if c.lwp.prio < l.prio && (victim == nil || c.lwp.prio < victim.lwp.prio) {
+					victim = c
+				}
+			}
+			if victim != nil {
+				p.undispatch(victim)
+				p.dispatchAll()
+				preempted = true
+				break
+			}
+		}
+		if !preempted {
+			return
+		}
+	}
+}
+
+// undispatch removes the running LWP from a CPU, preserving its thread's
+// progress, and requeues it.
+func (p *Process) undispatch(cpu *kcpu) {
+	p.account(cpu)
+	l := cpu.lwp
+	if l == nil {
+		return
+	}
+	kt := l.thread
+	cpu.lwp = nil
+	cpu.epoch++
+	l.sliceEpoch++
+	l.cpu = nil
+	if kt != nil {
+		kt.state = tRunnable
+		p.setTState(kt, trace.StateRunnable, -1, int32(l.id))
+	}
+	p.pushKernelQ(l)
+}
+
+// dispatchAll assigns runnable LWPs to idle CPUs until no assignment is
+// possible.
+func (p *Process) dispatchAll() {
+	for {
+		progress := false
+		for _, cpu := range p.cpus {
+			if cpu.lwp != nil {
+				continue
+			}
+			l := p.takeKernelQ(cpu)
+			if l == nil {
+				continue
+			}
+			p.runOn(cpu, l)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// runOn places an LWP (and its thread) on a CPU and schedules its work.
+func (p *Process) runOn(cpu *kcpu, l *klwp) {
+	kt := l.thread
+	cpu.lwp = l
+	l.cpu = cpu
+	cpu.lastAccounted = p.now
+	cpu.overheadLeft = 0
+	if cpu.lastLWP != l {
+		cpu.overheadLeft += p.cfg.Costs.ContextSwitch
+	}
+	cpu.lastLWP = l
+	if kt.lastCPU >= 0 && kt.lastCPU != cpu.id {
+		cpu.overheadLeft += p.cfg.Costs.Migration
+	}
+	kt.lastCPU = cpu.id
+	kt.state = tRunning
+	p.setTState(kt, trace.StateRunning, int32(cpu.id), int32(l.id))
+
+	if kt.stage == stWaiting {
+		// The thread's call completed while it was off-CPU; finish it now
+		// that it is running again: After probe, grant, next request.
+		p.completeOp(kt)
+	}
+	p.scheduleBurst(cpu)
+	p.scheduleSlice(l)
+}
+
+// completeOp fires the After probe for the thread's suspended call, grants
+// the response, and fetches the next request.
+func (p *Process) completeOp(kt *kthread) {
+	ev := p.fireProbe(kt, p.afterEvent(kt))
+	p.emitPlaced(kt, ev)
+	p.grantAndFetch(kt, kt.resp)
+}
+
+func (p *Process) scheduleBurst(cpu *kcpu) {
+	cpu.epoch++
+	l := cpu.lwp
+	if l == nil || l.thread == nil {
+		return
+	}
+	at := p.now.Add(cpu.overheadLeft + l.thread.workLeft)
+	p.events.Push(at, kevent{kind: evBurst, cpu: cpu, epoch: cpu.epoch})
+}
+
+func (p *Process) scheduleSlice(l *klwp) {
+	l.sliceEpoch++
+	if l.quantumLeft <= 0 {
+		l.quantumLeft = vtime.Duration(p.table.Quantum(l.prio))
+	}
+	p.events.Push(p.now.Add(l.quantumLeft), kevent{kind: evSlice, lwp: l, epoch: l.sliceEpoch})
+}
+
+// account charges elapsed time on a CPU to its current overhead, thread
+// work and LWP quantum.
+func (p *Process) account(cpu *kcpu) {
+	dt := p.now.Sub(cpu.lastAccounted)
+	cpu.lastAccounted = p.now
+	l := cpu.lwp
+	if l == nil || dt <= 0 {
+		return
+	}
+	l.quantumLeft -= dt
+	if cpu.overheadLeft > 0 {
+		if dt <= cpu.overheadLeft {
+			cpu.overheadLeft -= dt
+			return
+		}
+		dt -= cpu.overheadLeft
+		cpu.overheadLeft = 0
+	}
+	kt := l.thread
+	if kt == nil {
+		return
+	}
+	if dt > kt.workLeft {
+		dt = kt.workLeft
+	}
+	kt.workLeft -= dt
+	kt.cpuTime += dt
+}
+
+// handle processes one kernel event.
+func (p *Process) handle(ev kevent) {
+	switch ev.kind {
+	case evBurst:
+		cpu := ev.cpu
+		if cpu.epoch != ev.epoch || cpu.lwp == nil {
+			return
+		}
+		p.account(cpu)
+		p.advanceThread(cpu)
+	case evSlice:
+		l := ev.lwp
+		if l.sliceEpoch != ev.epoch || l.cpu == nil || l.dead {
+			return
+		}
+		p.sliceExpired(l)
+	case evTimer:
+		kt := ev.kt
+		if kt.timerEpoch != ev.epoch {
+			return
+		}
+		p.timedWaitExpired(kt)
+	case evIODone:
+		p.ioDone(ev.obj, ev.epoch)
+	}
+}
+
+// sliceExpired applies the TS-table quantum-expiry rules to a running LWP
+// and round-robins it if an equal-or-higher-priority LWP is waiting.
+func (p *Process) sliceExpired(l *klwp) {
+	cpu := l.cpu
+	p.account(cpu)
+	l.prio = p.table.AfterQuantumExpiry(l.prio)
+	l.quantumLeft = vtime.Duration(p.table.Quantum(l.prio))
+	if prio, ok := p.peekKernelQ(cpu); ok && prio >= l.prio {
+		p.undispatch(cpu)
+		return
+	}
+	p.scheduleSlice(l)
+}
+
+// advanceThread drives a running thread through its request phases until it
+// schedules future work, blocks, or exits.
+func (p *Process) advanceThread(cpu *kcpu) {
+	for {
+		l := cpu.lwp
+		if l == nil {
+			return
+		}
+		kt := l.thread
+		if kt == nil {
+			return
+		}
+		if cpu.overheadLeft > 0 || kt.workLeft > 0 {
+			p.scheduleBurst(cpu)
+			return
+		}
+		p.guardProgress(kt)
+		if p.err != nil {
+			return
+		}
+		switch kt.stage {
+		case stCompute:
+			// The thread reached its library call.
+			kt.beforeEv = p.fireProbe(kt, p.beforeEvent(kt))
+			kt.stage = stCall
+			kt.workLeft = p.callCost(kt) + kt.extraWork
+			kt.extraWork = 0
+		case stCall:
+			blocked := p.applyOp(cpu, kt)
+			if blocked || p.err != nil {
+				return
+			}
+			// Completed on-CPU: After probe, grant, next request.
+			if kt.state == tZombie {
+				return
+			}
+			p.completeOp(kt)
+		case stWaiting:
+			// Placed back on CPU by runOn; nothing to do here.
+			return
+		}
+	}
+}
+
+func (p *Process) guardProgress(kt *kthread) {
+	p.opsNoTime++
+	if p.opsNoTime > p.cfg.MaxOpsWithoutProgress {
+		p.fail(fmt.Errorf(
+			"threadlib: livelock: %d operations without virtual time progress (thread T%d %s at %s); spinning programs cannot run under the Recorder (paper section 6)",
+			p.opsNoTime, kt.id, kt.name, kt.req.loc))
+	}
+}
+
+// callCost returns the CPU cost of the thread's pending call, applying the
+// bound-thread factors from the paper.
+func (p *Process) callCost(kt *kthread) vtime.Duration {
+	req := kt.req
+	base := p.cfg.Costs.call(req.kind)
+	switch {
+	case req.kind == trace.CallThrCreate && req.copts.bound:
+		return vtime.Duration(float64(base) * p.cfg.Costs.BoundCreateFactor)
+	case req.kind.Sync() && kt.bound:
+		return vtime.Duration(float64(base) * p.cfg.Costs.BoundSyncFactor)
+	}
+	return base
+}
+
+// blockThread suspends the running thread on obj (nil for joins) and hands
+// its LWP onward.
+func (p *Process) blockThread(cpu *kcpu, kt *kthread, obj *object) {
+	kt.state = tSleeping
+	kt.stage = stWaiting
+	kt.waitObj = obj
+	p.setTState(kt, trace.StateBlocked, -1, -1)
+	p.detachFromCPU(cpu, kt)
+}
+
+// detachFromCPU removes a no-longer-running thread from its CPU, letting
+// the LWP pick up further work when possible.
+func (p *Process) detachFromCPU(cpu *kcpu, kt *kthread) {
+	l := kt.lwp
+	cpu.epoch++
+	if kt.bound {
+		// The dedicated LWP sleeps with its thread.
+		l.sliceEpoch++
+		l.cpu = nil
+		cpu.lwp = nil
+		return
+	}
+	l.thread = nil
+	kt.lwp = nil
+	p.lwpNext(cpu, l)
+}
+
+// lwpNext gives a pool LWP its next unbound thread, or idles it.
+func (p *Process) lwpNext(cpu *kcpu, l *klwp) {
+	next := p.popUserRunQ()
+	if next == nil {
+		l.sliceEpoch++
+		l.cpu = nil
+		cpu.lwp = nil
+		p.idleLWPs = append(p.idleLWPs, l)
+		return
+	}
+	l.thread = next
+	next.lwp = l
+	cpu.overheadLeft += p.cfg.Costs.ContextSwitch
+	if next.lastCPU >= 0 && next.lastCPU != cpu.id {
+		cpu.overheadLeft += p.cfg.Costs.Migration
+	}
+	next.lastCPU = cpu.id
+	next.state = tRunning
+	p.setTState(next, trace.StateRunning, int32(cpu.id), int32(l.id))
+	if next.stage == stWaiting {
+		p.completeOp(next)
+	}
+	p.scheduleBurst(cpu)
+	p.scheduleSlice(l)
+}
+
+// exitThread finalizes a terminating thread: wake joiners, free the LWP,
+// account the zombie.
+func (p *Process) exitThread(cpu *kcpu, kt *kthread) {
+	req := kt.req
+	p.emitPlaced(kt, kt.beforeEv)
+	p.endTimeline(kt)
+	kt.state = tZombie
+	p.liveThreads--
+
+	joined := false
+	for _, j := range kt.joiners {
+		j.resp = response{tid: kt.id}
+		p.wakeThread(j, true)
+		joined = true
+	}
+	kt.joiners = nil
+	if !joined && len(p.anyJoiners) > 0 {
+		j := p.anyJoiners[0]
+		p.anyJoiners = p.anyJoiners[1:]
+		j.resp = response{tid: kt.id}
+		p.wakeThread(j, true)
+		joined = true
+	}
+	if !joined {
+		p.zombies = append(p.zombies, kt)
+	}
+
+	l := kt.lwp
+	kt.lwp = nil
+	cpu.epoch++
+	if l != nil {
+		if l.dedicated {
+			l.dead = true
+			l.sliceEpoch++
+			l.cpu = nil
+			cpu.lwp = nil
+		} else {
+			l.thread = nil
+			p.lwpNext(cpu, l)
+		}
+	}
+	if req.exitErr != nil {
+		p.fail(req.exitErr)
+	}
+	// Final grant: the goroutine finishes.
+	kt.grant <- response{}
+}

@@ -1,0 +1,12 @@
+package threadlib
+
+import (
+	"os"
+	"testing"
+)
+
+func TestMain(m *testing.M) {
+	// Run every test with exhaustive kernel invariant checking.
+	debugChecks = true
+	os.Exit(m.Run())
+}

@@ -1,0 +1,483 @@
+package threadlib
+
+import (
+	"strings"
+	"testing"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+func TestMutexExclusion(t *testing.T) {
+	p := NewProcess(Config{CPUs: 4, Costs: zeroCosts()})
+	m := p.NewMutex("m")
+	inside := 0
+	maxInside := 0
+	_, err := p.Run(func(th *Thread) {
+		var ids []trace.ThreadID
+		for i := 0; i < 8; i++ {
+			ids = append(ids, th.Create(func(w *Thread) {
+				for k := 0; k < 5; k++ {
+					m.Lock(w)
+					inside++
+					if inside > maxInside {
+						maxInside = inside
+					}
+					w.Compute(3 * vtime.Millisecond)
+					inside--
+					m.Unlock(w)
+					w.Compute(1 * vtime.Millisecond)
+				}
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxInside != 1 {
+		t.Fatalf("mutual exclusion violated: %d threads inside", maxInside)
+	}
+}
+
+func TestMutexCriticalSectionsSerialize(t *testing.T) {
+	// 4 threads each hold the lock 10ms on 4 CPUs: total >= 40ms.
+	p := NewProcess(Config{CPUs: 4, Costs: zeroCosts()})
+	m := p.NewMutex("m")
+	res, err := p.Run(func(th *Thread) {
+		var ids []trace.ThreadID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, th.Create(func(w *Thread) {
+				m.Lock(w)
+				w.Compute(10 * vtime.Millisecond)
+				m.Unlock(w)
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration < 40*vtime.Millisecond {
+		t.Fatalf("duration = %v, want >= 40ms (serialized)", res.Duration)
+	}
+}
+
+func TestMutexUnlockNotOwnerFails(t *testing.T) {
+	p := NewProcess(Config{CPUs: 1, Costs: zeroCosts()})
+	m := p.NewMutex("m")
+	_, err := p.Run(func(th *Thread) {
+		m.Unlock(th)
+	})
+	if err == nil || !strings.Contains(err.Error(), "unlocked mutex") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMutexRelockFails(t *testing.T) {
+	p := NewProcess(Config{CPUs: 1, Costs: zeroCosts()})
+	m := p.NewMutex("m")
+	_, err := p.Run(func(th *Thread) {
+		m.Lock(th)
+		m.Lock(th)
+	})
+	if err == nil || !strings.Contains(err.Error(), "relocked") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	p := NewProcess(Config{CPUs: 2, Costs: zeroCosts()})
+	m := p.NewMutex("m")
+	var first, second bool
+	_, err := p.Run(func(th *Thread) {
+		first = m.TryLock(th)
+		a := th.Create(func(w *Thread) {
+			second = m.TryLock(w)
+		})
+		th.Join(a)
+		m.Unlock(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first || second {
+		t.Fatalf("first=%v second=%v, want true/false", first, second)
+	}
+}
+
+func TestSemaphoreCounts(t *testing.T) {
+	p := NewProcess(Config{CPUs: 1, Costs: zeroCosts()})
+	s := p.NewSema("s", 2)
+	var got []bool
+	_, err := p.Run(func(th *Thread) {
+		got = append(got, s.TryWait(th)) // 2 -> 1
+		got = append(got, s.TryWait(th)) // 1 -> 0
+		got = append(got, s.TryWait(th)) // 0: false
+		s.Post(th)
+		got = append(got, s.TryWait(th)) // true again
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSemaphoreBlocksAndWakes(t *testing.T) {
+	p := NewProcess(Config{CPUs: 2, Costs: zeroCosts()})
+	s := p.NewSema("s", 0)
+	var consumed int
+	res, err := p.Run(func(th *Thread) {
+		c := th.Create(func(w *Thread) {
+			for i := 0; i < 3; i++ {
+				s.Wait(w)
+				consumed++
+			}
+		})
+		for i := 0; i < 3; i++ {
+			th.Compute(10 * vtime.Millisecond)
+			s.Post(th)
+		}
+		th.Join(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 3 {
+		t.Fatalf("consumed = %d", consumed)
+	}
+	if res.Duration != 30*vtime.Millisecond {
+		t.Fatalf("duration = %v", res.Duration)
+	}
+}
+
+func TestSemaPostWakesFIFO(t *testing.T) {
+	p := NewProcess(Config{CPUs: 1, Costs: zeroCosts()})
+	s := p.NewSema("s", 0)
+	var order []trace.ThreadID
+	_, err := p.Run(func(th *Thread) {
+		waiter := func(w *Thread) {
+			s.Wait(w)
+			order = append(order, w.ID())
+		}
+		a := th.Create(waiter)
+		b := th.Create(waiter)
+		th.Compute(vtime.Millisecond) // both park (uniprocessor: created order)
+		th.Yield()
+		s.Post(th)
+		s.Post(th)
+		th.Join(a)
+		th.Join(b)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 4 || order[1] != 5 {
+		t.Fatalf("wake order = %v, want [4 5]", order)
+	}
+}
+
+func TestCondWaitSignal(t *testing.T) {
+	p := NewProcess(Config{CPUs: 2, Costs: zeroCosts()})
+	m := p.NewMutex("m")
+	cv := p.NewCond("cv")
+	ready := false
+	_, err := p.Run(func(th *Thread) {
+		w := th.Create(func(w *Thread) {
+			m.Lock(w)
+			for !ready {
+				cv.Wait(w, m)
+			}
+			m.Unlock(w)
+		})
+		th.Compute(20 * vtime.Millisecond)
+		m.Lock(th)
+		ready = true
+		cv.Signal(th)
+		m.Unlock(th)
+		th.Join(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondBroadcastBarrier(t *testing.T) {
+	// The classic barrier of the paper's section 6, built on mutex+cond.
+	const n = 6
+	p := NewProcess(Config{CPUs: 3, Costs: zeroCosts()})
+	m := p.NewMutex("bar.m")
+	cv := p.NewCond("bar.cv")
+	arrived := 0
+	gen := 0
+	barrier := func(w *Thread) {
+		m.Lock(w)
+		g := gen
+		arrived++
+		if arrived == n {
+			arrived = 0
+			gen++
+			cv.Broadcast(w)
+		} else {
+			for g == gen {
+				cv.Wait(w, m)
+			}
+		}
+		m.Unlock(w)
+	}
+	var afterBarrier int
+	_, err := p.Run(func(th *Thread) {
+		var ids []trace.ThreadID
+		for i := 0; i < n; i++ {
+			d := vtime.Duration(i+1) * 5 * vtime.Millisecond
+			ids = append(ids, th.Create(func(w *Thread) {
+				w.Compute(d)
+				barrier(w)
+				afterBarrier++
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterBarrier != n {
+		t.Fatalf("afterBarrier = %d", afterBarrier)
+	}
+}
+
+func TestCondWaitWithoutMutexFails(t *testing.T) {
+	p := NewProcess(Config{CPUs: 1, Costs: zeroCosts()})
+	m := p.NewMutex("m")
+	cv := p.NewCond("cv")
+	_, err := p.Run(func(th *Thread) {
+		cv.Wait(th, m) // not holding m
+	})
+	if err == nil || !strings.Contains(err.Error(), "without holding") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCondTimedWaitTimeout(t *testing.T) {
+	p := NewProcess(Config{CPUs: 1, Costs: zeroCosts()})
+	m := p.NewMutex("m")
+	cv := p.NewCond("cv")
+	var ok bool
+	res, err := p.Run(func(th *Thread) {
+		m.Lock(th)
+		ok = cv.TimedWait(th, m, 50*vtime.Millisecond)
+		m.Unlock(th)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("TimedWait should report timeout")
+	}
+	if res.Duration != 50*vtime.Millisecond {
+		t.Fatalf("duration = %v, want 50ms", res.Duration)
+	}
+}
+
+func TestCondTimedWaitSignalledInTime(t *testing.T) {
+	p := NewProcess(Config{CPUs: 2, Costs: zeroCosts()})
+	m := p.NewMutex("m")
+	cv := p.NewCond("cv")
+	var ok bool
+	res, err := p.Run(func(th *Thread) {
+		w := th.Create(func(w *Thread) {
+			m.Lock(w)
+			ok = cv.TimedWait(w, m, 500*vtime.Millisecond)
+			m.Unlock(w)
+		})
+		th.Compute(20 * vtime.Millisecond)
+		m.Lock(th)
+		cv.Signal(th)
+		m.Unlock(th)
+		th.Join(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("TimedWait should report signalled")
+	}
+	if res.Duration != 20*vtime.Millisecond {
+		t.Fatalf("duration = %v, want 20ms", res.Duration)
+	}
+}
+
+func TestRWLockMultipleReaders(t *testing.T) {
+	p := NewProcess(Config{CPUs: 4, LWPs: 4, Costs: zeroCosts()})
+	l := p.NewRWLock("rw")
+	res, err := p.Run(func(th *Thread) {
+		var ids []trace.ThreadID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, th.Create(func(w *Thread) {
+				l.RdLock(w)
+				w.Compute(10 * vtime.Millisecond)
+				l.Unlock(w)
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Readers overlap: well under the 40ms serial bound.
+	if res.Duration >= 40*vtime.Millisecond {
+		t.Fatalf("readers serialized: %v", res.Duration)
+	}
+}
+
+func TestRWLockWriterExcludesReaders(t *testing.T) {
+	p := NewProcess(Config{CPUs: 4, Costs: zeroCosts()})
+	l := p.NewRWLock("rw")
+	inWrite := false
+	violated := false
+	_, err := p.Run(func(th *Thread) {
+		wr := th.Create(func(w *Thread) {
+			l.WrLock(w)
+			inWrite = true
+			w.Compute(10 * vtime.Millisecond)
+			inWrite = false
+			l.Unlock(w)
+		})
+		var ids []trace.ThreadID
+		for i := 0; i < 3; i++ {
+			ids = append(ids, th.Create(func(w *Thread) {
+				l.RdLock(w)
+				if inWrite {
+					violated = true
+				}
+				w.Compute(5 * vtime.Millisecond)
+				l.Unlock(w)
+			}))
+		}
+		th.Join(wr)
+		for _, id := range ids {
+			th.Join(id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("reader ran during write hold")
+	}
+}
+
+func TestRWLockUnlockNotHeldFails(t *testing.T) {
+	p := NewProcess(Config{CPUs: 1, Costs: zeroCosts()})
+	l := p.NewRWLock("rw")
+	_, err := p.Run(func(th *Thread) {
+		l.Unlock(th)
+	})
+	if err == nil || !strings.Contains(err.Error(), "does not hold") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRWLockWriterPreference(t *testing.T) {
+	p := NewProcess(Config{CPUs: 1, Costs: zeroCosts()})
+	l := p.NewRWLock("rw")
+	var order []string
+	_, err := p.Run(func(th *Thread) {
+		l.RdLock(th) // hold as reader so others queue
+		w := th.Create(func(w *Thread) {
+			l.WrLock(w)
+			order = append(order, "writer")
+			l.Unlock(w)
+		})
+		r := th.Create(func(w *Thread) {
+			l.RdLock(w)
+			order = append(order, "reader")
+			l.Unlock(w)
+		})
+		th.Compute(vtime.Millisecond)
+		th.Yield() // let both queue up
+		l.Unlock(th)
+		th.Join(w)
+		th.Join(r)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "writer" {
+		t.Fatalf("order = %v, want writer first", order)
+	}
+}
+
+func TestSetConcurrencyGrowsPool(t *testing.T) {
+	// Dynamic LWPs: 4 CPUs but the pool starts at CPUs; setconcurrency is
+	// honoured when LWPs == 0. With a fixed pool of 1 it is ignored.
+	p := NewProcess(Config{CPUs: 4, LWPs: 1, Costs: zeroCosts()})
+	res, err := p.Run(func(th *Thread) {
+		th.SetConcurrency(4)
+		var ids []trace.ThreadID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, th.Create(func(w *Thread) { w.Compute(40 * vtime.Millisecond) }))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed pool of 1: serialized in spite of the request.
+	if res.Duration != 160*vtime.Millisecond {
+		t.Fatalf("fixed pool: duration = %v, want 160ms", res.Duration)
+	}
+
+	p2 := NewProcess(Config{CPUs: 4, Costs: zeroCosts()})
+	res2, err := p2.Run(func(th *Thread) {
+		th.SetConcurrency(4)
+		var ids []trace.ThreadID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, th.Create(func(w *Thread) { w.Compute(40 * vtime.Millisecond) }))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Duration != 40*vtime.Millisecond {
+		t.Fatalf("dynamic pool: duration = %v, want 40ms", res2.Duration)
+	}
+}
+
+func TestFewerLWPsThanThreadsLimitsParallelism(t *testing.T) {
+	// 4 CPUs, 2 LWPs, 4 threads of 30ms each: only 2 run at a time.
+	p := NewProcess(Config{CPUs: 4, LWPs: 2, Costs: zeroCosts()})
+	res, err := p.Run(func(th *Thread) {
+		var ids []trace.ThreadID
+		for i := 0; i < 4; i++ {
+			ids = append(ids, th.Create(func(w *Thread) { w.Compute(30 * vtime.Millisecond) }))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration != 60*vtime.Millisecond {
+		t.Fatalf("duration = %v, want 60ms", res.Duration)
+	}
+}

@@ -1,0 +1,615 @@
+package threadlib
+
+import (
+	"fmt"
+
+	"vppb/internal/dispatch"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// object is the kernel-side state of a synchronization object. One struct
+// serves all kinds; only the fields for the object's kind are used.
+type object struct {
+	id   trace.ObjectID
+	kind trace.ObjectKind
+	name string
+	// initCount preserves a semaphore's creation-time count (count
+	// itself mutates during the run).
+	initCount int
+
+	// mutex
+	owner   *kthread
+	waiters []*kthread
+
+	// semaphore
+	count    int
+	swaiters []*kthread
+
+	// condition variable
+	cwaiters []*kthread
+
+	// readers/writer lock (writer preference)
+	readers  map[*kthread]bool
+	writer   *kthread
+	rwaiters []*kthread
+	wwaiters []*kthread
+
+	// I/O device (FIFO service)
+	ioCurrent *kthread
+	ioQueue   []ioRequest
+	ioEpoch   uint64
+}
+
+type ioRequest struct {
+	kt      *kthread
+	service vtime.Duration
+}
+
+// newObject registers a synchronization object. It is safe to call both
+// before Run and from thread bodies, because user code never runs
+// concurrently with the kernel.
+func (p *Process) newObject(kind trace.ObjectKind, name string, initCount int) *object {
+	o := &object{id: p.nextOID, kind: kind, name: name, count: initCount, initCount: initCount}
+	if kind == trace.ObjRWLock {
+		o.readers = make(map[*kthread]bool)
+	}
+	p.nextOID++
+	p.objects = append(p.objects, o)
+	if p.cfg.Hook != nil {
+		p.cfg.Hook.HandleObject(trace.ObjectInfo{ID: o.id, Kind: kind, Name: name, InitCount: int32(initCount)})
+	}
+	return o
+}
+
+// applyOp executes the semantic effect of the thread's pending call. It
+// returns true if the thread can no longer continue on this CPU (it
+// blocked, yielded, or exited).
+func (p *Process) applyOp(cpu *kcpu, kt *kthread) (blocked bool) {
+	req := kt.req
+	switch req.kind {
+	case trace.CallThrCreate:
+		return p.opCreate(kt)
+	case trace.CallThrExit:
+		p.exitThread(cpu, kt)
+		return true
+	case trace.CallThrJoin:
+		return p.opJoin(cpu, kt)
+	case trace.CallThrYield:
+		return p.opYield(cpu, kt)
+	case trace.CallThrSetPrio:
+		return p.opSetPrio(kt)
+	case trace.CallThrSetConcurrency:
+		return p.opSetConcurrency(kt)
+	case trace.CallMutexLock:
+		return p.opMutexLock(cpu, kt)
+	case trace.CallMutexTryLock:
+		kt.resp.ok = p.mutexTryAcquire(req.obj, kt)
+		return false
+	case trace.CallMutexUnlock:
+		return p.opMutexUnlock(kt)
+	case trace.CallSemaWait:
+		return p.opSemaWait(cpu, kt)
+	case trace.CallSemaTryWait:
+		if req.obj.count > 0 {
+			req.obj.count--
+			kt.resp.ok = true
+		}
+		return false
+	case trace.CallSemaPost:
+		p.semaPost(req.obj)
+		return false
+	case trace.CallCondWait, trace.CallCondTimedWait:
+		return p.opCondWait(cpu, kt)
+	case trace.CallCondSignal:
+		p.condSignal(req.obj, 1)
+		return false
+	case trace.CallCondBroadcast:
+		p.condSignal(req.obj, len(req.obj.cwaiters))
+		return false
+	case trace.CallRWRdLock:
+		return p.opRWRdLock(cpu, kt)
+	case trace.CallRWWrLock:
+		return p.opRWWrLock(cpu, kt)
+	case trace.CallRWUnlock:
+		return p.opRWUnlock(kt)
+	case trace.CallIO:
+		return p.opIO(cpu, kt)
+	case trace.CallThrSuspend:
+		return p.opSuspend(cpu, kt)
+	case trace.CallThrContinue:
+		return p.opContinue(kt)
+	}
+	p.fail(fmt.Errorf("threadlib: thread T%d issued unknown call %v", kt.id, req.kind))
+	return true
+}
+
+func (p *Process) opCreate(kt *kthread) bool {
+	req := kt.req
+	if req.body == nil {
+		p.fail(fmt.Errorf("threadlib: thr_create with nil body at %s", req.loc))
+		return true
+	}
+	co := req.copts
+	if co.name == "" {
+		co.name = fmt.Sprintf("T%d", req.reservedTID)
+	}
+	child := p.newThread(req.reservedTID, co.name, req.fname, co)
+	p.spawn(child, req.body)
+	p.fetchInto(child)
+	p.wakeThread(child, false)
+	kt.resp.tid = child.id
+	return false
+}
+
+func (p *Process) opJoin(cpu *kcpu, kt *kthread) bool {
+	req := kt.req
+	if req.target == kt.id {
+		p.fail(fmt.Errorf("threadlib: thread T%d joined itself at %s", kt.id, req.loc))
+		return true
+	}
+	if req.target == 0 {
+		// Wildcard join: reap the oldest zombie, or wait for any exit.
+		if len(p.zombies) > 0 {
+			z := p.zombies[0]
+			p.zombies = p.zombies[1:]
+			kt.resp.tid = z.id
+			return false
+		}
+		if p.liveThreads == 1 {
+			p.fail(fmt.Errorf("threadlib: thread T%d wildcard-joined with no other threads at %s", kt.id, req.loc))
+			return true
+		}
+		p.anyJoiners = append(p.anyJoiners, kt)
+		p.blockThread(cpu, kt, nil)
+		return true
+	}
+	target, ok := p.byID[req.target]
+	if !ok {
+		p.fail(fmt.Errorf("threadlib: thread T%d joined unknown thread T%d at %s", kt.id, req.target, req.loc))
+		return true
+	}
+	if target.state == tZombie {
+		for i, z := range p.zombies {
+			if z == target {
+				p.zombies = append(p.zombies[:i], p.zombies[i+1:]...)
+				break
+			}
+		}
+		kt.resp.tid = target.id
+		return false
+	}
+	target.joiners = append(target.joiners, kt)
+	p.blockThread(cpu, kt, nil)
+	return true
+}
+
+func (p *Process) opYield(cpu *kcpu, kt *kthread) bool {
+	// The thread surrenders its CPU but stays runnable: its LWP is
+	// requeued behind equal-priority LWPs, and the After probe fires when
+	// the thread is dispatched again.
+	l := kt.lwp
+	kt.stage = stWaiting
+	kt.state = tRunnable
+	p.setTState(kt, trace.StateRunnable, -1, int32(l.id))
+	cpu.epoch++
+	l.sliceEpoch++
+	l.cpu = nil
+	cpu.lwp = nil
+	p.pushKernelQ(l)
+	return true
+}
+
+func (p *Process) opSetPrio(kt *kthread) bool {
+	kt.prio = dispatch.Clamp(kt.req.prio)
+	if p.removeUserRunQ(kt) {
+		p.pushUserRunQ(kt)
+	}
+	return false
+}
+
+func (p *Process) opSetConcurrency(kt *kthread) bool {
+	if p.cfg.LWPs > 0 {
+		// A user-fixed LWP count overrides the program's request, exactly
+		// as in the Simulator (paper section 3.2).
+		return false
+	}
+	have := 0
+	for _, l := range p.lwps {
+		if !l.dedicated && !l.dead {
+			have++
+		}
+	}
+	for ; have < kt.req.n; have++ {
+		nl := p.newLWP(false)
+		if next := p.popUserRunQ(); next != nil {
+			nl.thread = next
+			next.lwp = nl
+			p.pushKernelQ(nl)
+		} else {
+			p.idleLWPs = append(p.idleLWPs, nl)
+		}
+	}
+	return false
+}
+
+// ---- mutex ----------------------------------------------------------------
+
+func (p *Process) mutexTryAcquire(o *object, kt *kthread) bool {
+	if o.owner == nil {
+		p.mutexAcquire(o, kt)
+		return true
+	}
+	return false
+}
+
+// mutexAcquire makes kt the owner and tracks it on the holder stack.
+func (p *Process) mutexAcquire(o *object, kt *kthread) {
+	o.owner = kt
+	kt.held = append(kt.held, o)
+}
+
+// mutexDrop removes o from kt's holder stack.
+func mutexDrop(kt *kthread, o *object) {
+	for i := len(kt.held) - 1; i >= 0; i-- {
+		if kt.held[i] == o {
+			kt.held = append(kt.held[:i], kt.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (p *Process) opMutexLock(cpu *kcpu, kt *kthread) bool {
+	o := kt.req.obj
+	if o.owner == kt {
+		p.fail(fmt.Errorf("threadlib: thread T%d relocked mutex %q it already holds at %s", kt.id, o.name, kt.req.loc))
+		return true
+	}
+	if p.mutexTryAcquire(o, kt) {
+		kt.resp.ok = true
+		return false
+	}
+	kt.resp.ok = true // will hold the lock when granted
+	o.waiters = append(o.waiters, kt)
+	p.blockThread(cpu, kt, o)
+	return true
+}
+
+func (p *Process) opMutexUnlock(kt *kthread) bool {
+	o := kt.req.obj
+	if o.owner != kt {
+		holder := "nobody"
+		if o.owner != nil {
+			holder = fmt.Sprintf("T%d", o.owner.id)
+		}
+		p.fail(fmt.Errorf("threadlib: thread T%d unlocked mutex %q held by %s at %s", kt.id, o.name, holder, kt.req.loc))
+		return true
+	}
+	p.mutexRelease(o)
+	return false
+}
+
+// mutexRelease hands the mutex to the next waiter, waking it.
+func (p *Process) mutexRelease(o *object) {
+	if o.owner != nil {
+		mutexDrop(o.owner, o)
+	}
+	o.owner = nil
+	if len(o.waiters) == 0 {
+		return
+	}
+	next := o.waiters[0]
+	o.waiters = o.waiters[1:]
+	p.mutexAcquire(o, next)
+	p.wakeThread(next, true)
+}
+
+// ---- semaphore ------------------------------------------------------------
+
+func (p *Process) opSemaWait(cpu *kcpu, kt *kthread) bool {
+	o := kt.req.obj
+	if o.count > 0 {
+		o.count--
+		kt.resp.ok = true
+		return false
+	}
+	kt.resp.ok = true
+	o.swaiters = append(o.swaiters, kt)
+	p.blockThread(cpu, kt, o)
+	return true
+}
+
+func (p *Process) semaPost(o *object) {
+	if len(o.swaiters) > 0 {
+		next := o.swaiters[0]
+		o.swaiters = o.swaiters[1:]
+		p.wakeThread(next, true)
+		return
+	}
+	o.count++
+}
+
+// ---- condition variable ---------------------------------------------------
+
+func (p *Process) opCondWait(cpu *kcpu, kt *kthread) bool {
+	req := kt.req
+	cv, m := req.obj, req.mutex
+	if m == nil || m.kind != trace.ObjMutex {
+		p.fail(fmt.Errorf("threadlib: cond_wait on %q without a mutex at %s", cv.name, req.loc))
+		return true
+	}
+	if m.owner != kt {
+		p.fail(fmt.Errorf("threadlib: thread T%d cond_wait on %q without holding mutex %q at %s", kt.id, cv.name, m.name, req.loc))
+		return true
+	}
+	// Atomically release the mutex and sleep on the condition.
+	p.mutexRelease(m)
+	cv.cwaiters = append(cv.cwaiters, kt)
+	kt.resp.ok = true
+	if req.kind == trace.CallCondTimedWait {
+		kt.timerEpoch++
+		p.events.Push(p.now.Add(req.timeout), kevent{kind: evTimer, kt: kt, epoch: kt.timerEpoch})
+	}
+	p.blockThread(cpu, kt, cv)
+	return true
+}
+
+// condSignal releases up to n waiters; each must re-acquire its mutex
+// before its cond_wait completes.
+func (p *Process) condSignal(cv *object, n int) {
+	for i := 0; i < n && len(cv.cwaiters) > 0; i++ {
+		kt := cv.cwaiters[0]
+		cv.cwaiters = cv.cwaiters[1:]
+		kt.timerEpoch++ // cancel any pending timeout
+		kt.resp.ok = true
+		p.reacquireMutex(kt)
+	}
+}
+
+// reacquireMutex completes the mutex re-acquisition half of cond_wait.
+func (p *Process) reacquireMutex(kt *kthread) {
+	m := kt.req.mutex
+	if m.owner == nil {
+		p.mutexAcquire(m, kt)
+		p.wakeThread(kt, true)
+		return
+	}
+	m.waiters = append(m.waiters, kt)
+	kt.waitObj = m
+}
+
+// timedWaitExpired handles a cond_timedwait timeout: leave the condition
+// queue and re-acquire the mutex with a false result.
+func (p *Process) timedWaitExpired(kt *kthread) {
+	cv := kt.req.obj
+	for i, w := range cv.cwaiters {
+		if w == kt {
+			cv.cwaiters = append(cv.cwaiters[:i], cv.cwaiters[i+1:]...)
+			break
+		}
+	}
+	kt.resp.ok = false
+	p.reacquireMutex(kt)
+}
+
+// ---- readers/writer lock --------------------------------------------------
+
+func (p *Process) opRWRdLock(cpu *kcpu, kt *kthread) bool {
+	o := kt.req.obj
+	if o.readers[kt] || o.writer == kt {
+		p.fail(fmt.Errorf("threadlib: thread T%d re-entered rwlock %q at %s", kt.id, o.name, kt.req.loc))
+		return true
+	}
+	// Writer preference: readers queue behind waiting writers.
+	if o.writer == nil && len(o.wwaiters) == 0 {
+		o.readers[kt] = true
+		kt.resp.ok = true
+		return false
+	}
+	kt.resp.ok = true
+	o.rwaiters = append(o.rwaiters, kt)
+	p.blockThread(cpu, kt, o)
+	return true
+}
+
+func (p *Process) opRWWrLock(cpu *kcpu, kt *kthread) bool {
+	o := kt.req.obj
+	if o.writer == kt || o.readers[kt] {
+		p.fail(fmt.Errorf("threadlib: thread T%d re-entered rwlock %q at %s", kt.id, o.name, kt.req.loc))
+		return true
+	}
+	if o.writer == nil && len(o.readers) == 0 {
+		o.writer = kt
+		kt.resp.ok = true
+		return false
+	}
+	kt.resp.ok = true
+	o.wwaiters = append(o.wwaiters, kt)
+	p.blockThread(cpu, kt, o)
+	return true
+}
+
+func (p *Process) opRWUnlock(kt *kthread) bool {
+	o := kt.req.obj
+	switch {
+	case o.writer == kt:
+		o.writer = nil
+	case o.readers[kt]:
+		delete(o.readers, kt)
+		if len(o.readers) > 0 {
+			return false
+		}
+	default:
+		p.fail(fmt.Errorf("threadlib: thread T%d unlocked rwlock %q it does not hold at %s", kt.id, o.name, kt.req.loc))
+		return true
+	}
+	p.rwRelease(o)
+	return false
+}
+
+// rwRelease grants the lock to waiting writers first, then to all waiting
+// readers.
+func (p *Process) rwRelease(o *object) {
+	if o.writer != nil || len(o.readers) > 0 {
+		return
+	}
+	if len(o.wwaiters) > 0 {
+		next := o.wwaiters[0]
+		o.wwaiters = o.wwaiters[1:]
+		o.writer = next
+		p.wakeThread(next, true)
+		return
+	}
+	for len(o.rwaiters) > 0 {
+		next := o.rwaiters[0]
+		o.rwaiters = o.rwaiters[1:]
+		o.readers[next] = true
+		p.wakeThread(next, true)
+	}
+}
+
+// ---- I/O device -------------------------------------------------------------
+
+func (p *Process) opIO(cpu *kcpu, kt *kthread) bool {
+	o := kt.req.obj
+	service := kt.req.timeout
+	if service < 0 {
+		service = 0
+	}
+	if o.ioCurrent == nil {
+		p.ioStart(o, kt, service)
+	} else {
+		o.ioQueue = append(o.ioQueue, ioRequest{kt: kt, service: service})
+	}
+	p.blockThread(cpu, kt, o)
+	return true
+}
+
+func (p *Process) ioStart(o *object, kt *kthread, service vtime.Duration) {
+	o.ioCurrent = kt
+	o.ioEpoch++
+	p.events.Push(p.now.Add(service), kevent{kind: evIODone, obj: o, epoch: o.ioEpoch})
+}
+
+// ioDone completes the device's current request and starts the next.
+func (p *Process) ioDone(o *object, epoch uint64) {
+	if o.ioEpoch != epoch || o.ioCurrent == nil {
+		return
+	}
+	done := o.ioCurrent
+	o.ioCurrent = nil
+	p.wakeThread(done, true)
+	if len(o.ioQueue) > 0 {
+		next := o.ioQueue[0]
+		o.ioQueue = o.ioQueue[1:]
+		p.ioStart(o, next.kt, next.service)
+	}
+}
+
+// ---- thr_suspend / thr_continue ----------------------------------------------
+
+func (p *Process) opSuspend(cpu *kcpu, kt *kthread) bool {
+	target, ok := p.byID[kt.req.target]
+	if !ok {
+		p.fail(fmt.Errorf("threadlib: thread T%d suspended unknown thread T%d at %s", kt.id, kt.req.target, kt.req.loc))
+		return true
+	}
+	if target.suspended || target.state == tZombie {
+		return false
+	}
+	target.suspended = true
+	switch {
+	case target == kt:
+		// Self-suspend: park until thr_continue from another thread.
+		kt.parkedReady = true
+		kt.stage = stWaiting
+		kt.state = tSleeping
+		p.setTState(kt, trace.StateBlocked, -1, -1)
+		p.detachFromCPU(cpu, kt)
+		return true
+	case target.state == tRunning:
+		// Strip the target off its CPU mid-burst; progress is preserved
+		// in workLeft and resumes at thr_continue.
+		tcpu := target.lwp.cpu
+		p.account(tcpu)
+		p.parkOffCPU(tcpu, target)
+		target.parkedReady = true
+		return false
+	case target.state == tRunnable:
+		p.unqueueRunnable(target)
+		target.parkedReady = true
+		target.state = tSleeping
+		p.setTState(target, trace.StateBlocked, -1, -1)
+		return false
+	default:
+		// Sleeping on an object: the wake, when it comes, is deferred by
+		// the wakePending flag.
+		return false
+	}
+}
+
+// parkOffCPU removes a running thread from its CPU without requeueing it.
+func (p *Process) parkOffCPU(cpu *kcpu, kt *kthread) {
+	kt.state = tSleeping
+	p.setTState(kt, trace.StateBlocked, -1, -1)
+	l := kt.lwp
+	cpu.epoch++
+	l.sliceEpoch++
+	l.cpu = nil
+	cpu.lwp = nil
+	if !kt.bound {
+		// The LWP moves on to other work; the thread reattaches at
+		// thr_continue.
+		l.thread = nil
+		kt.lwp = nil
+		p.lwpNext(cpu, l)
+	}
+}
+
+// unqueueRunnable removes a runnable thread from whichever queue holds it.
+func (p *Process) unqueueRunnable(kt *kthread) {
+	if kt.lwp == nil {
+		p.removeUserRunQ(kt)
+		return
+	}
+	l := kt.lwp
+	for i, q := range p.kernelQ {
+		if q == l {
+			p.kernelQ = append(p.kernelQ[:i], p.kernelQ[i+1:]...)
+			break
+		}
+	}
+	if !kt.bound {
+		// Free the pool LWP while its thread is suspended.
+		l.thread = nil
+		kt.lwp = nil
+		if next := p.popUserRunQ(); next != nil {
+			l.thread = next
+			next.lwp = l
+			p.pushKernelQ(l)
+		} else {
+			p.idleLWPs = append(p.idleLWPs, l)
+		}
+	}
+}
+
+func (p *Process) opContinue(kt *kthread) bool {
+	target, ok := p.byID[kt.req.target]
+	if !ok {
+		p.fail(fmt.Errorf("threadlib: thread T%d continued unknown thread T%d at %s", kt.id, kt.req.target, kt.req.loc))
+		return true
+	}
+	if !target.suspended || target.state == tZombie {
+		return false
+	}
+	target.suspended = false
+	switch {
+	case target.parkedReady:
+		target.parkedReady = false
+		p.wakeThread(target, true)
+	case target.wakePending:
+		target.wakePending = false
+		p.wakeThread(target, true)
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package threadlib
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// Property-based tests over randomly shaped fork-join programs: whatever
+// the shape, the kernel must conserve work, produce valid timelines, and
+// respect the machine's capacity bounds.
+
+// forkJoinCase is a randomly generated program shape: worker compute
+// durations in milliseconds (capped), plus machine size.
+type forkJoinCase struct {
+	WorkMS []uint8
+	CPUs   uint8
+	LWPs   uint8
+}
+
+func (c forkJoinCase) normalize() (works []vtime.Duration, cpus, lwps int) {
+	for i, w := range c.WorkMS {
+		if i >= 12 {
+			break
+		}
+		works = append(works, vtime.Duration(int(w)%50+1)*vtime.Millisecond)
+	}
+	if len(works) == 0 {
+		works = []vtime.Duration{5 * vtime.Millisecond}
+	}
+	cpus = int(c.CPUs)%8 + 1
+	lwps = int(c.LWPs) % 12 // 0 = dynamic
+	return works, cpus, lwps
+}
+
+func runForkJoin(t *testing.T, works []vtime.Duration, cpus, lwps int) *Result {
+	t.Helper()
+	p := NewProcess(Config{CPUs: cpus, LWPs: lwps, Costs: zeroCosts(), CollectTimeline: true})
+	res, err := p.Run(func(th *Thread) {
+		var ids []trace.ThreadID
+		for _, w := range works {
+			d := w
+			ids = append(ids, th.Create(func(x *Thread) { x.Compute(d) }))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	})
+	if err != nil {
+		t.Fatalf("works=%v cpus=%d lwps=%d: %v", works, cpus, lwps, err)
+	}
+	return res
+}
+
+// TestQuickWorkConservation: per-thread CPU time equals declared compute,
+// and the total run is bounded below by totalWork/capacity and above by
+// the serial sum.
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(c forkJoinCase) bool {
+		works, cpus, lwps := c.normalize()
+		res := runForkJoin(t, works, cpus, lwps)
+		var total vtime.Duration
+		for i, w := range works {
+			id := trace.ThreadID(4 + i)
+			if res.PerThreadCPU[id] != w {
+				t.Logf("thread %d cpu %v, want %v", id, res.PerThreadCPU[id], w)
+				return false
+			}
+			total += w
+		}
+		capacity := cpus
+		if lwps > 0 && lwps < cpus {
+			capacity = lwps
+		}
+		lower := vtime.Duration(int64(total) / int64(capacity))
+		if res.Duration < lower {
+			t.Logf("duration %v below capacity bound %v", res.Duration, lower)
+			return false
+		}
+		if res.Duration > total {
+			t.Logf("duration %v above serial sum %v", res.Duration, total)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTimelineValidity: every generated execution yields a
+// structurally valid timeline whose running time matches the CPU account.
+func TestQuickTimelineValidity(t *testing.T) {
+	f := func(c forkJoinCase) bool {
+		works, cpus, lwps := c.normalize()
+		res := runForkJoin(t, works, cpus, lwps)
+		if err := res.Timeline.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		for i := range works {
+			id := trace.ThreadID(4 + i)
+			th := res.Timeline.Thread(id)
+			if th == nil || th.WorkTime() != res.PerThreadCPU[id] {
+				t.Logf("thread %d timeline work mismatch", id)
+				return false
+			}
+		}
+		// Parallelism never exceeds the machine's capacity.
+		for _, pt := range res.Timeline.Parallelism() {
+			if pt.Running > cpus {
+				t.Logf("running %d > cpus %d", pt.Running, cpus)
+				return false
+			}
+			if lwps > 0 && pt.Running > lwps {
+				t.Logf("running %d > lwps %d", pt.Running, lwps)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeterminism: identical configurations give identical results.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(c forkJoinCase) bool {
+		works, cpus, lwps := c.normalize()
+		a := runForkJoin(t, works, cpus, lwps)
+		b := runForkJoin(t, works, cpus, lwps)
+		return a.Duration == b.Duration && a.Events == b.Events
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

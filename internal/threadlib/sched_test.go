@@ -1,0 +1,405 @@
+package threadlib
+
+import (
+	"testing"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// collector is a test Hook gathering the probe stream.
+type collector struct {
+	events  []trace.Event
+	threads []trace.ThreadInfo
+	objects []trace.ObjectInfo
+}
+
+func (c *collector) HandleEvent(ev trace.Event)       { c.events = append(c.events, ev) }
+func (c *collector) HandleThread(ti trace.ThreadInfo) { c.threads = append(c.threads, ti) }
+func (c *collector) HandleObject(oi trace.ObjectInfo) { c.objects = append(c.objects, oi) }
+
+func TestBoundThreadCostFactors(t *testing.T) {
+	costs := zeroCosts()
+	costs.Create = 100 * vtime.Microsecond
+	costs.Sema = 100 * vtime.Microsecond
+
+	// Unbound: create + 2 sema ops + exit.
+	p1 := NewProcess(Config{CPUs: 1, Costs: costs})
+	s1 := p1.NewSema("s", 1)
+	r1, err := p1.Run(func(th *Thread) {
+		a := th.Create(func(w *Thread) {
+			s1.Wait(w)
+			s1.Post(w)
+		})
+		th.Join(a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := NewProcess(Config{CPUs: 1, Costs: costs})
+	s2 := p2.NewSema("s", 1)
+	r2, err := p2.Run(func(th *Thread) {
+		a := th.Create(func(w *Thread) {
+			s2.Wait(w)
+			s2.Post(w)
+		}, Bound())
+		th.Join(a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bound create is 6.7x: +570us. Bound sync 5.9x: 2 ops * +490us.
+	wantDelta := vtime.Duration(570+2*490) * vtime.Microsecond
+	delta := r2.Duration - r1.Duration
+	if delta != wantDelta {
+		t.Fatalf("bound overhead = %v, want %v (unbound %v, bound %v)",
+			delta, wantDelta, r1.Duration, r2.Duration)
+	}
+}
+
+func TestBoundToCPURestrictsPlacement(t *testing.T) {
+	cfg := Config{CPUs: 2, Costs: zeroCosts(), CollectTimeline: true}
+	res := run(t, cfg, func(th *Thread) {
+		a := th.Create(func(w *Thread) { w.Compute(50 * vtime.Millisecond) }, BoundToCPU(1), WithName("pinned"))
+		th.Join(a)
+	})
+	tl := res.Timeline
+	if tl == nil {
+		t.Fatal("no timeline")
+	}
+	pinned := tl.Thread(4)
+	if pinned == nil {
+		t.Fatal("no thread 4")
+	}
+	for _, s := range pinned.Spans {
+		if s.State == trace.StateRunning && s.CPU != 1 {
+			t.Fatalf("pinned thread ran on CPU %d", s.CPU)
+		}
+	}
+	if pinned.WorkTime() != 50*vtime.Millisecond {
+		t.Fatalf("pinned work = %v", pinned.WorkTime())
+	}
+}
+
+func TestContextSwitchCostCharged(t *testing.T) {
+	costs := zeroCosts()
+	costs.ContextSwitch = 1 * vtime.Millisecond
+	// Two threads ping-pong via yields on one CPU: every switch costs 1ms.
+	res := run(t, Config{CPUs: 1, Costs: costs}, func(th *Thread) {
+		a := th.Create(func(w *Thread) { w.Compute(10 * vtime.Millisecond) })
+		th.Join(a)
+	})
+	// At least: switch to main, switch to worker; exact count depends on
+	// scheduling, but duration must exceed pure compute.
+	if res.Duration <= 10*vtime.Millisecond {
+		t.Fatalf("duration = %v, expected context-switch overhead", res.Duration)
+	}
+}
+
+func TestMigrationCostCharged(t *testing.T) {
+	costs := zeroCosts()
+	costs.Migration = 5 * vtime.Millisecond
+	// A worker bound to CPU 0 then main on CPU 0... instead: one worker,
+	// 2 CPUs; worker blocks on a semaphore posted by main, resuming on
+	// another CPU at least once in this schedule.
+	p := NewProcess(Config{CPUs: 2, Costs: costs, CollectTimeline: true})
+	s := p.NewSema("s", 0)
+	res, err := p.Run(func(th *Thread) {
+		a := th.Create(func(w *Thread) {
+			w.Compute(10 * vtime.Millisecond)
+			s.Wait(w)
+			w.Compute(10 * vtime.Millisecond)
+		})
+		th.Compute(30 * vtime.Millisecond)
+		s.Post(th)
+		th.Join(a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure compute lower bound without migration: 40ms for main path.
+	// The exact value matters less than reproducibility; just check the
+	// timeline validates and the run completed.
+	if err := res.Timeline.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHookReceivesProbeStream(t *testing.T) {
+	c := &collector{}
+	costs := zeroCosts()
+	p := NewProcess(Config{CPUs: 1, Costs: costs, Hook: c})
+	m := p.NewMutex("lock")
+	_, err := p.Run(func(th *Thread) {
+		th.Compute(5 * vtime.Millisecond)
+		a := th.Create(func(w *Thread) {
+			m.Lock(w)
+			w.Compute(1 * vtime.Millisecond)
+			m.Unlock(w)
+		}, WithName("thr_a"))
+		th.Join(a)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.objects) != 1 || c.objects[0].Name != "lock" || c.objects[0].Kind != trace.ObjMutex {
+		t.Fatalf("objects = %+v", c.objects)
+	}
+	if len(c.threads) != 2 {
+		t.Fatalf("threads = %+v", c.threads)
+	}
+	if c.threads[0].ID != 1 || c.threads[1].ID != 4 || c.threads[1].Name != "thr_a" {
+		t.Fatalf("threads = %+v", c.threads)
+	}
+
+	// Expected event sequence on the uniprocessor.
+	type short struct {
+		tid   trace.ThreadID
+		class trace.EventClass
+		call  trace.Call
+	}
+	var got []short
+	for _, ev := range c.events {
+		got = append(got, short{ev.Thread, ev.Class, ev.Call})
+	}
+	want := []short{
+		{1, trace.Before, trace.CallStartCollect},
+		{1, trace.Before, trace.CallThrCreate},
+		{1, trace.After, trace.CallThrCreate},
+		{1, trace.Before, trace.CallThrJoin},
+		{4, trace.Before, trace.CallMutexLock},
+		{4, trace.After, trace.CallMutexLock},
+		{4, trace.Before, trace.CallMutexUnlock},
+		{4, trace.After, trace.CallMutexUnlock},
+		{4, trace.Before, trace.CallThrExit},
+		{1, trace.After, trace.CallThrJoin},
+		{1, trace.Before, trace.CallThrExit},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events %+v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// Sequence numbers strictly increase and times never decrease.
+	for i := 1; i < len(c.events); i++ {
+		if c.events[i].Seq <= c.events[i-1].Seq {
+			t.Fatal("event seq not increasing")
+		}
+		if c.events[i].Time < c.events[i-1].Time {
+			t.Fatal("event time decreased")
+		}
+	}
+
+	// The create Before event carries the child's ID.
+	if c.events[1].Target != 4 {
+		t.Fatalf("create target = %d", c.events[1].Target)
+	}
+	// The join After event names the reaped thread.
+	if c.events[9].Target != 4 {
+		t.Fatalf("join-after target = %d", c.events[9].Target)
+	}
+	// Source locations recorded and point into this test file.
+	if c.events[1].Loc.IsZero() {
+		t.Fatal("create event has no location")
+	}
+}
+
+func TestProbeCostIntrusion(t *testing.T) {
+	prog := func(th *Thread) {
+		a := th.Create(func(w *Thread) {
+			for i := 0; i < 10; i++ {
+				w.Compute(1 * vtime.Millisecond)
+				w.Yield()
+			}
+		})
+		th.Join(a)
+	}
+	costs := zeroCosts()
+	costs.Probe = 100 * vtime.Microsecond
+	bare := run(t, Config{CPUs: 1, Costs: costs}, prog)
+
+	c := &collector{}
+	monitored := run(t, Config{CPUs: 1, Costs: costs, Hook: c}, prog)
+
+	wantOverhead := vtime.Duration(len(c.events)) * costs.Probe
+	if got := monitored.Duration - bare.Duration; got != wantOverhead {
+		t.Fatalf("intrusion = %v, want %v (%d events)", got, wantOverhead, len(c.events))
+	}
+}
+
+func TestTimelineValidatesAcrossConfigs(t *testing.T) {
+	prog := func(th *Thread) {
+		var ids []trace.ThreadID
+		for i := 0; i < 6; i++ {
+			n := vtime.Duration(i+1) * 3 * vtime.Millisecond
+			ids = append(ids, th.Create(func(w *Thread) {
+				w.Compute(n)
+				w.Yield()
+				w.Compute(n)
+			}))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	}
+	for _, cpus := range []int{1, 2, 3, 8} {
+		for _, lwps := range []int{0, 1, 2} {
+			cfg := Config{CPUs: cpus, LWPs: lwps, CollectTimeline: true, Costs: zeroCosts()}
+			res := run(t, cfg, prog)
+			if res.Timeline == nil {
+				t.Fatal("no timeline")
+			}
+			if err := res.Timeline.Validate(); err != nil {
+				t.Fatalf("cpus=%d lwps=%d: %v", cpus, lwps, err)
+			}
+			// Work conservation: per-thread running time equals compute.
+			for i := 0; i < 6; i++ {
+				id := trace.ThreadID(4 + i)
+				th := res.Timeline.Thread(id)
+				want := vtime.Duration(i+1) * 6 * vtime.Millisecond
+				if th.WorkTime() != want {
+					t.Fatalf("cpus=%d lwps=%d: thread %d work %v, want %v",
+						cpus, lwps, id, th.WorkTime(), want)
+				}
+			}
+		}
+	}
+}
+
+func TestMoreCPUsNeverSlower(t *testing.T) {
+	prog := func(th *Thread) {
+		var ids []trace.ThreadID
+		for i := 0; i < 8; i++ {
+			ids = append(ids, th.Create(func(w *Thread) { w.Compute(25 * vtime.Millisecond) }))
+		}
+		for _, id := range ids {
+			th.Join(id)
+		}
+	}
+	var prev vtime.Duration
+	for i, cpus := range []int{1, 2, 4, 8} {
+		res := run(t, Config{CPUs: cpus, Costs: zeroCosts()}, prog)
+		if i > 0 && res.Duration > prev {
+			t.Fatalf("%d CPUs slower than fewer: %v > %v", cpus, res.Duration, prev)
+		}
+		prev = res.Duration
+	}
+	// And 8 CPUs with 8 independent 25ms threads is 25ms.
+	res := run(t, Config{CPUs: 8, Costs: zeroCosts()}, prog)
+	if res.Duration != 25*vtime.Millisecond {
+		t.Fatalf("8-CPU duration = %v", res.Duration)
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	// A high-priority thread waking up preempts a low-priority one.
+	costs := zeroCosts()
+	p := NewProcess(Config{CPUs: 1, Costs: costs, CollectTimeline: true})
+	s := p.NewSema("s", 0)
+	res, err := p.Run(func(th *Thread) {
+		hi := th.Create(func(w *Thread) {
+			s.Wait(w) // sleeps; wakes with a priority boost
+			w.Compute(5 * vtime.Millisecond)
+		}, WithName("hi"), WithPriority(50))
+		lo := th.Create(func(w *Thread) {
+			w.Compute(100 * vtime.Millisecond)
+		}, WithName("lo"), WithPriority(1))
+		th.Compute(10 * vtime.Millisecond)
+		s.Post(th)
+		th.Join(hi)
+		th.Join(lo)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Timeline.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// hi must finish well before lo: find end of hi's last running span.
+	hi := res.Timeline.Thread(4)
+	lo := res.Timeline.Thread(5)
+	if hi.Ended >= lo.Ended {
+		t.Fatalf("hi ended %v, lo ended %v: no preemption benefit", hi.Ended, lo.Ended)
+	}
+}
+
+func TestTimeSlicingInterleavesEqualPriorities(t *testing.T) {
+	// Two CPU-hungry threads on their own LWPs sharing one CPU: kernel
+	// time slicing must interleave them rather than running one to
+	// completion. (With a single LWP unbound threads run to block, which
+	// is exactly why the paper's Recorder forbids spinning programs.)
+	res := run(t, Config{CPUs: 1, LWPs: 2, Costs: zeroCosts(), CollectTimeline: true}, func(th *Thread) {
+		a := th.Create(func(w *Thread) { w.Compute(1 * vtime.Second) })
+		b := th.Create(func(w *Thread) { w.Compute(1 * vtime.Second) })
+		th.Join(a)
+		th.Join(b)
+	})
+	if err := res.Timeline.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := res.Timeline.Thread(4)
+	b := res.Timeline.Thread(5)
+	runsA, runsB := 0, 0
+	for _, s := range a.Spans {
+		if s.State == trace.StateRunning {
+			runsA++
+		}
+	}
+	for _, s := range b.Spans {
+		if s.State == trace.StateRunning {
+			runsB++
+		}
+	}
+	if runsA < 2 || runsB < 2 {
+		t.Fatalf("no interleaving: a ran %d spans, b ran %d spans", runsA, runsB)
+	}
+	// Ends should be within a quantum or two of each other, not 1s apart.
+	gap := a.Ended.Sub(b.Ended)
+	if gap < 0 {
+		gap = -gap
+	}
+	if gap > 500*vtime.Millisecond {
+		t.Fatalf("slicing unfair: ends differ by %v", gap)
+	}
+}
+
+func TestSetPriorityAffectsQueueing(t *testing.T) {
+	// With one LWP, a higher-priority runnable thread is picked first
+	// from the user run queue.
+	p := NewProcess(Config{CPUs: 1, LWPs: 1, Costs: zeroCosts()})
+	s := p.NewSema("gate", 0)
+	var order []trace.ThreadID
+	_, err := p.Run(func(th *Thread) {
+		low := th.Create(func(w *Thread) {
+			s.Wait(w)
+			order = append(order, w.ID())
+		}, WithPriority(10))
+		high := th.Create(func(w *Thread) {
+			s.Wait(w)
+			order = append(order, w.ID())
+		}, WithPriority(40))
+		th.Compute(5 * vtime.Millisecond)
+		s.Post(th)
+		s.Post(th)
+		th.Join(low)
+		th.Join(high)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	// Both workers sit in the user run queue while main holds the only
+	// LWP; when main blocks in thr_join the queue hands the LWP to the
+	// higher-priority thread first.
+	if order[0] != 5 || order[1] != 4 {
+		t.Fatalf("order = %v, want [5 4] (priority order)", order)
+	}
+}

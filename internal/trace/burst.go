@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"fmt"
+
+	"vppb/internal/source"
+	"vppb/internal/vtime"
+)
+
+// This file reconstructs per-thread behaviour profiles from a uni-processor
+// recording — the input format of the Simulator. On a uni-processor with a
+// single LWP, threads run to the point of blocking, so the wall-clock gap
+// between two consecutive events in the global log is CPU time consumed by
+// the thread that generated the *later* event. The per-event probe cost
+// recorded in the header is deducted so the profile describes the
+// unmonitored program.
+
+// CallRecord is one thread-library call as the Simulator replays it: the
+// CPU burst the thread executes before reaching the call, the call's own
+// observed CPU cost, and the call's parameters and recorded outcome.
+type CallRecord struct {
+	// CPUBefore is user computation executed before the call.
+	CPUBefore vtime.Duration
+	// CallCPU is the library-call cost observed in the recording. For
+	// calls that blocked during the recording this is only the post-wake
+	// remnant; BlockedInLog distinguishes the two.
+	CallCPU vtime.Duration
+	// BlockedInLog reports whether other threads ran between this call's
+	// Before and After events in the recording.
+	BlockedInLog bool
+	Call         Call
+	Object       ObjectID
+	// MutexObject is the companion mutex of cond_wait / cond_timedwait.
+	MutexObject ObjectID
+	// Target: created thread for thr_create; join target for thr_join
+	// (0 = wildcard; JoinedTarget holds who was actually reaped).
+	Target       ThreadID
+	JoinedTarget ThreadID
+	OK           bool
+	Timeout      vtime.Duration
+	Prio         int32
+	Loc          source.Loc
+	// Released is, for cond_broadcast, the number of threads the
+	// broadcast released in the recording. The Simulator's barrier fix
+	// (paper section 6) blocks a simulated broadcast until that many
+	// threads have arrived at the condition.
+	Released int32
+	// Seq of the Before event, for mapping simulated events back to the
+	// recording.
+	Seq int64
+}
+
+// ThreadProfile is the per-thread behaviour profile: the thread's identity
+// and its chronological call records.
+type ThreadProfile struct {
+	Info  ThreadInfo
+	Calls []CallRecord
+}
+
+// TotalCPU sums the thread's computation and call costs.
+func (p *ThreadProfile) TotalCPU() vtime.Duration {
+	var total vtime.Duration
+	for _, c := range p.Calls {
+		total += c.CPUBefore + c.CallCPU
+	}
+	return total
+}
+
+// Profile is the complete behaviour profile of a recording.
+type Profile struct {
+	Log     *Log
+	Threads map[ThreadID]*ThreadProfile
+}
+
+// BuildProfile derives the per-thread behaviour profile from a
+// uni-processor recording. It fails if the recording was not taken on one
+// CPU with one LWP (the Recorder's restriction, paper section 6) or if the
+// log is structurally invalid.
+func BuildProfile(l *Log) (*Profile, error) {
+	if l.Header.CPUs != 1 || l.Header.LWPs != 1 {
+		return nil, fmt.Errorf("trace: profile requires a 1-CPU/1-LWP recording, log has %d CPUs, %d LWPs",
+			l.Header.CPUs, l.Header.LWPs)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Attribute each global inter-event gap to the generator of the later
+	// event, minus the probe cost of that event. Along the same walk,
+	// track who is waiting on each condition variable so that broadcasts
+	// can record how many threads they released (the barrier fix input).
+	type attributed struct {
+		ev       Event
+		cpu      vtime.Duration
+		released int32
+	}
+	perThread := make(map[ThreadID][]attributed)
+	condWaiters := make(map[ObjectID]map[ThreadID]bool)
+	waitingOn := make(map[ThreadID]ObjectID)
+	prev := l.Header.Start
+	for _, ev := range l.Events {
+		gap := ev.Time.Sub(prev) - l.Header.ProbeCost
+		if gap < 0 {
+			gap = 0
+		}
+		// A timed wait that expired, or an I/O completion, idled rather
+		// than computed.
+		if ev.Class == After && (ev.Call == CallIO || (ev.Call == CallCondTimedWait && !ev.OK)) {
+			gap = 0
+		}
+		a := attributed{ev: ev, cpu: gap}
+		switch {
+		case ev.Class == Before && (ev.Call == CallCondWait || ev.Call == CallCondTimedWait):
+			if condWaiters[ev.Object] == nil {
+				condWaiters[ev.Object] = make(map[ThreadID]bool)
+			}
+			condWaiters[ev.Object][ev.Thread] = true
+			waitingOn[ev.Thread] = ev.Object
+		case ev.Class == After && (ev.Call == CallCondWait || ev.Call == CallCondTimedWait):
+			delete(condWaiters[ev.Object], ev.Thread)
+			delete(waitingOn, ev.Thread)
+		case ev.Class == Before && ev.Call == CallCondBroadcast:
+			a.released = int32(len(condWaiters[ev.Object]))
+		}
+		perThread[ev.Thread] = append(perThread[ev.Thread], a)
+		prev = ev.Time
+	}
+
+	p := &Profile{Log: l, Threads: make(map[ThreadID]*ThreadProfile)}
+	for tid, evs := range perThread {
+		tp := &ThreadProfile{}
+		if info := l.Thread(tid); info != nil {
+			tp.Info = *info
+		} else {
+			tp.Info = ThreadInfo{ID: tid, BoundCPU: -1}
+		}
+		var pending *CallRecord
+		for i := 0; i < len(evs); i++ {
+			a := evs[i]
+			switch a.ev.Class {
+			case Before:
+				if pending != nil {
+					// Unpaired Before (thr_exit, collection markers):
+					// already flushed below, so a dangling record here is
+					// a bug in Validate.
+					return nil, fmt.Errorf("trace: thread %d: overlapping calls at seq %d", tid, a.ev.Seq)
+				}
+				rec := CallRecord{
+					CPUBefore:   a.cpu,
+					Call:        a.ev.Call,
+					Object:      a.ev.Object,
+					MutexObject: a.ev.Mutex,
+					Target:      a.ev.Target,
+					OK:          a.ev.OK,
+					Timeout:     a.ev.Timeout,
+					Prio:        a.ev.Prio,
+					Loc:         a.ev.Loc,
+					Released:    a.released,
+					Seq:         a.ev.Seq,
+				}
+				if pairsWithAfter(a.ev.Call) && a.ev.Call != CallThrExit {
+					pending = &rec
+				} else {
+					tp.Calls = append(tp.Calls, rec)
+				}
+			case After:
+				if pending == nil {
+					return nil, fmt.Errorf("trace: thread %d: AFTER without BEFORE at seq %d", tid, a.ev.Seq)
+				}
+				pending.CallCPU = a.cpu
+				// Did anyone else run in between? Compare global
+				// sequence numbers: an intervening event from another
+				// thread means the call blocked.
+				pending.BlockedInLog = a.ev.Seq != pending.Seq+1
+				if a.ev.Call == CallThrJoin {
+					pending.JoinedTarget = a.ev.Target
+				}
+				if a.ev.Call == CallCondTimedWait || a.ev.Call == CallMutexTryLock || a.ev.Call == CallSemaTryWait {
+					pending.OK = a.ev.OK
+				}
+				tp.Calls = append(tp.Calls, *pending)
+				pending = nil
+			}
+		}
+		if pending != nil {
+			return nil, fmt.Errorf("trace: thread %d: call %v never completed", tid, pending.Call)
+		}
+		p.Threads[tid] = tp
+	}
+	return p, nil
+}
+
+// TotalCPU sums computation over all threads — the unmonitored
+// uni-processor execution time implied by the profile.
+func (p *Profile) TotalCPU() vtime.Duration {
+	var total vtime.Duration
+	for _, tp := range p.Threads {
+		total += tp.TotalCPU()
+	}
+	return total
+}

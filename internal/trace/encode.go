@@ -1,0 +1,599 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"vppb/internal/source"
+	"vppb/internal/vtime"
+)
+
+// The text format is line-oriented and self-describing: a header block,
+// thread and object tables, then one "event" line per probe firing with
+// key=value fields. It is the durable interchange format between
+// vppb-record and vppb-sim. The binary format is a compact varint encoding
+// of the same data for large logs.
+
+const textMagic = "# vppb-log v1"
+
+// WriteText writes the log in the text format.
+func WriteText(w io.Writer, l *Log) error {
+	_, err := w.Write(AppendText(nil, l))
+	return err
+}
+
+// AppendText appends the text encoding of l to dst and returns the result.
+func AppendText(dst []byte, l *Log) []byte {
+	b := strings.Builder{}
+	fmt.Fprintln(&b, textMagic)
+	fmt.Fprintf(&b, "program %s\n", l.Header.Program)
+	fmt.Fprintf(&b, "cpus %d\n", l.Header.CPUs)
+	fmt.Fprintf(&b, "lwps %d\n", l.Header.LWPs)
+	fmt.Fprintf(&b, "probecost %d\n", l.Header.ProbeCost)
+	fmt.Fprintf(&b, "start %d\n", l.Header.Start)
+	fmt.Fprintf(&b, "end %d\n", l.Header.End)
+	for _, t := range l.Threads {
+		fmt.Fprintf(&b, "thread %d name=%s func=%s bound=%d boundcpu=%d prio=%d\n",
+			t.ID, quote(t.Name), quote(t.Func), b2i(t.Bound), t.BoundCPU, t.Prio)
+	}
+	for _, o := range l.Objects {
+		fmt.Fprintf(&b, "object %d kind=%s name=%s count=%d\n", o.ID, o.Kind, quote(o.Name), o.InitCount)
+	}
+	for _, ev := range l.Events {
+		fmt.Fprintf(&b, "event %d %d T%d %s %s", ev.Seq, ev.Time, ev.Thread, ev.Class, ev.Call)
+		if ev.Object != 0 {
+			fmt.Fprintf(&b, " obj=%d", ev.Object)
+		}
+		if ev.Mutex != 0 {
+			fmt.Fprintf(&b, " mutex=%d", ev.Mutex)
+		}
+		if ev.Target != 0 {
+			fmt.Fprintf(&b, " target=%d", ev.Target)
+		}
+		if ev.Call == CallMutexTryLock || ev.Call == CallSemaTryWait || ev.Call == CallCondTimedWait {
+			fmt.Fprintf(&b, " ok=%d", b2i(ev.OK))
+		}
+		if ev.Timeout != 0 {
+			fmt.Fprintf(&b, " timeout=%d", ev.Timeout)
+		}
+		if ev.Prio != 0 {
+			fmt.Fprintf(&b, " prio=%d", ev.Prio)
+		}
+		if !ev.Loc.IsZero() {
+			fmt.Fprintf(&b, " loc=%s:%d", quote(ev.Loc.File), ev.Loc.Line)
+		}
+		b.WriteByte('\n')
+	}
+	return append(dst, b.String()...)
+}
+
+func quote(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return strings.NewReplacer(" ", "\\s", "\n", "\\n").Replace(s)
+}
+
+func unquote(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return strings.NewReplacer("\\s", " ", "\\n", "\n").Replace(s)
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ReadText parses a text-format log.
+func ReadText(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	l := &Log{}
+	lineNo := 0
+	sawMagic := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !sawMagic {
+			if line != textMagic {
+				return nil, fmt.Errorf("trace: line %d: not a vppb log (missing %q)", lineNo, textMagic)
+			}
+			sawMagic = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if err := parseTextLine(l, fields); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if !sawMagic {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	return l, nil
+}
+
+func parseTextLine(l *Log, fields []string) error {
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case "program":
+		if len(fields) > 1 {
+			l.Header.Program = fields[1]
+		}
+	case "cpus", "lwps", "probecost", "start", "end":
+		if len(fields) < 2 {
+			return fmt.Errorf("%s: missing value", fields[0])
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%s: %w", fields[0], err)
+		}
+		switch fields[0] {
+		case "cpus":
+			l.Header.CPUs = int(v)
+		case "lwps":
+			l.Header.LWPs = int(v)
+		case "probecost":
+			l.Header.ProbeCost = vtime.Duration(v)
+		case "start":
+			l.Header.Start = vtime.Time(v)
+		case "end":
+			l.Header.End = vtime.Time(v)
+		}
+	case "thread":
+		return parseThreadLine(l, fields)
+	case "object":
+		return parseObjectLine(l, fields)
+	case "event":
+		return parseEventLine(l, fields)
+	default:
+		return fmt.Errorf("unknown record %q", fields[0])
+	}
+	return nil
+}
+
+func parseThreadLine(l *Log, fields []string) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("thread: missing id")
+	}
+	id, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return fmt.Errorf("thread id: %w", err)
+	}
+	t := ThreadInfo{ID: ThreadID(id), BoundCPU: -1}
+	for _, f := range fields[2:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("thread: malformed field %q", f)
+		}
+		switch k {
+		case "name":
+			t.Name = unquote(v)
+		case "func":
+			t.Func = unquote(v)
+		case "bound":
+			t.Bound = v == "1"
+		case "boundcpu":
+			n, err := strconv.ParseInt(v, 10, 32)
+			if err != nil {
+				return err
+			}
+			t.BoundCPU = int32(n)
+		case "prio":
+			n, err := strconv.ParseInt(v, 10, 32)
+			if err != nil {
+				return err
+			}
+			t.Prio = int32(n)
+		default:
+			return fmt.Errorf("thread: unknown field %q", k)
+		}
+	}
+	l.Threads = append(l.Threads, t)
+	return nil
+}
+
+func parseObjectLine(l *Log, fields []string) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("object: missing id")
+	}
+	id, err := strconv.ParseInt(fields[1], 10, 32)
+	if err != nil {
+		return fmt.Errorf("object id: %w", err)
+	}
+	o := ObjectInfo{ID: ObjectID(id)}
+	for _, f := range fields[2:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("object: malformed field %q", f)
+		}
+		switch k {
+		case "kind":
+			switch v {
+			case "mutex":
+				o.Kind = ObjMutex
+			case "sema":
+				o.Kind = ObjSema
+			case "cond":
+				o.Kind = ObjCond
+			case "rwlock":
+				o.Kind = ObjRWLock
+			case "device":
+				o.Kind = ObjDevice
+			default:
+				return fmt.Errorf("object: unknown kind %q", v)
+			}
+		case "name":
+			o.Name = unquote(v)
+		case "count":
+			n, err := strconv.ParseInt(v, 10, 32)
+			if err != nil {
+				return err
+			}
+			o.InitCount = int32(n)
+		default:
+			return fmt.Errorf("object: unknown field %q", k)
+		}
+	}
+	l.Objects = append(l.Objects, o)
+	return nil
+}
+
+func parseEventLine(l *Log, fields []string) error {
+	if len(fields) < 6 {
+		return fmt.Errorf("event: want at least 6 fields, got %d", len(fields))
+	}
+	var ev Event
+	seq, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("event seq: %w", err)
+	}
+	ev.Seq = seq
+	ts, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("event time: %w", err)
+	}
+	ev.Time = vtime.Time(ts)
+	if !strings.HasPrefix(fields[3], "T") {
+		return fmt.Errorf("event thread: %q", fields[3])
+	}
+	tid, err := strconv.ParseInt(fields[3][1:], 10, 32)
+	if err != nil {
+		return fmt.Errorf("event thread: %w", err)
+	}
+	ev.Thread = ThreadID(tid)
+	switch fields[4] {
+	case "before":
+		ev.Class = Before
+	case "after":
+		ev.Class = After
+	default:
+		return fmt.Errorf("event class: %q", fields[4])
+	}
+	call, err := ParseCall(fields[5])
+	if err != nil {
+		return err
+	}
+	ev.Call = call
+	for _, f := range fields[6:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("event: malformed field %q", f)
+		}
+		switch k {
+		case "obj":
+			n, err := strconv.ParseInt(v, 10, 32)
+			if err != nil {
+				return err
+			}
+			ev.Object = ObjectID(n)
+		case "mutex":
+			n, err := strconv.ParseInt(v, 10, 32)
+			if err != nil {
+				return err
+			}
+			ev.Mutex = ObjectID(n)
+		case "target":
+			n, err := strconv.ParseInt(v, 10, 32)
+			if err != nil {
+				return err
+			}
+			ev.Target = ThreadID(n)
+		case "ok":
+			ev.OK = v == "1"
+		case "timeout":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return err
+			}
+			ev.Timeout = vtime.Duration(n)
+		case "prio":
+			n, err := strconv.ParseInt(v, 10, 32)
+			if err != nil {
+				return err
+			}
+			ev.Prio = int32(n)
+		case "loc":
+			file, lineStr, ok := cutLast(v, ":")
+			if !ok {
+				return fmt.Errorf("event loc: %q", v)
+			}
+			n, err := strconv.Atoi(lineStr)
+			if err != nil {
+				return err
+			}
+			ev.Loc = source.Loc{File: unquote(file), Line: n}
+		default:
+			return fmt.Errorf("event: unknown field %q", k)
+		}
+	}
+	l.Events = append(l.Events, ev)
+	return nil
+}
+
+func cutLast(s, sep string) (before, after string, found bool) {
+	i := strings.LastIndex(s, sep)
+	if i < 0 {
+		return s, "", false
+	}
+	return s[:i], s[i+len(sep):], true
+}
+
+// FormatPaper renders the log the way the paper's figure 2 lists Recorder
+// output: one line per event, "<seconds> <thread> <call> <operand>", with
+// completions shown as "ok <call>".
+func FormatPaper(l *Log) string {
+	var b strings.Builder
+	for _, ev := range l.Events {
+		name := l.ThreadName(ev.Thread)
+		var what string
+		switch {
+		case ev.Class == After && ev.Call == CallThrJoin:
+			what = fmt.Sprintf("ok thr_join %s", l.ThreadName(ev.Target))
+		case ev.Class == After:
+			what = fmt.Sprintf("ok %s%s", ev.Call, operand(l, ev))
+		default:
+			what = fmt.Sprintf("%s%s", ev.Call, operand(l, ev))
+		}
+		fmt.Fprintf(&b, "%-8s %-4s %s\n", ev.Time, name, what)
+	}
+	return b.String()
+}
+
+func operand(l *Log, ev Event) string {
+	switch {
+	case ev.Call == CallThrCreate && ev.Target != 0:
+		return " " + l.ThreadName(ev.Target)
+	case ev.Call == CallThrJoin:
+		if ev.Target == 0 {
+			return " <any>"
+		}
+		return " " + l.ThreadName(ev.Target)
+	case ev.Object != 0:
+		return " " + l.ObjectName(ev.Object)
+	}
+	return ""
+}
+
+// Binary encoding: a magic header, varint-encoded tables and events with
+// time deltas. Strings are interned in a table to keep large logs small.
+
+var binMagic = []byte("VPPBLOG1")
+
+// AppendBinary appends the binary encoding of l to dst.
+func AppendBinary(dst []byte, l *Log) []byte {
+	e := binEncoder{buf: append(dst, binMagic...), strs: map[string]uint64{}}
+	e.str(l.Header.Program)
+	e.uv(uint64(l.Header.CPUs))
+	e.uv(uint64(l.Header.LWPs))
+	e.uv(uint64(l.Header.ProbeCost))
+	e.uv(uint64(l.Header.Start))
+	e.uv(uint64(l.Header.End))
+	e.uv(uint64(len(l.Threads)))
+	for _, t := range l.Threads {
+		e.sv(int64(t.ID))
+		e.str(t.Name)
+		e.str(t.Func)
+		e.uv(uint64(b2i(t.Bound)))
+		e.sv(int64(t.BoundCPU))
+		e.sv(int64(t.Prio))
+	}
+	e.uv(uint64(len(l.Objects)))
+	for _, o := range l.Objects {
+		e.sv(int64(o.ID))
+		e.uv(uint64(o.Kind))
+		e.str(o.Name)
+		e.sv(int64(o.InitCount))
+	}
+	e.uv(uint64(len(l.Events)))
+	var prevTime vtime.Time
+	var prevSeq int64
+	for _, ev := range l.Events {
+		e.sv(ev.Seq - prevSeq)
+		prevSeq = ev.Seq
+		e.sv(int64(ev.Time - prevTime))
+		prevTime = ev.Time
+		e.sv(int64(ev.Thread))
+		e.uv(uint64(ev.Class))
+		e.uv(uint64(ev.Call))
+		e.sv(int64(ev.Object))
+		e.sv(int64(ev.Mutex))
+		e.sv(int64(ev.Target))
+		e.uv(uint64(b2i(ev.OK)))
+		e.sv(int64(ev.Timeout))
+		e.sv(int64(ev.Prio))
+		e.str(ev.Loc.File)
+		e.sv(int64(ev.Loc.Line))
+	}
+	return e.buf
+}
+
+// DecodeBinary parses a binary-format log.
+func DecodeBinary(data []byte) (*Log, error) {
+	if len(data) < len(binMagic) || string(data[:len(binMagic)]) != string(binMagic) {
+		return nil, fmt.Errorf("trace: not a vppb binary log")
+	}
+	d := binDecoder{buf: data[len(binMagic):]}
+	l := &Log{}
+	l.Header.Program = d.str()
+	l.Header.CPUs = int(d.uv())
+	l.Header.LWPs = int(d.uv())
+	l.Header.ProbeCost = vtime.Duration(d.uv())
+	l.Header.Start = vtime.Time(d.uv())
+	l.Header.End = vtime.Time(d.uv())
+	nThreads := d.uv()
+	if d.err == nil && nThreads > uint64(len(data)) {
+		return nil, fmt.Errorf("trace: corrupt binary log: %d threads", nThreads)
+	}
+	for i := uint64(0); i < nThreads && d.err == nil; i++ {
+		var t ThreadInfo
+		t.ID = ThreadID(d.sv())
+		t.Name = d.str()
+		t.Func = d.str()
+		t.Bound = d.uv() == 1
+		t.BoundCPU = int32(d.sv())
+		t.Prio = int32(d.sv())
+		l.Threads = append(l.Threads, t)
+	}
+	nObjects := d.uv()
+	if d.err == nil && nObjects > uint64(len(data)) {
+		return nil, fmt.Errorf("trace: corrupt binary log: %d objects", nObjects)
+	}
+	for i := uint64(0); i < nObjects && d.err == nil; i++ {
+		var o ObjectInfo
+		o.ID = ObjectID(d.sv())
+		o.Kind = ObjectKind(d.uv())
+		o.Name = d.str()
+		o.InitCount = int32(d.sv())
+		l.Objects = append(l.Objects, o)
+	}
+	nEvents := d.uv()
+	if d.err == nil && nEvents > uint64(len(data)) {
+		return nil, fmt.Errorf("trace: corrupt binary log: %d events", nEvents)
+	}
+	var prevTime vtime.Time
+	var prevSeq int64
+	for i := uint64(0); i < nEvents && d.err == nil; i++ {
+		var ev Event
+		prevSeq += d.sv()
+		ev.Seq = prevSeq
+		prevTime += vtime.Time(d.sv())
+		ev.Time = prevTime
+		ev.Thread = ThreadID(d.sv())
+		ev.Class = EventClass(d.uv())
+		ev.Call = Call(d.uv())
+		ev.Object = ObjectID(d.sv())
+		ev.Mutex = ObjectID(d.sv())
+		ev.Target = ThreadID(d.sv())
+		ev.OK = d.uv() == 1
+		ev.Timeout = vtime.Duration(d.sv())
+		ev.Prio = int32(d.sv())
+		ev.Loc.File = d.str()
+		ev.Loc.Line = int(d.sv())
+		l.Events = append(l.Events, ev)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("trace: corrupt binary log: %w", d.err)
+	}
+	return l, nil
+}
+
+type binEncoder struct {
+	buf  []byte
+	strs map[string]uint64
+	next uint64
+}
+
+func (e *binEncoder) uv(v uint64) { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *binEncoder) sv(v int64)  { e.buf = binary.AppendVarint(e.buf, v) }
+
+// str writes a string with interning: the first occurrence writes the
+// bytes, later occurrences write only the table index.
+func (e *binEncoder) str(s string) {
+	if id, ok := e.strs[s]; ok {
+		e.uv(id + 1)
+		return
+	}
+	e.strs[s] = e.next
+	e.next++
+	e.uv(0)
+	e.uv(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+type binDecoder struct {
+	buf  []byte
+	strs []string
+	err  error
+}
+
+func (d *binDecoder) uv() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated uvarint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *binDecoder) sv() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf)
+	if n <= 0 {
+		d.err = fmt.Errorf("truncated varint")
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *binDecoder) str() string {
+	id := d.uv()
+	if d.err != nil {
+		return ""
+	}
+	if id > 0 {
+		idx := int(id - 1)
+		if idx >= len(d.strs) {
+			d.err = fmt.Errorf("string index %d out of range", idx)
+			return ""
+		}
+		return d.strs[idx]
+	}
+	n := d.uv()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.buf)) {
+		d.err = fmt.Errorf("truncated string")
+		return ""
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	d.strs = append(d.strs, s)
+	return s
+}

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"vppb/internal/vtime"
+)
+
+// Header carries recording-wide metadata.
+type Header struct {
+	// Program names the recorded workload.
+	Program string
+	// CPUs and LWPs describe the machine the recording ran on. VPPB
+	// recordings are made on a uni-processor with a single LWP.
+	CPUs int
+	LWPs int
+	// ProbeCost is the CPU time each probe firing added to the monitored
+	// execution. The Simulator deducts it so that predictions describe
+	// the unmonitored program.
+	ProbeCost vtime.Duration
+	// Start and End delimit the recording in virtual time.
+	Start, End vtime.Time
+}
+
+// Log is a full recording: header, thread and object tables, and the
+// globally ordered event list.
+type Log struct {
+	Header  Header
+	Threads []ThreadInfo
+	Objects []ObjectInfo
+	Events  []Event
+}
+
+// Duration returns the recorded execution time.
+func (l *Log) Duration() vtime.Duration {
+	return l.Header.End.Sub(l.Header.Start)
+}
+
+// Thread returns the ThreadInfo for id, or nil if unknown.
+func (l *Log) Thread(id ThreadID) *ThreadInfo {
+	for i := range l.Threads {
+		if l.Threads[i].ID == id {
+			return &l.Threads[i]
+		}
+	}
+	return nil
+}
+
+// Object returns the ObjectInfo for id, or nil if unknown.
+func (l *Log) Object(id ObjectID) *ObjectInfo {
+	for i := range l.Objects {
+		if l.Objects[i].ID == id {
+			return &l.Objects[i]
+		}
+	}
+	return nil
+}
+
+// ObjectName returns a printable name for an object ID.
+func (l *Log) ObjectName(id ObjectID) string {
+	if o := l.Object(id); o != nil && o.Name != "" {
+		return o.Name
+	}
+	return fmt.Sprintf("obj%d", id)
+}
+
+// ThreadName returns a printable name for a thread ID, "T<id>" if the
+// thread has no recorded name.
+func (l *Log) ThreadName(id ThreadID) string {
+	if t := l.Thread(id); t != nil && t.Name != "" {
+		return t.Name
+	}
+	return fmt.Sprintf("T%d", id)
+}
+
+// SortEvents restores the canonical global order (time, then recorded
+// sequence) after any external manipulation.
+func (l *Log) SortEvents() {
+	sort.SliceStable(l.Events, func(i, j int) bool {
+		if l.Events[i].Time != l.Events[j].Time {
+			return l.Events[i].Time < l.Events[j].Time
+		}
+		return l.Events[i].Seq < l.Events[j].Seq
+	})
+}
+
+// PerThread splits the global event list into one chronological list per
+// thread — the Simulator's first step (paper figure 4). Collection markers
+// (start_collect / end_collect) stay with the thread that generated them.
+func (l *Log) PerThread() map[ThreadID][]Event {
+	m := make(map[ThreadID][]Event)
+	for _, ev := range l.Events {
+		m[ev.Thread] = append(m[ev.Thread], ev)
+	}
+	return m
+}
+
+// ThreadIDs returns all thread IDs appearing in the log, ascending.
+func (l *Log) ThreadIDs() []ThreadID {
+	seen := make(map[ThreadID]bool)
+	var ids []ThreadID
+	for _, ev := range l.Events {
+		if !seen[ev.Thread] {
+			seen[ev.Thread] = true
+			ids = append(ids, ev.Thread)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Validate checks structural invariants of a recording: monotone
+// timestamps, events within the header's time range, known calls, matched
+// Before/After pairing per thread for blocking calls, and thread/object
+// references resolvable through the tables. It returns the first violation
+// found.
+func (l *Log) Validate() error {
+	var prev vtime.Time
+	prevSeq := int64(-1)
+	open := make(map[ThreadID]Call)
+	for i, ev := range l.Events {
+		if ev.Time < prev {
+			return fmt.Errorf("trace: event %d: time %v before previous %v", i, ev.Time, prev)
+		}
+		if ev.Time == prev && ev.Seq <= prevSeq && i > 0 {
+			return fmt.Errorf("trace: event %d: sequence not increasing at equal times", i)
+		}
+		prev, prevSeq = ev.Time, ev.Seq
+		if ev.Time < l.Header.Start || ev.Time > l.Header.End {
+			return fmt.Errorf("trace: event %d: time %v outside [%v, %v]", i, ev.Time, l.Header.Start, l.Header.End)
+		}
+		if ev.Call == CallNone || ev.Call >= numCalls {
+			return fmt.Errorf("trace: event %d: invalid call %d", i, uint8(ev.Call))
+		}
+		if ev.Thread != 0 && l.Thread(ev.Thread) == nil {
+			return fmt.Errorf("trace: event %d: unknown thread %d", i, ev.Thread)
+		}
+		if ev.Object != 0 && l.Object(ev.Object) == nil {
+			return fmt.Errorf("trace: event %d: unknown object %d", i, ev.Object)
+		}
+		if ev.Mutex != 0 && l.Object(ev.Mutex) == nil {
+			return fmt.Errorf("trace: event %d: unknown mutex %d", i, ev.Mutex)
+		}
+		switch ev.Class {
+		case Before:
+			if c, ok := open[ev.Thread]; ok {
+				return fmt.Errorf("trace: event %d: thread %d issued %v while %v still open", i, ev.Thread, ev.Call, c)
+			}
+			if pairsWithAfter(ev.Call) {
+				open[ev.Thread] = ev.Call
+			}
+		case After:
+			c, ok := open[ev.Thread]
+			if !ok {
+				return fmt.Errorf("trace: event %d: thread %d AFTER %v without BEFORE", i, ev.Thread, ev.Call)
+			}
+			if c != ev.Call {
+				return fmt.Errorf("trace: event %d: thread %d AFTER %v does not match open %v", i, ev.Thread, ev.Call, c)
+			}
+			delete(open, ev.Thread)
+		default:
+			return fmt.Errorf("trace: event %d: invalid class %d", i, ev.Class)
+		}
+	}
+	for tid, c := range open {
+		// thr_exit never completes for the exiting thread; everything else
+		// must have closed.
+		if c != CallThrExit {
+			return fmt.Errorf("trace: thread %d: %v never completed", tid, c)
+		}
+	}
+	return nil
+}
+
+// pairsWithAfter reports whether a Before event of call c is followed by a
+// matching After event in a recording.
+func pairsWithAfter(c Call) bool {
+	switch c {
+	case CallStartCollect, CallEndCollect:
+		return false
+	}
+	return true
+}
+
+// Stats summarises a recording, backing the paper's section 4 log
+// measurements (events per second, log sizes).
+type Stats struct {
+	Events        int
+	Threads       int
+	Objects       int
+	Duration      vtime.Duration
+	EventsPerSec  float64
+	TextBytes     int
+	BinaryBytes   int
+	ProbeOverhead vtime.Duration // total recording intrusion
+}
+
+// ComputeStats derives summary statistics for the log.
+func (l *Log) ComputeStats() Stats {
+	s := Stats{
+		Events:   len(l.Events),
+		Threads:  len(l.Threads),
+		Objects:  len(l.Objects),
+		Duration: l.Duration(),
+	}
+	if s.Duration > 0 {
+		s.EventsPerSec = float64(s.Events) / s.Duration.Seconds()
+	}
+	s.TextBytes = len(AppendText(nil, l))
+	s.BinaryBytes = len(AppendBinary(nil, l))
+	s.ProbeOverhead = vtime.Duration(int64(l.Header.ProbeCost) * int64(len(l.Events)))
+	return s
+}

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"vppb/internal/vtime"
+)
+
+// exampleLog builds a small valid recording resembling the paper's
+// figure 2: main creates thr_a and thr_b, joins both, exits.
+func exampleLog() *Log {
+	l := &Log{
+		Header: Header{Program: "example", CPUs: 1, LWPs: 1, Start: 0, End: 800_000},
+		Threads: []ThreadInfo{
+			{ID: 1, Name: "main", Func: "main", BoundCPU: -1, Prio: 29},
+			{ID: 4, Name: "thr_a", Func: "thread", BoundCPU: -1, Prio: 29},
+			{ID: 5, Name: "thr_b", Func: "thread", BoundCPU: -1, Prio: 29},
+		},
+	}
+	add := func(at int64, tid ThreadID, class EventClass, call Call, target ThreadID) {
+		l.Events = append(l.Events, Event{
+			Seq: int64(len(l.Events)), Time: vtime.Time(at), Thread: tid,
+			Class: class, Call: call, Target: target,
+		})
+	}
+	add(0, 1, Before, CallStartCollect, 0)
+	add(50_000, 1, Before, CallThrCreate, 4)
+	add(60_000, 1, After, CallThrCreate, 4)
+	add(100_000, 1, Before, CallThrCreate, 5)
+	add(110_000, 1, After, CallThrCreate, 5)
+	add(150_000, 1, Before, CallThrJoin, 4)
+	add(400_000, 4, Before, CallThrExit, 0)
+	add(530_000, 5, Before, CallThrExit, 0)
+	add(531_000, 1, After, CallThrJoin, 4)
+	add(540_000, 1, Before, CallThrJoin, 5)
+	add(541_000, 1, After, CallThrJoin, 5)
+	add(800_000, 1, Before, CallThrExit, 0)
+	return l
+}
+
+func TestLogDuration(t *testing.T) {
+	l := exampleLog()
+	if d := l.Duration(); d != 800*vtime.Millisecond {
+		t.Fatalf("Duration = %v", d)
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	l := exampleLog()
+	if l.Thread(4) == nil || l.Thread(4).Name != "thr_a" {
+		t.Fatal("Thread(4) lookup failed")
+	}
+	if l.Thread(99) != nil {
+		t.Fatal("Thread(99) should be nil")
+	}
+	if l.ThreadName(5) != "thr_b" {
+		t.Fatalf("ThreadName(5) = %q", l.ThreadName(5))
+	}
+	if l.ThreadName(99) != "T99" {
+		t.Fatalf("ThreadName(99) = %q", l.ThreadName(99))
+	}
+	if l.ObjectName(7) != "obj7" {
+		t.Fatalf("ObjectName fallback = %q", l.ObjectName(7))
+	}
+	l.Objects = append(l.Objects, ObjectInfo{ID: 7, Kind: ObjMutex, Name: "buflock"})
+	if l.ObjectName(7) != "buflock" {
+		t.Fatalf("ObjectName = %q", l.ObjectName(7))
+	}
+	if l.Object(7) == nil || l.Object(8) != nil {
+		t.Fatal("Object lookup wrong")
+	}
+}
+
+func TestValidateAcceptsExample(t *testing.T) {
+	if err := exampleLog().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsTimeRegression(t *testing.T) {
+	l := exampleLog()
+	l.Events[3].Time = 1 // earlier than event 2
+	if err := l.Validate(); err == nil {
+		t.Fatal("expected time regression error")
+	}
+}
+
+func TestValidateRejectsUnknownThread(t *testing.T) {
+	l := exampleLog()
+	l.Events[1].Thread = 42
+	if err := l.Validate(); err == nil {
+		t.Fatal("expected unknown thread error")
+	}
+}
+
+func TestValidateRejectsUnknownObject(t *testing.T) {
+	l := exampleLog()
+	l.Events[1].Object = 9
+	if err := l.Validate(); err == nil {
+		t.Fatal("expected unknown object error")
+	}
+}
+
+func TestValidateRejectsAfterWithoutBefore(t *testing.T) {
+	l := exampleLog()
+	l.Events = append(l.Events, Event{
+		Seq: 100, Time: 800_000, Thread: 4, Class: After, Call: CallMutexLock,
+	})
+	if err := l.Validate(); err == nil {
+		t.Fatal("expected AFTER-without-BEFORE error")
+	}
+}
+
+func TestValidateRejectsOverlappingCalls(t *testing.T) {
+	l := exampleLog()
+	// Thread 1 issues a new Before while thr_join is open.
+	extra := Event{Seq: 100, Time: 200_000, Thread: 1, Class: Before, Call: CallThrYield}
+	l.Events = append(l.Events[:6:6], append([]Event{extra}, l.Events[6:]...)...)
+	// Fix times ordering: extra at 200000 sits after event index 5 (150000).
+	for i := range l.Events {
+		l.Events[i].Seq = int64(i)
+	}
+	if err := l.Validate(); err == nil {
+		t.Fatal("expected overlapping-call error")
+	}
+}
+
+func TestValidateRejectsEventOutsideRange(t *testing.T) {
+	l := exampleLog()
+	l.Header.End = 100 // before most events
+	if err := l.Validate(); err == nil {
+		t.Fatal("expected out-of-range error")
+	}
+}
+
+func TestValidateAllowsOpenThrExit(t *testing.T) {
+	// thr_exit has no After for the exiting thread; Validate must accept.
+	l := exampleLog()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("open thr_exit rejected: %v", err)
+	}
+}
+
+func TestPerThreadSorting(t *testing.T) {
+	// Figure 4: the global log splits into one list per thread, preserving
+	// chronological order.
+	l := exampleLog()
+	m := l.PerThread()
+	if len(m) != 3 {
+		t.Fatalf("got %d thread lists, want 3", len(m))
+	}
+	if len(m[1]) != 10 || len(m[4]) != 1 || len(m[5]) != 1 {
+		t.Fatalf("list sizes: T1=%d T4=%d T5=%d", len(m[1]), len(m[4]), len(m[5]))
+	}
+	for tid, evs := range m {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time < evs[i-1].Time {
+				t.Fatalf("thread %d list out of order", tid)
+			}
+			if evs[i].Thread != tid {
+				t.Fatalf("thread %d list contains event of thread %d", tid, evs[i].Thread)
+			}
+		}
+	}
+}
+
+func TestThreadIDs(t *testing.T) {
+	l := exampleLog()
+	ids := l.ThreadIDs()
+	want := []ThreadID{1, 4, 5}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestSortEvents(t *testing.T) {
+	l := exampleLog()
+	// Shuffle deterministically by reversing.
+	for i, j := 0, len(l.Events)-1; i < j; i, j = i+1, j-1 {
+		l.Events[i], l.Events[j] = l.Events[j], l.Events[i]
+	}
+	l.SortEvents()
+	for i := 1; i < len(l.Events); i++ {
+		if l.Events[i].Time < l.Events[i-1].Time {
+			t.Fatal("SortEvents did not restore order")
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("after SortEvents: %v", err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	l := exampleLog()
+	l.Header.ProbeCost = 20
+	s := l.ComputeStats()
+	if s.Events != len(l.Events) {
+		t.Fatalf("Events = %d", s.Events)
+	}
+	if s.Threads != 3 {
+		t.Fatalf("Threads = %d", s.Threads)
+	}
+	if s.Duration != 800*vtime.Millisecond {
+		t.Fatalf("Duration = %v", s.Duration)
+	}
+	wantEPS := float64(len(l.Events)) / 0.8
+	if s.EventsPerSec < wantEPS-0.01 || s.EventsPerSec > wantEPS+0.01 {
+		t.Fatalf("EventsPerSec = %v, want %v", s.EventsPerSec, wantEPS)
+	}
+	if s.TextBytes <= 0 || s.BinaryBytes <= 0 {
+		t.Fatal("encoded sizes must be positive")
+	}
+	if s.BinaryBytes >= s.TextBytes {
+		t.Fatalf("binary (%d) should be smaller than text (%d)", s.BinaryBytes, s.TextBytes)
+	}
+	if s.ProbeOverhead != vtime.Duration(20*len(l.Events)) {
+		t.Fatalf("ProbeOverhead = %v", s.ProbeOverhead)
+	}
+}
+
+func TestFormatPaperStyle(t *testing.T) {
+	l := exampleLog()
+	out := FormatPaper(l)
+	for _, want := range []string{
+		"start_collect",
+		"thr_create thr_a",
+		"thr_create thr_b",
+		"thr_join thr_a",
+		"ok thr_join thr_a",
+		"thr_exit",
+		"0.53",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatPaper output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatPaperWildcardJoin(t *testing.T) {
+	l := exampleLog()
+	l.Events[5].Target = 0 // wildcard join
+	out := FormatPaper(l)
+	if !strings.Contains(out, "thr_join <any>") {
+		t.Errorf("wildcard join not rendered:\n%s", out)
+	}
+}

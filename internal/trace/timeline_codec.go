@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Timeline persistence: the "information describing the simulated
+// execution" (artifact (g) of the paper's figure 1) is a file the
+// Simulator writes and the Visualizer reads, so the two tools need not run
+// in one process. The encoding is versioned JSON: timelines are orders of
+// magnitude smaller than logs, so a self-describing format wins over a
+// custom binary one.
+
+// timelineEnvelope wraps a Timeline with a format marker.
+type timelineEnvelope struct {
+	Format  string    `json:"format"`
+	Version int       `json:"version"`
+	Data    *Timeline `json:"data"`
+}
+
+const (
+	timelineFormat  = "vppb-timeline"
+	timelineVersion = 1
+)
+
+// MarshalTimeline encodes a timeline for storage.
+func MarshalTimeline(tl *Timeline) ([]byte, error) {
+	if tl == nil {
+		return nil, fmt.Errorf("trace: nil timeline")
+	}
+	return json.Marshal(timelineEnvelope{
+		Format:  timelineFormat,
+		Version: timelineVersion,
+		Data:    tl,
+	})
+}
+
+// UnmarshalTimeline decodes a stored timeline and validates it.
+func UnmarshalTimeline(data []byte) (*Timeline, error) {
+	var env timelineEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if env.Format != timelineFormat {
+		return nil, fmt.Errorf("trace: not a vppb timeline (format %q)", env.Format)
+	}
+	if env.Version != timelineVersion {
+		return nil, fmt.Errorf("trace: unsupported timeline version %d", env.Version)
+	}
+	if env.Data == nil {
+		return nil, fmt.Errorf("trace: empty timeline envelope")
+	}
+	if err := env.Data.Validate(); err != nil {
+		return nil, err
+	}
+	return env.Data, nil
+}
+
+// WriteTimeline writes the encoded timeline to w.
+func WriteTimeline(w io.Writer, tl *Timeline) error {
+	data, err := MarshalTimeline(tl)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadTimeline reads and decodes a timeline from r.
+func ReadTimeline(r io.Reader) (*Timeline, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return UnmarshalTimeline(data)
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTimelineRoundTrip(t *testing.T) {
+	tl := buildSmallTimeline()
+	tl.Objects = []ObjectInfo{{ID: 1, Kind: ObjMutex, Name: "m"}}
+	data, err := MarshalTimeline(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalTimeline(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tl, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", tl, got)
+	}
+}
+
+func TestTimelineStreamRoundTrip(t *testing.T) {
+	tl := buildSmallTimeline()
+	var buf bytes.Buffer
+	if err := WriteTimeline(&buf, tl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTimeline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != tl.Duration || len(got.Threads) != len(tl.Threads) {
+		t.Fatal("stream round trip lost data")
+	}
+}
+
+func TestTimelineCodecRejects(t *testing.T) {
+	if _, err := MarshalTimeline(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	cases := []string{
+		``,
+		`{}`,
+		`{"format":"something-else","version":1,"data":{}}`,
+		`{"format":"vppb-timeline","version":99,"data":{}}`,
+		`{"format":"vppb-timeline","version":1}`,
+		`not json at all`,
+	}
+	for _, c := range cases {
+		if _, err := UnmarshalTimeline([]byte(c)); err == nil {
+			t.Errorf("accepted %q", c)
+		}
+	}
+}
+
+func TestTimelineCodecValidates(t *testing.T) {
+	// A structurally broken timeline (overlapping CPU use) must be
+	// rejected at decode time.
+	data, err := MarshalTimeline(&Timeline{
+		CPUs: 1, Duration: 100,
+		Threads: []ThreadTimeline{
+			{Info: ThreadInfo{ID: 1}, Spans: []Span{{Start: 0, End: 50, State: StateRunning, CPU: 0}}},
+			{Info: ThreadInfo{ID: 2}, Spans: []Span{{Start: 25, End: 75, State: StateRunning, CPU: 0}}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalTimeline(data); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("err = %v", err)
+	}
+}

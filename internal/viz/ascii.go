@@ -1,0 +1,223 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// ASCII rendering of the two graphs for terminals. The parallelism graph
+// stacks running ('#', green in the paper) below runnable-but-not-running
+// ('+', red in the paper); the execution flow graph draws one row per
+// thread with '=' for running, '.' for runnable (the paper's grey line),
+// spaces for blocked, and one glyph per event class.
+
+// Glyphs of the execution flow graph, one per primitive family (the paper
+// uses symbol and colour per primitive: semaphores red, sema_post an
+// upward arrow, sema_wait a downward arrow).
+var callGlyphs = map[trace.Call]byte{
+	trace.CallThrCreate:         'C',
+	trace.CallThrExit:           'X',
+	trace.CallThrJoin:           'J',
+	trace.CallThrYield:          'y',
+	trace.CallMutexLock:         'm',
+	trace.CallMutexTryLock:      't',
+	trace.CallMutexUnlock:       'u',
+	trace.CallSemaWait:          'v', // downward arrow
+	trace.CallSemaTryWait:       'w',
+	trace.CallSemaPost:          '^', // upward arrow
+	trace.CallCondWait:          'c',
+	trace.CallCondTimedWait:     'T',
+	trace.CallCondSignal:        's',
+	trace.CallCondBroadcast:     'B',
+	trace.CallRWRdLock:          'r',
+	trace.CallRWWrLock:          'W',
+	trace.CallRWUnlock:          'R',
+	trace.CallThrSetPrio:        'p',
+	trace.CallThrSetConcurrency: 'k',
+	trace.CallThrSuspend:        'z',
+	trace.CallThrContinue:       'Z',
+	trace.CallIO:                'D',
+}
+
+// Glyph returns the flow-graph symbol for a call.
+func Glyph(c trace.Call) byte {
+	if g, ok := callGlyphs[c]; ok {
+		return g
+	}
+	return '*'
+}
+
+// ASCIIOptions sizes the text rendering.
+type ASCIIOptions struct {
+	// Width is the number of time columns; 0 means 100.
+	Width int
+	// MaxFlowRows caps the number of thread rows; 0 means all.
+	MaxFlowRows int
+}
+
+func (o ASCIIOptions) normalized() ASCIIOptions {
+	if o.Width <= 0 {
+		o.Width = 100
+	}
+	return o
+}
+
+// RenderParallelismASCII draws the parallelism graph of the view's window.
+func RenderParallelismASCII(v *View, opts ASCIIOptions) string {
+	opts = opts.normalized()
+	start, end := v.Window()
+	span := end.Sub(start)
+	if span <= 0 {
+		return ""
+	}
+	width := opts.Width
+	// Sample the dominant state counts per column.
+	running := make([]int, width)
+	runnable := make([]int, width)
+	pts := v.ParallelismInWindow()
+	for col := 0; col < width; col++ {
+		at := start.Add(vtime.Duration(int64(span) * int64(col) / int64(width)))
+		r, q := 0, 0
+		for _, p := range pts {
+			if p.Time <= at {
+				r, q = p.Running, p.Runnable
+			} else {
+				break
+			}
+		}
+		running[col], runnable[col] = r, q
+	}
+	height := v.MaxParallelism()
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallelism (#=running +=runnable)  window %s .. %s\n", start, end)
+	for level := height; level >= 1; level-- {
+		fmt.Fprintf(&b, "%3d |", level)
+		for col := 0; col < width; col++ {
+			switch {
+			case running[col] >= level:
+				b.WriteByte('#')
+			case running[col]+runnable[col] >= level:
+				b.WriteByte('+')
+			default:
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("    +" + strings.Repeat("-", width) + "\n")
+	b.WriteString("     " + timeRuler(start, end, width) + "\n")
+	return b.String()
+}
+
+// RenderFlowASCII draws the execution flow graph of the view's window.
+func RenderFlowASCII(v *View, opts ASCIIOptions) string {
+	opts = opts.normalized()
+	start, end := v.Window()
+	span := end.Sub(start)
+	if span <= 0 {
+		return ""
+	}
+	width := opts.Width
+	threads := v.VisibleThreads()
+	if opts.MaxFlowRows > 0 && len(threads) > opts.MaxFlowRows {
+		threads = threads[:opts.MaxFlowRows]
+	}
+	labelW := 0
+	for _, th := range threads {
+		if n := len(flowLabel(th)); n > labelW {
+			labelW = n
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "execution flow (==running .=runnable)  window %s .. %s\n", start, end)
+	for _, th := range threads {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = ' '
+		}
+		for _, s := range th.Spans {
+			if s.End <= start || s.Start >= end {
+				continue
+			}
+			var ch byte
+			switch s.State {
+			case trace.StateRunning:
+				ch = '='
+			case trace.StateRunnable:
+				ch = '.'
+			default:
+				continue
+			}
+			c0 := colOf(s.Start, start, span, width)
+			c1 := colOf(s.End, start, span, width)
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			for c := c0; c < c1 && c < width; c++ {
+				row[c] = ch
+			}
+		}
+		for _, pe := range th.Events {
+			if pe.Start < start || pe.Start >= end {
+				continue
+			}
+			c := colOf(pe.Start, start, span, width)
+			if c >= 0 && c < width {
+				row[c] = Glyph(pe.Event.Call)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, flowLabel(th), string(row))
+	}
+	b.WriteString(strings.Repeat(" ", labelW) + "  " + timeRuler(start, end, width) + "\n")
+	return b.String()
+}
+
+// Render draws both graphs, parallelism on top, as in the paper's
+// figure 5.
+func Render(v *View, opts ASCIIOptions) string {
+	return RenderParallelismASCII(v, opts) + "\n" + RenderFlowASCII(v, opts)
+}
+
+// Legend explains the flow-graph glyphs.
+func Legend() string {
+	return "glyphs: C create  X exit  J join  m/u mutex lock/unlock  t trylock\n" +
+		"        v/^ sema wait/post  w trywait  c/T cond (timed)wait  s signal  B broadcast\n" +
+		"        r/W/R rwlock rd/wr/unlock  y yield  p setprio  k setconcurrency\n" +
+		"        z/Z suspend/continue  D device I/O\n"
+}
+
+func flowLabel(th *trace.ThreadTimeline) string {
+	if th.Info.Name != "" {
+		return fmt.Sprintf("T%-3d %s", th.Info.ID, th.Info.Name)
+	}
+	return fmt.Sprintf("T%-3d", th.Info.ID)
+}
+
+func colOf(at, start vtime.Time, span vtime.Duration, width int) int {
+	return int(int64(at.Sub(start)) * int64(width) / int64(span))
+}
+
+// timeRuler writes a few time labels across the axis.
+func timeRuler(start, end vtime.Time, width int) string {
+	ruler := make([]byte, width)
+	for i := range ruler {
+		ruler[i] = ' '
+	}
+	marks := 5
+	for m := 0; m <= marks; m++ {
+		at := start.Add(vtime.Duration(int64(end.Sub(start)) * int64(m) / int64(marks)))
+		label := at.String()
+		pos := (width - 1) * m / marks
+		if pos+len(label) > width {
+			pos = width - len(label)
+		}
+		if pos < 0 {
+			pos = 0
+		}
+		copy(ruler[pos:], label)
+	}
+	return string(ruler)
+}

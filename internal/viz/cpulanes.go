@@ -1,0 +1,78 @@
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vppb/internal/trace"
+)
+
+// RenderCPULanesASCII draws one lane per processor showing which thread
+// occupies it over the view's window — the machine-centric complement of
+// the thread-centric execution flow graph. Each running span prints the
+// thread's ID digits repeated across its columns; idle columns stay blank.
+func RenderCPULanesASCII(v *View, opts ASCIIOptions) string {
+	opts = opts.normalized()
+	start, end := v.Window()
+	span := end.Sub(start)
+	if span <= 0 {
+		return ""
+	}
+	width := opts.Width
+	tl := v.Timeline()
+
+	lanes := make([][]byte, tl.CPUs)
+	for i := range lanes {
+		lanes[i] = []byte(strings.Repeat(" ", width))
+	}
+	type placed struct {
+		cpu    int
+		c0, c1 int
+		id     trace.ThreadID
+	}
+	var spans []placed
+	for _, th := range tl.Threads {
+		for _, s := range th.Spans {
+			if s.State != trace.StateRunning || s.End <= start || s.Start >= end {
+				continue
+			}
+			from, to := s.Start, s.End
+			if from < start {
+				from = start
+			}
+			if to > end {
+				to = end
+			}
+			c0 := colOf(from, start, span, width)
+			c1 := colOf(to, start, span, width)
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			spans = append(spans, placed{int(s.CPU), c0, c1, th.Info.ID})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].cpu != spans[j].cpu {
+			return spans[i].cpu < spans[j].cpu
+		}
+		return spans[i].c0 < spans[j].c0
+	})
+	for _, p := range spans {
+		if p.cpu < 0 || p.cpu >= len(lanes) {
+			continue
+		}
+		label := fmt.Sprintf("%d", p.id)
+		for c := p.c0; c < p.c1 && c < width; c++ {
+			lanes[p.cpu][c] = label[(c-p.c0)%len(label)]
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPU lanes (digits = thread ID running)  window %s .. %s\n", start, end)
+	for i, lane := range lanes {
+		fmt.Fprintf(&b, "cpu%-2d |%s|\n", i, string(lane))
+	}
+	b.WriteString("       " + timeRuler(start, end, width) + "\n")
+	return b.String()
+}

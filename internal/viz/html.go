@@ -1,0 +1,116 @@
+package viz
+
+import (
+	"fmt"
+	"html"
+	"strings"
+
+	"vppb/internal/analysis"
+)
+
+// HTMLOptions configures the self-contained HTML report.
+type HTMLOptions struct {
+	// Title heads the report.
+	Title string
+	// SVG sizes the embedded graphs.
+	SVG SVGOptions
+	// TopN bounds the contention and thread tables; 0 means 15.
+	TopN int
+}
+
+// RenderHTML produces a single-file HTML report of an execution: the two
+// graphs of the paper's figure 5 as inline SVG (hover any event glyph for
+// its popup details), the per-object contention ranking, and the
+// most-blocked threads — everything a tuning session needs in one
+// artifact that opens in any browser.
+func RenderHTML(v *View, opts HTMLOptions) (string, error) {
+	if opts.TopN <= 0 {
+		opts.TopN = 15
+	}
+	if opts.Title == "" {
+		opts.Title = v.Timeline().Program
+	}
+	opts.SVG.Title = ""
+
+	rep, err := analysis.Analyze(v.Timeline())
+	if err != nil {
+		return "", err
+	}
+
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s — vppb report</title>\n", html.EscapeString(opts.Title))
+	b.WriteString(`<style>
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; font-family: monospace; font-size: 13px; }
+th, td { border: 1px solid #ccc; padding: 3px 9px; text-align: right; }
+th { background: #f0f0f0; } td:first-child, th:first-child { text-align: left; }
+.meta { color: #555; font-size: 13px; }
+svg { border: 1px solid #ddd; margin-top: 0.6em; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", html.EscapeString(opts.Title))
+	tl := v.Timeline()
+	start, end := v.Window()
+	fmt.Fprintf(&b, `<p class="meta">%d CPUs, %d LWPs, %d threads; execution time %s; window %s .. %s</p>`+"\n",
+		tl.CPUs, tl.LWPs, len(tl.Threads), tl.Duration, start, end)
+
+	b.WriteString("<h2>Parallelism and execution flow</h2>\n")
+	b.WriteString(`<p class="meta">green: running; red: runnable but not running; hover an event glyph for its details</p>` + "\n")
+	b.WriteString(RenderSVG(v, opts.SVG))
+
+	b.WriteString("<h2>Synchronization objects by total operation time</h2>\n")
+	b.WriteString("<table><tr><th>object</th><th>kind</th><th>ops</th><th>acquires</th><th>total time</th><th>max op</th><th>threads</th></tr>\n")
+	for i, oc := range rep.Objects {
+		if i >= opts.TopN {
+			break
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%s</td><td>%s</td><td>%d</td></tr>\n",
+			html.EscapeString(oc.Name), oc.Kind, oc.Ops, oc.AcquireOps, oc.TotalTime, oc.MaxWait, oc.Threads)
+	}
+	b.WriteString("</table>\n")
+
+	if cpuRep, err := analysis.AnalyzeCPUs(v.Timeline()); err == nil {
+		b.WriteString("<h2>Per-CPU occupancy</h2>\n")
+		b.WriteString("<table><tr><th>cpu</th><th>busy</th><th>utilization</th><th>threads</th><th>dispatches</th></tr>\n")
+		for _, u := range cpuRep.CPUs {
+			fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>%.1f%%</td><td>%d</td><td>%d</td></tr>\n",
+				u.CPU, u.Busy, 100*u.Utilization, u.Threads, u.Dispatches)
+		}
+		b.WriteString("</table>\n")
+	}
+
+	b.WriteString("<h2>Most-blocked threads</h2>\n")
+	b.WriteString("<table><tr><th>thread</th><th>running</th><th>runnable</th><th>blocked</th></tr>\n")
+	for i, tb := range rep.Threads {
+		if i >= opts.TopN {
+			break
+		}
+		name := tb.Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", tb.ID)
+		}
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n",
+			html.EscapeString(name), tb.Running, tb.Runnable, tb.Blocked)
+	}
+	b.WriteString("</table>\n")
+
+	if top, ok := rep.Bottleneck(); ok {
+		share := 0.0
+		if tl.Duration > 0 {
+			share = top.TotalTime.Seconds() / (tl.Duration.Seconds() * float64(maxInt(1, tl.CPUs)))
+		}
+		fmt.Fprintf(&b, `<p class="meta">dominant object: %s (%s), %d operations totalling %s (%.0f%% of machine time)</p>`+"\n",
+			html.EscapeString(top.Name), top.Kind, top.Ops, top.TotalTime, 100*share)
+	}
+	b.WriteString("</body></html>\n")
+	return b.String(), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

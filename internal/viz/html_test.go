@@ -1,0 +1,66 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"vppb/internal/core"
+	"vppb/internal/recorder"
+	"vppb/internal/workloads"
+)
+
+func TestRenderHTMLReport(t *testing.T) {
+	w, err := workloads.Get("prodcons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := recorder.Record(w.Bind(workloads.Params{Scale: 0.2}), recorder.Options{Program: "prodcons"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Simulate(log, core.Machine{CPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewView(res.Timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.SetCompressed(true)
+	page, err := RenderHTML(v, HTMLOptions{Title: "prodcons <tuning> report"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<!DOCTYPE html>", "</html>",
+		"prodcons &lt;tuning&gt; report", // escaped title
+		"<svg", "</svg>",
+		"Synchronization objects", "Most-blocked threads",
+		"buffer", "mutex",
+		"dominant object",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("html missing %q", want)
+		}
+	}
+	if strings.Contains(page, "<tuning>") {
+		t.Error("title not escaped")
+	}
+	// Tables are bounded by TopN.
+	if rows := strings.Count(page, "<tr>"); rows > 2+15+15+2 {
+		t.Errorf("too many table rows: %d", rows)
+	}
+}
+
+func TestRenderHTMLDefaults(t *testing.T) {
+	tl := exampleTimeline(t)
+	v := mustView(t, tl)
+	page, err := RenderHTML(v, HTMLOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Falls back to the program name.
+	if !strings.Contains(page, "example") {
+		t.Error("default title missing")
+	}
+}

@@ -1,0 +1,206 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"vppb/internal/source"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// Inspector implements the paper's event-popup and stepping facilities on
+// one execution: select an event, read the details the popup shows, step
+// to the thread's previous/next event, and find the next/previous similar
+// event (same primitive type or same synchronization variable).
+type Inspector struct {
+	tl *trace.Timeline
+}
+
+// NewInspector creates an inspector for an execution.
+func NewInspector(tl *trace.Timeline) *Inspector {
+	return &Inspector{tl: tl}
+}
+
+// EventRef identifies one placed event: a thread and its index in the
+// thread's event list.
+type EventRef struct {
+	Thread trace.ThreadID
+	Index  int
+}
+
+// Lookup resolves a reference. ok is false when it is out of range.
+func (in *Inspector) Lookup(ref EventRef) (trace.PlacedEvent, bool) {
+	th := in.tl.Thread(ref.Thread)
+	if th == nil || ref.Index < 0 || ref.Index >= len(th.Events) {
+		return trace.PlacedEvent{}, false
+	}
+	return th.Events[ref.Index], true
+}
+
+// At finds the event of a thread nearest to the given time — what a mouse
+// click on the flow graph selects.
+func (in *Inspector) At(id trace.ThreadID, at vtime.Time) (EventRef, bool) {
+	th := in.tl.Thread(id)
+	if th == nil || len(th.Events) == 0 {
+		return EventRef{}, false
+	}
+	best := 0
+	bestDist := int64(-1)
+	for i, pe := range th.Events {
+		var d int64
+		switch {
+		case at < pe.Start:
+			d = int64(pe.Start.Sub(at))
+		case at > pe.End:
+			d = int64(at.Sub(pe.End))
+		default:
+			d = 0
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return EventRef{Thread: id, Index: best}, true
+}
+
+// Next steps to the thread's next event, if any.
+func (in *Inspector) Next(ref EventRef) (EventRef, bool) {
+	ref.Index++
+	_, ok := in.Lookup(ref)
+	return ref, ok
+}
+
+// Prev steps to the thread's previous event, if any.
+func (in *Inspector) Prev(ref EventRef) (EventRef, bool) {
+	ref.Index--
+	_, ok := in.Lookup(ref)
+	return ref, ok
+}
+
+// NextSimilar finds the next event, on any thread, "caused by the same
+// event type or variable": when the selected event concerns a
+// synchronization object, the next operation on that object; otherwise the
+// next event of the same call.
+func (in *Inspector) NextSimilar(ref EventRef) (EventRef, bool) {
+	return in.scanSimilar(ref, +1)
+}
+
+// PrevSimilar finds the previous similar event.
+func (in *Inspector) PrevSimilar(ref EventRef) (EventRef, bool) {
+	return in.scanSimilar(ref, -1)
+}
+
+func (in *Inspector) scanSimilar(ref EventRef, dir int) (EventRef, bool) {
+	cur, ok := in.Lookup(ref)
+	if !ok {
+		return EventRef{}, false
+	}
+	type cand struct {
+		ref EventRef
+		pe  trace.PlacedEvent
+	}
+	var all []cand
+	for ti := range in.tl.Threads {
+		th := &in.tl.Threads[ti]
+		for i, pe := range th.Events {
+			all = append(all, cand{EventRef{th.Info.ID, i}, pe})
+		}
+	}
+	similar := func(pe trace.PlacedEvent) bool {
+		if cur.Event.Object != 0 {
+			return pe.Event.Object == cur.Event.Object
+		}
+		return pe.Event.Call == cur.Event.Call
+	}
+	// Order all events chronologically and walk from the current one.
+	lessThan := func(a, b trace.PlacedEvent) bool {
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Event.Seq < b.Event.Seq
+	}
+	var best *cand
+	for i := range all {
+		c := all[i]
+		if c.ref == ref || !similar(c.pe) {
+			continue
+		}
+		if dir > 0 {
+			if !lessThan(cur, c.pe) {
+				continue
+			}
+			if best == nil || lessThan(c.pe, best.pe) {
+				best = &all[i]
+			}
+		} else {
+			if !lessThan(c.pe, cur) {
+				continue
+			}
+			if best == nil || lessThan(best.pe, c.pe) {
+				best = &all[i]
+			}
+		}
+	}
+	if best == nil {
+		return EventRef{}, false
+	}
+	return best.ref, true
+}
+
+// Describe renders the popup contents the paper lists for a selected
+// event: the thread's identity, start function, start/end times, working
+// and total time; and the event's operation, CPU, start, end, duration,
+// and source position.
+func (in *Inspector) Describe(ref EventRef) (string, error) {
+	pe, ok := in.Lookup(ref)
+	if !ok {
+		return "", fmt.Errorf("viz: no event %+v", ref)
+	}
+	th := in.tl.Thread(ref.Thread)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Thread:    T%d (%s)\n", th.Info.ID, orDash(th.Info.Name))
+	fmt.Fprintf(&b, "Function:  %s\n", orDash(th.Info.Func))
+	fmt.Fprintf(&b, "Started:   %s   Ended: %s\n", th.Created, th.Ended)
+	fmt.Fprintf(&b, "Working:   %s   Total: %s\n", th.WorkTime(), th.TotalTime())
+	fmt.Fprintf(&b, "Event:     %s%s\n", pe.Event.Call, in.operand(pe.Event))
+	fmt.Fprintf(&b, "CPU:       %d\n", pe.CPU)
+	fmt.Fprintf(&b, "From:      %s   To: %s   Took: %s\n", pe.Start, pe.End, pe.End.Sub(pe.Start))
+	fmt.Fprintf(&b, "Source:    %s\n", pe.Event.Loc)
+	return b.String(), nil
+}
+
+func (in *Inspector) operand(ev trace.Event) string {
+	switch {
+	case ev.Call == trace.CallThrCreate || ev.Call == trace.CallThrJoin:
+		if ev.Target == 0 {
+			return " <any>"
+		}
+		name := fmt.Sprintf("T%d", ev.Target)
+		if th := in.tl.Thread(ev.Target); th != nil && th.Info.Name != "" {
+			name = th.Info.Name
+		}
+		return " " + name
+	case ev.Object != 0:
+		return fmt.Sprintf(" obj%d", ev.Object)
+	}
+	return ""
+}
+
+// SourceExcerpt returns the highlighted source lines of the event's call
+// site — the paper's "starts an editor with the source code file and
+// highlights the line" facility, in library form.
+func (in *Inspector) SourceExcerpt(ref EventRef, context int) (string, error) {
+	pe, ok := in.Lookup(ref)
+	if !ok {
+		return "", fmt.Errorf("viz: no event %+v", ref)
+	}
+	return source.Excerpt(pe.Event.Loc, context)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,216 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// SVG rendering of the two graphs, matching the paper's figure 5 layout:
+// the parallelism graph on top (running in green with the runnable surplus
+// stacked in red) and the execution flow graph below it (one lane per
+// thread: black segments running, grey segments runnable, gaps blocked,
+// coloured glyphs per event family — semaphores red with up/down arrows,
+// as in the paper).
+
+// SVGOptions sizes the SVG rendering.
+type SVGOptions struct {
+	// Width is the drawing width in pixels; 0 means 1000.
+	Width int
+	// LaneHeight is the per-thread lane height; 0 means 16.
+	LaneHeight int
+	// ParallelismHeight is the top graph's height; 0 means 120.
+	ParallelismHeight int
+	// Title is drawn above the graphs.
+	Title string
+}
+
+func (o SVGOptions) normalized() SVGOptions {
+	if o.Width <= 0 {
+		o.Width = 1000
+	}
+	if o.LaneHeight <= 0 {
+		o.LaneHeight = 16
+	}
+	if o.ParallelismHeight <= 0 {
+		o.ParallelismHeight = 120
+	}
+	return o
+}
+
+const (
+	svgMarginLeft = 90
+	svgMarginTop  = 28
+	svgGap        = 28
+	svgAxis       = 22
+)
+
+// eventColor groups calls by primitive family, following the paper's
+// colour coding (all semaphore operations red).
+func eventColor(c trace.Call) string {
+	switch c {
+	case trace.CallSemaWait, trace.CallSemaTryWait, trace.CallSemaPost:
+		return "#cc2222" // red: semaphores
+	case trace.CallMutexLock, trace.CallMutexTryLock, trace.CallMutexUnlock:
+		return "#2244cc" // blue: mutexes
+	case trace.CallCondWait, trace.CallCondTimedWait, trace.CallCondSignal, trace.CallCondBroadcast:
+		return "#996600" // ochre: condition variables
+	case trace.CallRWRdLock, trace.CallRWWrLock, trace.CallRWUnlock:
+		return "#227744" // green: readers/writer locks
+	case trace.CallThrCreate, trace.CallThrExit, trace.CallThrJoin,
+		trace.CallThrSuspend, trace.CallThrContinue:
+		return "#552288" // purple: thread lifecycle
+	case trace.CallIO:
+		return "#008888" // teal: device I/O
+	}
+	return "#444444"
+}
+
+// RenderSVG draws both graphs of the view into one SVG document.
+func RenderSVG(v *View, opts SVGOptions) string {
+	opts = opts.normalized()
+	start, end := v.Window()
+	span := end.Sub(start)
+	if span <= 0 {
+		span = 1
+	}
+	threads := v.VisibleThreads()
+	plotW := opts.Width - svgMarginLeft - 10
+	flowTop := svgMarginTop + opts.ParallelismHeight + svgGap
+	height := flowTop + len(threads)*opts.LaneHeight + svgAxis + 10
+
+	x := func(at vtime.Time) float64 {
+		return svgMarginLeft + float64(at.Sub(start))*float64(plotW)/float64(span)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n",
+		opts.Width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", opts.Width, height)
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13">%s</text>`+"\n", svgMarginLeft, escape(opts.Title))
+	}
+
+	renderParallelismSVG(&b, v, opts, x, plotW)
+	renderFlowSVG(&b, v, threads, opts, x, flowTop)
+	renderAxisSVG(&b, start, end, x, flowTop+len(threads)*opts.LaneHeight+14)
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+func renderParallelismSVG(b *strings.Builder, v *View, opts SVGOptions, x func(vtime.Time) float64, plotW int) {
+	top := svgMarginTop
+	h := opts.ParallelismHeight
+	maxP := v.MaxParallelism()
+	yOf := func(count int) float64 {
+		return float64(top+h) - float64(count)*float64(h)/float64(maxP)
+	}
+	_, end := v.Window()
+	pts := v.ParallelismInWindow()
+	for i, p := range pts {
+		to := end
+		if i+1 < len(pts) {
+			to = pts[i+1].Time
+		}
+		x0, x1 := x(p.Time), x(to)
+		if x1 <= x0 {
+			continue
+		}
+		if p.Running > 0 {
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#33aa33"/>`+"\n",
+				x0, yOf(p.Running), x1-x0, float64(top+h)-yOf(p.Running))
+		}
+		if p.Runnable > 0 {
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#cc3333"/>`+"\n",
+				x0, yOf(p.Running+p.Runnable), x1-x0, yOf(p.Running)-yOf(p.Running+p.Runnable))
+		}
+	}
+	// Frame and scale.
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#222"/>`+"\n",
+		svgMarginLeft, top, plotW, h)
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="end">%d</text>`+"\n", svgMarginLeft-6, top+10, maxP)
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="end">0</text>`+"\n", svgMarginLeft-6, top+h)
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="end" fill="#33aa33">run</text>`+"\n", svgMarginLeft-6, top+h/2-6)
+	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="end" fill="#cc3333">ready</text>`+"\n", svgMarginLeft-6, top+h/2+8)
+}
+
+func renderFlowSVG(b *strings.Builder, v *View, threads []*trace.ThreadTimeline, opts SVGOptions, x func(vtime.Time) float64, flowTop int) {
+	start, end := v.Window()
+	for lane, th := range threads {
+		yMid := float64(flowTop + lane*opts.LaneHeight + opts.LaneHeight/2)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			svgMarginLeft-6, yMid+4, escape(flowLabel(th)))
+		for _, s := range th.Spans {
+			if s.End <= start || s.Start >= end {
+				continue
+			}
+			from, to := s.Start, s.End
+			if from < start {
+				from = start
+			}
+			if to > end {
+				to = end
+			}
+			switch s.State {
+			case trace.StateRunning:
+				fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#111" stroke-width="3"/>`+"\n",
+					x(from), yMid, x(to), yMid)
+			case trace.StateRunnable:
+				fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#999" stroke-width="2"/>`+"\n",
+					x(from), yMid, x(to), yMid)
+			}
+		}
+		for i, pe := range th.Events {
+			if pe.Start < start || pe.Start > end {
+				continue
+			}
+			renderGlyphSVG(b, pe, x(pe.Start), yMid, th.Info.ID, i)
+		}
+	}
+}
+
+// renderGlyphSVG draws one event glyph: semaphore waits point down,
+// posts point up (the paper's arrows); everything else is a small marker.
+// A <title> child gives hover details, standing in for the popup.
+func renderGlyphSVG(b *strings.Builder, pe trace.PlacedEvent, px, py float64, tid trace.ThreadID, idx int) {
+	color := eventColor(pe.Event.Call)
+	title := fmt.Sprintf("T%d %s @ %s (cpu %d) %s", tid, pe.Event.Call, pe.Start, pe.CPU, pe.Event.Loc)
+	fmt.Fprintf(b, `<g id="ev-%d-%d">`, tid, idx)
+	switch pe.Event.Call {
+	case trace.CallSemaWait, trace.CallSemaTryWait, trace.CallCondWait, trace.CallCondTimedWait, trace.CallMutexLock, trace.CallRWRdLock, trace.CallRWWrLock:
+		// Blocking acquisitions: downward arrow.
+		fmt.Fprintf(b, `<path d="M %.1f %.1f l -4 -7 l 8 0 z" fill="%s">`, px, py+6, color)
+	case trace.CallSemaPost, trace.CallCondSignal, trace.CallCondBroadcast, trace.CallMutexUnlock, trace.CallRWUnlock:
+		// Releases: upward arrow.
+		fmt.Fprintf(b, `<path d="M %.1f %.1f l -4 7 l 8 0 z" fill="%s">`, px, py-6, color)
+	case trace.CallThrExit:
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="6" height="6" fill="%s">`, px-3, py-3, color)
+	default:
+		fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s">`, px, py, color)
+	}
+	fmt.Fprintf(b, `<title>%s</title>`, escape(title))
+	switch pe.Event.Call {
+	case trace.CallThrExit:
+		b.WriteString("</rect></g>\n")
+	case trace.CallSemaWait, trace.CallSemaTryWait, trace.CallCondWait, trace.CallCondTimedWait, trace.CallMutexLock, trace.CallRWRdLock, trace.CallRWWrLock,
+		trace.CallSemaPost, trace.CallCondSignal, trace.CallCondBroadcast, trace.CallMutexUnlock, trace.CallRWUnlock:
+		b.WriteString("</path></g>\n")
+	default:
+		b.WriteString("</circle></g>\n")
+	}
+}
+
+func renderAxisSVG(b *strings.Builder, start, end vtime.Time, x func(vtime.Time) float64, y int) {
+	marks := 5
+	for m := 0; m <= marks; m++ {
+		at := start.Add(vtime.Duration(int64(end.Sub(start)) * int64(m) / int64(marks)))
+		fmt.Fprintf(b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n", x(at), y, at)
+	}
+}
+
+func escape(s string) string {
+	return strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;").Replace(s)
+}

@@ -1,0 +1,432 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"vppb/internal/core"
+	"vppb/internal/recorder"
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+	"vppb/internal/workloads"
+)
+
+// exampleTimeline simulates the figure-2 example program on 2 CPUs and
+// returns the predicted execution.
+func exampleTimeline(t *testing.T) *trace.Timeline {
+	t.Helper()
+	w, err := workloads.Get("example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := recorder.Record(w.Bind(workloads.Params{}), recorder.Options{Program: "example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Simulate(log, core.Machine{CPUs: 2, LWPs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Timeline
+}
+
+func mustView(t *testing.T, tl *trace.Timeline) *View {
+	t.Helper()
+	v, err := NewView(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestNewViewRejectsNil(t *testing.T) {
+	if _, err := NewView(nil); err == nil {
+		t.Fatal("nil timeline accepted")
+	}
+}
+
+func TestWindowAndZoom(t *testing.T) {
+	tl := exampleTimeline(t)
+	v := mustView(t, tl)
+	start, end := v.Window()
+	if start != 0 || end != vtime.Time(0).Add(tl.Duration) {
+		t.Fatalf("initial window = %v..%v", start, end)
+	}
+	span := end.Sub(start)
+
+	// Zoom in x1.5 keeps the left edge fixed.
+	v.ZoomIn(ZoomFine)
+	s2, e2 := v.Window()
+	if s2 != start {
+		t.Fatalf("zoom moved left edge: %v", s2)
+	}
+	wantSpan := vtime.Duration(float64(span) / 1.5)
+	if d := e2.Sub(s2) - wantSpan; d < -1 || d > 1 {
+		t.Fatalf("zoomed span = %v, want %v", e2.Sub(s2), wantSpan)
+	}
+
+	// Zoom out x3 clamps to the execution end.
+	v.ZoomOut(ZoomCoarse)
+	_, e3 := v.Window()
+	if e3 != end {
+		t.Fatalf("zoom out should clamp to %v, got %v", end, e3)
+	}
+
+	// Interval selection.
+	if err := v.SetWindow(10, 20); err != nil {
+		t.Fatal(err)
+	}
+	s4, e4 := v.Window()
+	if s4 != 10 || e4 != 20 {
+		t.Fatalf("window = %v..%v", s4, e4)
+	}
+	if err := v.SetWindow(20, 10); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+	if err := v.SetWindow(end.Add(1000), end.Add(2000)); err == nil {
+		t.Fatal("out-of-range window accepted")
+	}
+	v.Reset()
+	s5, e5 := v.Window()
+	if s5 != 0 || e5 != end {
+		t.Fatal("Reset did not restore the full window")
+	}
+}
+
+func TestThreadSelectionAndCompression(t *testing.T) {
+	tl := exampleTimeline(t)
+	v := mustView(t, tl)
+	if got := len(v.VisibleThreads()); got != 3 {
+		t.Fatalf("visible = %d, want 3", got)
+	}
+	v.SelectThreads(4, 5)
+	vis := v.VisibleThreads()
+	if len(vis) != 2 || vis[0].Info.ID != 4 || vis[1].Info.ID != 5 {
+		t.Fatalf("selection = %+v", vis)
+	}
+	v.SelectThreads()
+	if got := len(v.VisibleThreads()); got != 3 {
+		t.Fatalf("selection reset failed: %d", got)
+	}
+
+	// Compression: in a window where only the workers are active, main
+	// (blocked in thr_join) disappears.
+	workerActive := tl.Thread(4)
+	var runStart, runEnd vtime.Time
+	for _, s := range workerActive.Spans {
+		if s.State == trace.StateRunning && s.Duration() > 10*vtime.Millisecond {
+			runStart, runEnd = s.Start, s.End
+			break
+		}
+	}
+	if runEnd == 0 {
+		t.Fatal("no long running span found")
+	}
+	if err := v.SetWindow(runStart+1000, runEnd-1000); err != nil {
+		t.Fatal(err)
+	}
+	v.SetCompressed(true)
+	if !v.Compressed() {
+		t.Fatal("compression flag lost")
+	}
+	for _, th := range v.VisibleThreads() {
+		if th.Info.ID == 1 {
+			t.Fatal("main should be compressed away while blocked")
+		}
+	}
+}
+
+func TestParallelismInWindow(t *testing.T) {
+	tl := exampleTimeline(t)
+	v := mustView(t, tl)
+	pts := v.ParallelismInWindow()
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	max := v.MaxParallelism()
+	if max < 2 {
+		t.Fatalf("max parallelism = %d, want >= 2 (two workers overlap)", max)
+	}
+	for _, p := range pts {
+		if p.Running < 0 || p.Runnable < 0 {
+			t.Fatalf("negative counts: %+v", p)
+		}
+	}
+}
+
+func TestEventsInWindowOrdered(t *testing.T) {
+	tl := exampleTimeline(t)
+	v := mustView(t, tl)
+	evs := v.EventsInWindow()
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	tl := exampleTimeline(t)
+	v := mustView(t, tl)
+	out := Render(v, ASCIIOptions{Width: 80})
+	for _, want := range []string{"parallelism", "execution flow", "thr_a", "thr_b", "main", "="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Exit glyphs appear for the workers.
+	if !strings.Contains(out, "X") {
+		t.Error("no exit glyph in flow graph")
+	}
+	// The parallelism graph must reach level 2.
+	if !strings.Contains(out, "  2 |") {
+		t.Error("parallelism graph has no level-2 row")
+	}
+	// All rows of the flow body have equal width.
+	lines := strings.Split(strings.TrimRight(RenderFlowASCII(v, ASCIIOptions{Width: 60}), "\n"), "\n")
+	bodyLen := 0
+	for _, ln := range lines[1 : len(lines)-1] {
+		if bodyLen == 0 {
+			bodyLen = len(ln)
+		}
+		if len(ln) != bodyLen {
+			t.Errorf("ragged flow rows: %d vs %d", len(ln), bodyLen)
+		}
+	}
+}
+
+func TestASCIIMaxRows(t *testing.T) {
+	tl := exampleTimeline(t)
+	v := mustView(t, tl)
+	out := RenderFlowASCII(v, ASCIIOptions{Width: 40, MaxFlowRows: 1})
+	if strings.Contains(out, "thr_b") {
+		t.Fatal("MaxFlowRows not applied")
+	}
+}
+
+func TestGlyphsDistinctPerFamily(t *testing.T) {
+	seen := map[byte]trace.Call{}
+	for c, g := range callGlyphs {
+		if prev, dup := seen[g]; dup {
+			t.Fatalf("glyph %q used by both %v and %v", g, prev, c)
+		}
+		seen[g] = c
+	}
+	if Glyph(trace.CallStartCollect) != '*' {
+		t.Fatal("unknown call should render '*'")
+	}
+	if Legend() == "" {
+		t.Fatal("empty legend")
+	}
+}
+
+func TestSVGRendering(t *testing.T) {
+	tl := exampleTimeline(t)
+	v := mustView(t, tl)
+	svg := RenderSVG(v, SVGOptions{Title: "example on 2 CPUs"})
+	for _, want := range []string{
+		"<svg", "</svg>", "example on 2 CPUs",
+		"#33aa33", // running green
+		"#cc3333", // runnable red
+		"thr_a", "thr_b",
+		"<title>", // hover popups
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Error("nested svg tags")
+	}
+	// Well-formed enough: every <g has a matching </g>.
+	if strings.Count(svg, "<g ") != strings.Count(svg, "</g>") {
+		t.Error("unbalanced <g> groups")
+	}
+}
+
+func TestSVGEscapesTitles(t *testing.T) {
+	tl := exampleTimeline(t)
+	v := mustView(t, tl)
+	svg := RenderSVG(v, SVGOptions{Title: `a<b & "c"`})
+	if strings.Contains(svg, `a<b`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestInspectorPopupAndStepping(t *testing.T) {
+	tl := exampleTimeline(t)
+	in := NewInspector(tl)
+
+	// Click near the end of main's life: closest event is a join or exit.
+	ref, ok := in.At(1, vtime.Time(0).Add(tl.Duration))
+	if !ok {
+		t.Fatal("At failed")
+	}
+	desc, err := in.Describe(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Thread:    T1", "Function:", "Working:", "CPU:", "Source:", "Took:"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("popup missing %q:\n%s", want, desc)
+		}
+	}
+
+	// Step back to the first event, then forward again.
+	first := ref
+	for {
+		prev, ok := in.Prev(first)
+		if !ok {
+			break
+		}
+		first = prev
+	}
+	if first.Index != 0 {
+		t.Fatalf("stepping back ended at %d", first.Index)
+	}
+	next, ok := in.Next(first)
+	if !ok || next.Index != 1 {
+		t.Fatalf("Next = %+v, %v", next, ok)
+	}
+	if _, ok := in.Prev(EventRef{Thread: 1, Index: 0}); ok {
+		t.Fatal("Prev before first should fail")
+	}
+	if _, ok := in.Lookup(EventRef{Thread: 99, Index: 0}); ok {
+		t.Fatal("Lookup of unknown thread should fail")
+	}
+}
+
+func TestInspectorSimilarEvents(t *testing.T) {
+	// Build an execution with repeated operations on one mutex.
+	prog := func(p *threadlib.Process) func(*threadlib.Thread) {
+		m := p.NewMutex("shared")
+		other := p.NewMutex("other")
+		return func(th *threadlib.Thread) {
+			a := th.Create(func(w *threadlib.Thread) {
+				for i := 0; i < 3; i++ {
+					m.Lock(w)
+					w.Compute(5 * vtime.Millisecond)
+					m.Unlock(w)
+					other.Lock(w)
+					other.Unlock(w)
+				}
+			})
+			th.Join(a)
+		}
+	}
+	log, _, err := recorder.Record(prog, recorder.Options{Program: "sim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Simulate(log, core.Machine{CPUs: 1, LWPs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInspector(res.Timeline)
+
+	// Find the first event on mutex "shared".
+	var sharedID trace.ObjectID
+	for _, o := range log.Objects {
+		if o.Name == "shared" {
+			sharedID = o.ID
+		}
+	}
+	th := res.Timeline.Thread(4)
+	start := EventRef{}
+	for i, pe := range th.Events {
+		if pe.Event.Object == sharedID {
+			start = EventRef{Thread: 4, Index: i}
+			break
+		}
+	}
+	// Walk NextSimilar: every hop must stay on the same mutex.
+	count := 0
+	ref := start
+	for {
+		next, ok := in.NextSimilar(ref)
+		if !ok {
+			break
+		}
+		pe, _ := in.Lookup(next)
+		if pe.Event.Object != sharedID {
+			t.Fatalf("similar stepped to object %d", pe.Event.Object)
+		}
+		ref = next
+		count++
+		if count > 100 {
+			t.Fatal("similar walk does not terminate")
+		}
+	}
+	// 3 lock/unlock pairs = 6 events; from the first, 5 hops remain.
+	if count != 5 {
+		t.Fatalf("similar hops = %d, want 5", count)
+	}
+	// And PrevSimilar walks back to the start.
+	back := 0
+	for {
+		prev, ok := in.PrevSimilar(ref)
+		if !ok {
+			break
+		}
+		ref = prev
+		back++
+		if back > 100 {
+			t.Fatal("backward walk does not terminate")
+		}
+	}
+	if back != 5 || ref != start {
+		t.Fatalf("backward hops = %d, end = %+v", back, ref)
+	}
+}
+
+func TestInspectorSourceExcerpt(t *testing.T) {
+	tl := exampleTimeline(t)
+	in := NewInspector(tl)
+	// Find the first main-thread event that carries a source location
+	// (collection markers have none).
+	ref := EventRef{Thread: 1, Index: -1}
+	for i, pe := range tl.Thread(1).Events {
+		if !pe.Event.Loc.IsZero() {
+			ref.Index = i
+			break
+		}
+	}
+	if ref.Index < 0 {
+		t.Fatal("no event with a source location")
+	}
+	out, err := in.SourceExcerpt(ref, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=>") {
+		t.Fatalf("no highlight:\n%s", out)
+	}
+}
+
+func TestRenderCPULanes(t *testing.T) {
+	tl := exampleTimeline(t)
+	v := mustView(t, tl)
+	out := RenderCPULanesASCII(v, ASCIIOptions{Width: 60})
+	if !strings.Contains(out, "cpu0 ") || !strings.Contains(out, "cpu1 ") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	// The workers' IDs (4 and 5) appear in the lanes.
+	if !strings.Contains(out, "4") || !strings.Contains(out, "5") {
+		t.Fatalf("thread ids missing:\n%s", out)
+	}
+	// Lanes all have equal width.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatal("ragged lanes")
+	}
+}

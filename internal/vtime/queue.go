@@ -1,0 +1,84 @@
+package vtime
+
+// EventQueue is a deterministic priority queue of timestamped items.
+// Items that share a timestamp are delivered in insertion order, which is
+// what makes whole simulations reproducible: the tie-break is an explicit
+// sequence number rather than heap internals.
+//
+// The zero value is ready to use.
+type EventQueue[T any] struct {
+	heap []entry[T]
+	seq  uint64
+}
+
+type entry[T any] struct {
+	at   Time
+	seq  uint64
+	item T
+}
+
+// Len reports the number of queued items.
+func (q *EventQueue[T]) Len() int { return len(q.heap) }
+
+// Push queues item for delivery at time at.
+func (q *EventQueue[T]) Push(at Time, item T) {
+	q.heap = append(q.heap, entry[T]{at: at, seq: q.seq, item: item})
+	q.seq++
+	q.up(len(q.heap) - 1)
+}
+
+// PeekTime returns the timestamp of the earliest item. It panics if the
+// queue is empty; check Len first.
+func (q *EventQueue[T]) PeekTime() Time {
+	return q.heap[0].at
+}
+
+// Pop removes and returns the earliest item and its timestamp. It panics if
+// the queue is empty; check Len first.
+func (q *EventQueue[T]) Pop() (Time, T) {
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top.at, top.item
+}
+
+func (q *EventQueue[T]) less(i, j int) bool {
+	if q.heap[i].at != q.heap[j].at {
+		return q.heap[i].at < q.heap[j].at
+	}
+	return q.heap[i].seq < q.heap[j].seq
+}
+
+func (q *EventQueue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue[T]) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.heap[i], q.heap[least] = q.heap[least], q.heap[i]
+		i = least
+	}
+}

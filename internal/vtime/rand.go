@@ -1,0 +1,50 @@
+package vtime
+
+// Rand is a small deterministic random source (SplitMix64). The validation
+// harness uses it to perturb reference executions ("real" runs in Table 1
+// are the middle of five executions); using our own generator keeps runs
+// identical across Go releases, unlike math/rand's unspecified stream.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("vtime: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Jitter returns d scaled by a uniform factor in [1-amp, 1+amp].
+// amp must be in [0, 1).
+func (r *Rand) Jitter(d Duration, amp float64) Duration {
+	if amp == 0 || d == 0 {
+		return d
+	}
+	f := 1 + amp*(2*r.Float64()-1)
+	j := Duration(f * float64(d))
+	if j < 0 {
+		j = 0
+	}
+	return j
+}

@@ -1,0 +1,43 @@
+package workloads
+
+import (
+	"vppb/internal/threadlib"
+)
+
+// Barrier is a sense-reversing barrier built from a mutex and a condition
+// variable, the construction the paper's section 6 discusses: the last
+// thread to arrive broadcasts, which is exactly the pattern the
+// Simulator's barrier fix recognizes in the recorded log.
+type Barrier struct {
+	m       *threadlib.Mutex
+	cv      *threadlib.Cond
+	parties int
+	arrived int
+	gen     int
+}
+
+// NewBarrier creates a named barrier for n parties on process p.
+func NewBarrier(p *threadlib.Process, name string, n int) *Barrier {
+	return &Barrier{
+		m:       p.NewMutex(name + ".m"),
+		cv:      p.NewCond(name + ".cv"),
+		parties: n,
+	}
+}
+
+// Wait blocks the calling thread until all parties have arrived.
+func (b *Barrier) Wait(t *threadlib.Thread) {
+	b.m.Lock(t)
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.parties {
+		b.arrived = 0
+		b.gen++
+		b.cv.Broadcast(t)
+	} else {
+		for gen == b.gen {
+			b.cv.Wait(t, b.m)
+		}
+	}
+	b.m.Unlock(t)
+}

@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+)
+
+// dbserver exercises the I/O extension (the paper's section-6 future work:
+// "our technique does not model I/O ... we are currently working on
+// solving this problem"): a database-server-like program in which worker
+// threads alternate request parsing (CPU), an index lookup under a shared
+// read-write lock, a disk read on one of two FIFO devices, and result
+// assembly (CPU). Scaling is limited by disk contention rather than CPU,
+// so its speed-up saturates at the aggregate device bandwidth — a shape no
+// CPU-only model can predict.
+func init() {
+	register(&Workload{
+		Name:        "dbserver",
+		Description: "I/O-bound request server: disk contention limits scaling (I/O extension demo)",
+		Setup:       dbserverSetup,
+	})
+}
+
+const (
+	dbTotalRequests = 320 // divided among the workers
+	dbParseUS       = 900.0
+	dbAssembleUS    = 700.0
+	dbIndexReadUS   = 60.0
+	dbIndexWriteUS  = 220.0
+	dbDiskServiceUS = 1100.0
+	// Every dbWriteEvery-th request updates the index under the write
+	// lock.
+	dbWriteEvery = 8
+)
+
+func dbserverSetup(p *threadlib.Process, prm Params) func(*threadlib.Thread) {
+	prm = prm.normalized()
+	nthr := prm.Threads
+	index := p.NewRWLock("index")
+	disks := []*threadlib.Device{p.NewDevice("disk-0"), p.NewDevice("disk-1")}
+
+	perWorker := dbTotalRequests / nthr
+	worker := func(id int) func(*threadlib.Thread) {
+		return func(t *threadlib.Thread) {
+			for req := 0; req < perWorker; req++ {
+				t.Compute(prm.scaled(imbalanced(dbParseUS, 0.05, int64(id), int64(req), 8)))
+				if req%dbWriteEvery == dbWriteEvery-1 {
+					index.WrLock(t)
+					t.Compute(prm.scaled(dbIndexWriteUS))
+					index.Unlock(t)
+				} else {
+					index.RdLock(t)
+					t.Compute(prm.scaled(dbIndexReadUS))
+					index.Unlock(t)
+				}
+				disk := disks[int(hash64(int64(id), int64(req), 9)%uint64(len(disks)))]
+				disk.IO(t, prm.scaled(imbalanced(dbDiskServiceUS, 0.1, int64(id), int64(req), 10)))
+				t.Compute(prm.scaled(dbAssembleUS))
+			}
+		}
+	}
+
+	return func(main *threadlib.Thread) {
+		main.SetConcurrency(nthr)
+		ids := make([]trace.ThreadID, nthr)
+		for i := 0; i < nthr; i++ {
+			ids[i] = main.Create(worker(i), threadlib.WithName(threadName("db", i)))
+		}
+		for _, id := range ids {
+			main.Join(id)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package workloads
+
+import (
+	"testing"
+
+	"vppb/internal/core"
+	"vppb/internal/trace"
+)
+
+func TestDBServerDiskBound(t *testing.T) {
+	// With two disks serving ~1.1ms requests and ~1.7ms of CPU per
+	// request, scaling saturates once the disks are the bottleneck.
+	s2 := predictSpeedup(t, "dbserver", 2, 0.5)
+	s4 := predictSpeedup(t, "dbserver", 4, 0.5)
+	s8 := predictSpeedup(t, "dbserver", 8, 0.5)
+	if s2 < 1.7 || s2 > 2.05 {
+		t.Fatalf("S2 = %.2f", s2)
+	}
+	if s8 > 6.0 {
+		t.Fatalf("S8 = %.2f: disk contention should cap the speed-up", s8)
+	}
+	// Saturation: the 4->8 gain is well below 2x.
+	if s8/s4 > 1.6 {
+		t.Fatalf("S4=%.2f S8=%.2f: no saturation", s4, s8)
+	}
+}
+
+func TestDBServerRecordsIOEvents(t *testing.T) {
+	log := recordWorkload(t, "dbserver", Params{Threads: 2, Scale: 0.2})
+	ioOps := 0
+	devices := map[trace.ObjectID]bool{}
+	for _, ev := range log.Events {
+		if ev.Call == trace.CallIO && ev.Class == trace.Before {
+			ioOps++
+			devices[ev.Object] = true
+			if ev.Timeout <= 0 {
+				t.Fatal("io event without service time")
+			}
+		}
+	}
+	if ioOps != dbTotalRequests {
+		t.Fatalf("io ops = %d, want %d", ioOps, dbTotalRequests)
+	}
+	if len(devices) != 2 {
+		t.Fatalf("devices used = %d, want 2", len(devices))
+	}
+	// And the whole log replays cleanly.
+	if _, err := core.Simulate(log, core.Machine{CPUs: 4}); err != nil {
+		t.Fatal(err)
+	}
+}

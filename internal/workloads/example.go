@@ -1,0 +1,33 @@
+package workloads
+
+import (
+	"vppb/internal/threadlib"
+)
+
+// example is the small demonstration program of the paper's figure 2:
+// main creates thr_a and thr_b, joins both, and exits; each worker just
+// computes. Its recording is the canonical log used in figures 2, 4
+// and 5.
+func init() {
+	register(&Workload{
+		Name:         "example",
+		Description:  "figure 2 example: main creates thr_a and thr_b and joins them",
+		FixedThreads: true,
+		Setup:        exampleSetup,
+	})
+}
+
+func exampleSetup(p *threadlib.Process, prm Params) func(*threadlib.Thread) {
+	prm = prm.normalized()
+	worker := func(w *threadlib.Thread) {
+		w.Compute(prm.scaled(200_000)) // 0.2 s of work per thread
+	}
+	return func(main *threadlib.Thread) {
+		main.Compute(prm.scaled(80_000))
+		a := main.Create(worker, threadlib.WithName("thr_a"))
+		b := main.Create(worker, threadlib.WithName("thr_b"))
+		main.Join(a)
+		main.Join(b)
+		main.Compute(prm.scaled(40_000))
+	}
+}

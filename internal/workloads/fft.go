@@ -1,0 +1,80 @@
+package workloads
+
+import (
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+)
+
+// fft is the analogue of SPLASH-2 FFT (scaled from the paper's 4M-point
+// data set): the radix-√n six-step 1-D FFT. Three of the six phases are
+// all-to-all matrix transposes in which every thread reads a block from
+// every other thread's partition; on a real machine that remote traffic is
+// what collapses FFT's scalability (the paper measures 1.55 / 2.14 / 2.62
+// on 2 / 4 / 8 processors — the worst of the five applications).
+//
+// The transpose phases model the remote-block cost explicitly: with P
+// threads each thread's transpose work is base/P for its local block plus
+// a remote term proportional to (P-1)/P, reproducing the measured
+// S(P) = P / (1 + 0.29 (P-1)) shape of Table 1.
+func init() {
+	register(&Workload{
+		Name:        "fft",
+		Description: "six-step FFT: all-to-all transposes limit scaling (SPLASH-2 FFT analogue)",
+		Setup:       fftSetup,
+	})
+}
+
+const (
+	// fftComputeUS is the total CPU of one local-computation phase.
+	fftComputeUS = 12_000_000.0
+	// fftTransposeUS is the serial (1-thread) cost of one transpose.
+	fftTransposeUS = 12_000_000.0
+	// fftRemoteFactor is the per-extra-thread remote traffic multiplier;
+	// with three transpose and three compute phases of equal weight it
+	// yields the paper's phi*chi = 0.29.
+	fftRemoteFactor = 0.58
+	// fftChunks splits transpose phases into per-source-partition block
+	// copies (one barrier-free chunk per peer).
+	fftChunks    = 16
+	fftImbalance = 0.008
+	fftNumPhases = 6
+)
+
+func fftSetup(p *threadlib.Process, prm Params) func(*threadlib.Thread) {
+	prm = prm.normalized()
+	nthr := prm.Threads
+	bar := NewBarrier(p, "fft.bar", nthr)
+
+	worker := func(id int) func(*threadlib.Thread) {
+		return func(t *threadlib.Thread) {
+			for ph := 0; ph < fftNumPhases; ph++ {
+				transpose := ph%2 == 0 // phases 0,2,4 transpose; 1,3,5 compute
+				var per float64
+				if transpose {
+					local := fftTransposeUS / float64(nthr)
+					remote := fftTransposeUS * fftRemoteFactor * float64(nthr-1) / float64(nthr)
+					per = local + remote
+				} else {
+					per = fftComputeUS / float64(nthr)
+				}
+				per = imbalanced(per, fftImbalance, int64(id), int64(ph), 3)
+				chunk := prm.scaled(per / fftChunks)
+				for c := 0; c < fftChunks; c++ {
+					t.Compute(chunk)
+				}
+				bar.Wait(t)
+			}
+		}
+	}
+
+	return func(main *threadlib.Thread) {
+		main.SetConcurrency(nthr)
+		ids := make([]trace.ThreadID, nthr)
+		for i := 0; i < nthr; i++ {
+			ids[i] = main.Create(worker(i), threadlib.WithName(threadName("fft", i)))
+		}
+		for _, id := range ids {
+			main.Join(id)
+		}
+	}
+}

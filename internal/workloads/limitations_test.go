@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"vppb/internal/recorder"
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// The paper excludes two classes of SPLASH-2 programs from the validation
+// (section 4): task-stealing programs (Raytrace, Volrend), where under a
+// single LWP "only one thread steals all tasks, since it never yields the
+// CPU", and spinning programs (Barnes, Radiosity, Cholesky, FMM), which
+// livelock because the spinning thread never yields. These tests pin both
+// documented limitations.
+
+// stealingProgram is a Raytrace-style task-queue program: workers pull
+// tasks from a shared queue guarded by a mutex until it is empty.
+func stealingProgram(taken map[trace.ThreadID]int) func(p *threadlib.Process) func(*threadlib.Thread) {
+	return func(p *threadlib.Process) func(*threadlib.Thread) {
+		m := p.NewMutex("queue")
+		tasks := 64
+		return func(th *threadlib.Thread) {
+			var ids []trace.ThreadID
+			for i := 0; i < 4; i++ {
+				ids = append(ids, th.Create(func(w *threadlib.Thread) {
+					for {
+						m.Lock(w)
+						if tasks == 0 {
+							m.Unlock(w)
+							return
+						}
+						tasks--
+						taken[w.ID()]++
+						m.Unlock(w)
+						w.Compute(2 * vtime.Millisecond) // process the task
+					}
+				}))
+			}
+			for _, id := range ids {
+				th.Join(id)
+			}
+		}
+	}
+}
+
+func TestWorkStealingDegeneratesUnderRecorder(t *testing.T) {
+	// Under the Recorder (one LWP, run to block) the first worker never
+	// yields the CPU between tasks, so it drains the whole queue — the
+	// paper's exact reason for excluding Raytrace and Volrend.
+	taken := map[trace.ThreadID]int{}
+	_, _, err := recorder.Record(stealingProgram(taken), recorder.Options{Program: "steal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := taken[4]; got != 64 {
+		t.Fatalf("first worker took %d of 64 tasks; the single-LWP degeneration should give it all", got)
+	}
+	for _, id := range []trace.ThreadID{5, 6, 7} {
+		if taken[id] != 0 {
+			t.Fatalf("worker %d took %d tasks under one LWP", id, taken[id])
+		}
+	}
+
+	// On a real multiprocessor the work spreads across the workers.
+	taken2 := map[trace.ThreadID]int{}
+	costs := threadlib.DefaultCosts()
+	p := threadlib.NewProcess(threadlib.Config{CPUs: 4, Costs: &costs})
+	if _, err := p.Run(stealingProgram(taken2)(p)); err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, n := range taken2 {
+		if n > 0 {
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Fatalf("only %d workers took tasks on 4 CPUs", busy)
+	}
+}
+
+func TestSpinningProgramLivelocksUnderRecorder(t *testing.T) {
+	// A Barnes-style busy wait: main polls a trylock in a tight loop,
+	// never blocking and never yielding its single LWP, so the flag
+	// setter can never run — the paper's reason for excluding Barnes,
+	// Radiosity, Cholesky and FMM. Virtual time advances (each poll
+	// costs a few microseconds) so the zero-progress guard cannot fire;
+	// the virtual-time watchdog converts the livelock into an error
+	// instead of hanging the host. The flag is guarded by a mutex so the
+	// setter's store happens after a library call, as in a real program.
+	costs := threadlib.DefaultCosts()
+	p := threadlib.NewProcess(threadlib.Config{
+		CPUs: 1, LWPs: 1, Costs: &costs, MaxDuration: 100 * vtime.Millisecond,
+	})
+	m := p.NewMutex("spinlock")
+	flag := false
+	_, err := p.Run(func(th *threadlib.Thread) {
+		th.Create(func(w *threadlib.Thread) {
+			w.Compute(vtime.Millisecond)
+			m.Lock(w)
+			flag = true
+			m.Unlock(w)
+		})
+		for {
+			m.Lock(th)
+			done := flag
+			m.Unlock(th)
+			if done {
+				break
+			}
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "did not terminate") {
+		t.Fatalf("busy spin should trip the watchdog under one LWP, got %v", err)
+	}
+
+	// The same program with thr_yield in the loop lets the setter run
+	// and terminates cleanly — the paper's prescribed fix.
+	p2 := threadlib.NewProcess(threadlib.Config{CPUs: 1, LWPs: 1, Costs: &costs})
+	flag2 := false
+	_, err = p2.Run(func(th *threadlib.Thread) {
+		other := th.Create(func(w *threadlib.Thread) {
+			w.Compute(vtime.Millisecond)
+			flag2 = true
+		})
+		for !flag2 {
+			th.Yield()
+		}
+		th.Join(other)
+	})
+	if err != nil {
+		t.Fatalf("yielding spin should terminate: %v", err)
+	}
+}

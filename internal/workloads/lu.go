@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+)
+
+// lu is the analogue of SPLASH-2 LU, contiguous blocks (scaled from the
+// paper's 768x768 matrix with 16x16 blocks): blocked dense LU
+// factorization. The matrix is a K x K grid of blocks; block columns are
+// owned round-robin by the threads. Iteration k factorizes the diagonal
+// block (owner only), then all threads update the blocks of their owned
+// active columns, with a barrier between iterations. As the active window
+// shrinks below the thread count, owners idle — the classic LU tail
+// imbalance behind Table 1's 1.79 / 3.15 / 4.82 speed-ups.
+func init() {
+	register(&Workload{
+		Name:        "lu",
+		Description: "blocked LU factorization: shrinking-window imbalance (SPLASH-2 LU analogue)",
+		Setup:       luSetup,
+	})
+}
+
+const (
+	// luBlocks is the K x K block grid (scaled from 48x48).
+	luBlocks = 12
+	// luBlockUS is the CPU cost of one trailing-matrix block update.
+	luBlockUS = 120_000.0
+	// luDiagUS is the diagonal factorization each iteration (serial).
+	luDiagUS = 120_000.0
+	// luImbalance perturbs block costs slightly.
+	luImbalance = 0.01
+)
+
+func luSetup(p *threadlib.Process, prm Params) func(*threadlib.Thread) {
+	prm = prm.normalized()
+	nthr := prm.Threads
+	bar := NewBarrier(p, "lu.bar", nthr)
+
+	worker := func(id int) func(*threadlib.Thread) {
+		return func(t *threadlib.Thread) {
+			for k := 0; k < luBlocks-1; k++ {
+				active := luBlocks - 1 - k // active trailing columns
+				// Diagonal factorization by the owner of column k.
+				if k%nthr == id {
+					t.Compute(prm.scaled(luDiagUS))
+				}
+				bar.Wait(t)
+				// Update owned active columns: column c costs `active`
+				// block updates (its blocks in the trailing window).
+				for c := k + 1; c < luBlocks; c++ {
+					if c%nthr != id {
+						continue
+					}
+					cost := imbalanced(float64(active)*luBlockUS, luImbalance,
+						int64(id), int64(k), int64(c), 5)
+					t.Compute(prm.scaled(cost))
+				}
+				bar.Wait(t)
+			}
+		}
+	}
+
+	return func(main *threadlib.Thread) {
+		main.SetConcurrency(nthr)
+		ids := make([]trace.ThreadID, nthr)
+		for i := 0; i < nthr; i++ {
+			ids[i] = main.Create(worker(i), threadlib.WithName(threadName("lu", i)))
+		}
+		for _, id := range ids {
+			main.Join(id)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package workloads
+
+import (
+	"fmt"
+
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+)
+
+// ocean is the analogue of SPLASH-2 Ocean (contiguous partitions, scaled
+// from the paper's 514x514 grid): a multigrid current simulation whose
+// timesteps run several barrier-separated relaxation phases. Each thread
+// owns a band of the grid; after every band chunk the threads merge a
+// convergence residual under a single mutex — Ocean's fine-grained
+// synchronization is what gives it the highest event rate of the five
+// applications (and, in the paper, the largest log and prediction error).
+func init() {
+	register(&Workload{
+		Name:        "ocean",
+		Description: "multigrid ocean simulation: barrier phases, shared residual lock (SPLASH-2 Ocean analogue)",
+		Setup:       oceanSetup,
+	})
+}
+
+const (
+	oceanSteps  = 8
+	oceanPhases = 5
+	// oceanPhaseWorkUS is the total CPU per phase across all threads.
+	oceanPhaseWorkUS = 2_000_000.0
+	// oceanChunks is the number of residual-merge chunks per thread and
+	// phase (each merge is a lock/unlock pair). Ocean's fine granularity
+	// gives it the highest event rate of the five applications (the
+	// paper measured 653 events/s and the largest log).
+	oceanChunks = 48
+	// oceanImbalance is the per-thread relative work variation; the
+	// per-phase maximum over P threads sets the barrier wait.
+	oceanImbalance = 0.02
+	// oceanSerialUS is the per-step boundary work only thread 0
+	// performs while the others wait.
+	oceanSerialUS = 8_000.0
+	// oceanLockHoldUS is the residual-merge critical section.
+	oceanLockHoldUS = 14.0
+	// oceanCommGamma/Exp: red-black relaxation on a shared bus — the
+	// boundary and memory traffic per thread grows steeply with the
+	// number of partitions (Table 1 shows Ocean falling to 6.65 on 8
+	// processors).
+	oceanCommGamma = 0.0035
+	oceanCommExp   = 2.2
+)
+
+func oceanSetup(p *threadlib.Process, prm Params) func(*threadlib.Thread) {
+	prm = prm.normalized()
+	nthr := prm.Threads
+	diff := p.NewMutex("ocean.diff")
+	bar := NewBarrier(p, "ocean.bar", nthr)
+
+	worker := func(id int) func(*threadlib.Thread) {
+		return func(t *threadlib.Thread) {
+			comm := commTerm(nthr, oceanCommGamma, oceanCommExp)
+			for step := 0; step < oceanSteps; step++ {
+				for phase := 0; phase < oceanPhases; phase++ {
+					per := imbalanced(comm*oceanPhaseWorkUS/float64(nthr), oceanImbalance,
+						int64(id), int64(step), int64(phase), 1)
+					chunk := prm.scaled(per / oceanChunks)
+					for c := 0; c < oceanChunks; c++ {
+						t.Compute(chunk)
+						diff.Lock(t)
+						t.Compute(prm.scaled(oceanLockHoldUS))
+						diff.Unlock(t)
+					}
+					bar.Wait(t)
+				}
+				// Boundary exchange: thread 0 works, everyone then meets
+				// at the step barrier.
+				if id == 0 {
+					t.Compute(prm.scaled(oceanSerialUS))
+				}
+				bar.Wait(t)
+			}
+		}
+	}
+
+	return func(main *threadlib.Thread) {
+		main.SetConcurrency(nthr)
+		ids := make([]trace.ThreadID, nthr)
+		for i := 0; i < nthr; i++ {
+			ids[i] = main.Create(worker(i), threadlib.WithName(threadName("ocean", i)))
+		}
+		for _, id := range ids {
+			main.Join(id)
+		}
+	}
+}
+
+func threadName(prefix string, i int) string {
+	return fmt.Sprintf("%s-%d", prefix, i)
+}

@@ -1,0 +1,77 @@
+package workloads
+
+import (
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+)
+
+// radix is the analogue of SPLASH-2 Radix (scaled from the paper's 16M
+// keys, radix 1024): a parallel radix sort. Each pass builds per-thread
+// local histograms (perfectly parallel), merges them into global rank
+// prefixes (a short step thread 0 performs serially over the radix
+// buckets), and permutes the keys (parallel again). The serial prefix is
+// tiny relative to the key work, which is why Radix scales almost
+// perfectly (2.00 / 3.99 / 7.79 in Table 1).
+func init() {
+	register(&Workload{
+		Name:        "radix",
+		Description: "parallel radix sort: near-perfect scaling (SPLASH-2 Radix analogue)",
+		Setup:       radixSetup,
+	})
+}
+
+const (
+	radixPasses = 4
+	// radixHistUS / radixPermuteUS: total CPU across threads per pass.
+	radixHistUS    = 6_500_000.0
+	radixPermuteUS = 11_000_000.0
+	// radixPrefixUS is the serial rank-prefix merge per pass.
+	radixPrefixUS  = 8_000.0
+	radixImbalance = 0.006
+	radixChunks    = 10
+	// Permute-phase write traffic grows slowly with thread count.
+	radixCommGamma = 0.00006
+	radixCommExp   = 3.0
+)
+
+func radixSetup(p *threadlib.Process, prm Params) func(*threadlib.Thread) {
+	prm = prm.normalized()
+	nthr := prm.Threads
+	bar := NewBarrier(p, "radix.bar", nthr)
+
+	comm := commTerm(nthr, radixCommGamma, radixCommExp)
+	parallelPhase := func(t *threadlib.Thread, id, pass, ph int, totalUS float64) {
+		per := imbalanced(comm*totalUS/float64(nthr), radixImbalance,
+			int64(id), int64(pass), int64(ph), 4)
+		chunk := prm.scaled(per / radixChunks)
+		for c := 0; c < radixChunks; c++ {
+			t.Compute(chunk)
+		}
+	}
+
+	worker := func(id int) func(*threadlib.Thread) {
+		return func(t *threadlib.Thread) {
+			for pass := 0; pass < radixPasses; pass++ {
+				parallelPhase(t, id, pass, 0, radixHistUS)
+				bar.Wait(t)
+				if id == 0 {
+					t.Compute(prm.scaled(radixPrefixUS))
+				}
+				bar.Wait(t)
+				parallelPhase(t, id, pass, 1, radixPermuteUS)
+				bar.Wait(t)
+			}
+		}
+	}
+
+	return func(main *threadlib.Thread) {
+		main.SetConcurrency(nthr)
+		ids := make([]trace.ThreadID, nthr)
+		for i := 0; i < nthr; i++ {
+			ids[i] = main.Create(worker(i), threadlib.WithName(threadName("radix", i)))
+		}
+		for _, id := range ids {
+			main.Join(id)
+		}
+	}
+}

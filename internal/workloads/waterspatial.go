@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+)
+
+// waterspatial is the analogue of SPLASH-2 Water-Spatial (scaled from the
+// paper's 512 molecules, 30 time steps): a molecular dynamics simulation
+// over a uniform 3-D cell grid. Per time step the threads compute
+// intra-molecule forces, inter-molecule forces over their cell
+// neighbourhoods (occasionally locking a neighbour cell), and the
+// position/velocity update, with barriers between phases and a small
+// global-energy reduction by thread 0. Work is spatially balanced, which
+// is why the paper measures a near-linear 7.67 speed-up on 8 processors.
+func init() {
+	register(&Workload{
+		Name:        "waterspatial",
+		Description: "spatial molecular dynamics: balanced cells, near-linear scaling (SPLASH-2 Water-Spatial analogue)",
+		Setup:       waterSetup,
+	})
+}
+
+const (
+	waterSteps = 11
+	// waterPhaseWorkUS: total CPU across threads, per phase.
+	waterIntraUS  = 1_300_000.0
+	waterInterUS  = 3_400_000.0
+	waterUpdateUS = 800_000.0
+	// waterImbalance is small: molecules spread evenly across cells.
+	waterImbalance = 0.012
+	// waterSerialUS is thread 0's global energy reduction per step.
+	waterSerialUS = 9_000.0
+	// waterCellChunks splits the inter-force phase into neighbour-cell
+	// chunks, each guarded by one of the cell locks.
+	waterCellChunks = 8
+	waterLockHoldUS = 9.0
+	waterCellLocks  = 13
+	// Mild neighbour-exchange overhead growing with partition count.
+	waterCommGamma = 0.002
+	waterCommExp   = 1.4
+)
+
+func waterSetup(p *threadlib.Process, prm Params) func(*threadlib.Thread) {
+	prm = prm.normalized()
+	nthr := prm.Threads
+	bar := NewBarrier(p, "water.bar", nthr)
+	cells := make([]*threadlib.Mutex, waterCellLocks)
+	for i := range cells {
+		cells[i] = p.NewMutex(threadName("water.cell", i))
+	}
+
+	comm := commTerm(nthr, waterCommGamma, waterCommExp)
+	phase := func(t *threadlib.Thread, id, step, ph int, totalUS float64) {
+		per := imbalanced(comm*totalUS/float64(nthr), waterImbalance,
+			int64(id), int64(step), int64(ph), 2)
+		t.Compute(prm.scaled(per))
+	}
+
+	worker := func(id int) func(*threadlib.Thread) {
+		return func(t *threadlib.Thread) {
+			for step := 0; step < waterSteps; step++ {
+				// Intra-molecular forces: purely local.
+				phase(t, id, step, 0, waterIntraUS)
+				bar.Wait(t)
+				// Inter-molecular forces: neighbour cells under locks.
+				per := imbalanced(comm*waterInterUS/float64(nthr), waterImbalance,
+					int64(id), int64(step), 1, 2)
+				chunk := prm.scaled(per / waterCellChunks)
+				for c := 0; c < waterCellChunks; c++ {
+					t.Compute(chunk)
+					lock := cells[int(hash64(int64(id), int64(step), int64(c))%uint64(waterCellLocks))]
+					lock.Lock(t)
+					t.Compute(prm.scaled(waterLockHoldUS))
+					lock.Unlock(t)
+				}
+				bar.Wait(t)
+				// Position/velocity update plus global reduction.
+				phase(t, id, step, 2, waterUpdateUS)
+				if id == 0 {
+					t.Compute(prm.scaled(waterSerialUS))
+				}
+				bar.Wait(t)
+			}
+		}
+	}
+
+	return func(main *threadlib.Thread) {
+		main.SetConcurrency(nthr)
+		ids := make([]trace.ThreadID, nthr)
+		for i := 0; i < nthr; i++ {
+			ids[i] = main.Create(worker(i), threadlib.WithName(threadName("water", i)))
+		}
+		for _, id := range ids {
+			main.Join(id)
+		}
+	}
+}

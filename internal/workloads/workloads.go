@@ -1,0 +1,142 @@
+// Package workloads provides the multithreaded programs the reproduction
+// records, predicts and validates: scaled-down analogues of the five
+// SPLASH-2 applications the paper evaluates (Ocean, Water-Spatial, FFT,
+// Radix, LU), the producer/consumer case study of section 5 in both its
+// naive and improved forms, and the small example program of figure 2.
+//
+// The SPLASH-2 analogues reproduce the parallel *structure* of the
+// originals — barrier-separated phases, work distribution, load imbalance,
+// serial sections and communication terms — with virtual CPU bursts in
+// place of real array arithmetic. Their speed-up shapes on 2, 4 and 8
+// processors track the paper's Table 1. Like SPLASH-2, each program
+// creates one worker thread per processor (Params.Threads).
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vppb/internal/threadlib"
+	"vppb/internal/vtime"
+)
+
+// Params configures one instantiation of a workload.
+type Params struct {
+	// Threads is the number of worker threads; SPLASH-2 style programs
+	// create one per target processor. 0 means 1. Workloads with a fixed
+	// thread structure (prodcons, example) ignore it.
+	Threads int
+	// Scale multiplies all compute durations; 0 means 1.0. It plays the
+	// role of the data-set size.
+	Scale float64
+}
+
+func (p Params) normalized() Params {
+	if p.Threads <= 0 {
+		p.Threads = 1
+	}
+	if p.Scale <= 0 {
+		p.Scale = 1.0
+	}
+	return p
+}
+
+// scaled converts microseconds to a scaled virtual duration.
+func (p Params) scaled(us float64) vtime.Duration {
+	d := vtime.Duration(us * p.Scale)
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Workload is a runnable multithreaded program.
+type Workload struct {
+	// Name is the registry key (e.g. "ocean").
+	Name string
+	// Description is a one-line summary.
+	Description string
+	// FixedThreads marks workloads that ignore Params.Threads.
+	FixedThreads bool
+	// Setup builds the program against a process: it creates the
+	// synchronization objects and returns the main thread body.
+	Setup func(p *threadlib.Process, prm Params) func(*threadlib.Thread)
+}
+
+// Bind adapts a workload to the recorder.Setup shape for given parameters.
+func (w *Workload) Bind(prm Params) func(*threadlib.Process) func(*threadlib.Thread) {
+	return func(p *threadlib.Process) func(*threadlib.Thread) {
+		return w.Setup(p, prm.normalized())
+	}
+}
+
+var registry = map[string]*Workload{}
+
+func register(w *Workload) {
+	if _, dup := registry[w.Name]; dup {
+		panic(fmt.Sprintf("workloads: duplicate %q", w.Name))
+	}
+	registry[w.Name] = w
+}
+
+// Get returns a workload by name.
+func Get(name string) (*Workload, error) {
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return w, nil
+}
+
+// Names lists the registered workloads, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Splash returns the names of the five SPLASH-2 analogues in the paper's
+// Table 1 order.
+func Splash() []string {
+	return []string{"ocean", "waterspatial", "fft", "radix", "lu"}
+}
+
+// hash64 mixes integers into a SplitMix64 state, for deterministic
+// per-(thread, phase) variation without shared state.
+func hash64(parts ...int64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h ^= uint64(p)
+		h *= 0xbf58476d1ce4e5b9
+		h ^= h >> 29
+	}
+	h *= 0x94d049bb133111eb
+	return h ^ (h >> 32)
+}
+
+// unitJitter returns a deterministic value in [-1, 1).
+func unitJitter(parts ...int64) float64 {
+	return float64(hash64(parts...)>>11)/(1<<52) - 1
+}
+
+// imbalanced spreads work with a deterministic per-sample relative jitter
+// of amplitude amp.
+func imbalanced(base float64, amp float64, parts ...int64) float64 {
+	return base * (1 + amp*unitJitter(parts...))
+}
+
+// commTerm returns the per-thread work multiplier 1 + gamma*(P-1)^exp that
+// models communication and memory-system overhead growing with the thread
+// count. Because SPLASH-2 programs create one thread per processor, the
+// overhead is present in the P-thread recording itself, which is how the
+// trace-driven Simulator can predict it.
+func commTerm(threads int, gamma, exp float64) float64 {
+	if threads <= 1 {
+		return 1
+	}
+	return 1 + gamma*math.Pow(float64(threads-1), exp)
+}

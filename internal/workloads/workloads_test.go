@@ -1,0 +1,258 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"vppb/internal/core"
+	"vppb/internal/recorder"
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"dbserver", "example", "fft", "lu", "ocean", "prodcons", "prodconsopt", "radix", "waterspatial"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		w, err := Get(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name != n || w.Description == "" || w.Setup == nil {
+			t.Fatalf("workload %q incomplete: %+v", n, w)
+		}
+	}
+	if _, err := Get("nonesuch"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestSplashList(t *testing.T) {
+	if len(Splash()) != 5 {
+		t.Fatalf("Splash() = %v", Splash())
+	}
+	for _, n := range Splash() {
+		if _, err := Get(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestParamsNormalization(t *testing.T) {
+	p := Params{}.normalized()
+	if p.Threads != 1 || p.Scale != 1.0 {
+		t.Fatalf("normalized = %+v", p)
+	}
+	if d := (Params{Scale: 1}).scaled(0.4); d != 1 {
+		t.Fatalf("sub-microsecond work must clamp to 1, got %d", d)
+	}
+	if d := (Params{Scale: 2}).scaled(100); d != 200 {
+		t.Fatalf("scaled = %d", d)
+	}
+}
+
+func TestDeterministicJitterHelpers(t *testing.T) {
+	if unitJitter(1, 2, 3) != unitJitter(1, 2, 3) {
+		t.Fatal("unitJitter not deterministic")
+	}
+	if unitJitter(1, 2, 3) == unitJitter(1, 2, 4) {
+		t.Fatal("unitJitter ignores inputs")
+	}
+	v := unitJitter(7, 8)
+	if v < -1 || v >= 1 {
+		t.Fatalf("unitJitter out of range: %v", v)
+	}
+	if got := imbalanced(100, 0, 1); got != 100 {
+		t.Fatalf("imbalanced with zero amp = %v", got)
+	}
+	if commTerm(1, 0.5, 2) != 1 {
+		t.Fatal("commTerm at one thread must be 1")
+	}
+	if commTerm(8, 0.0035, 2.2) <= 1 {
+		t.Fatal("commTerm must exceed 1 for multiple threads")
+	}
+}
+
+// recordWorkload produces the monitored uniprocessor log of a workload.
+func recordWorkload(t *testing.T, name string, prm Params) *trace.Log {
+	t.Helper()
+	w, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := recorder.Record(w.Bind(prm), recorder.Options{Program: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// predictSpeedup computes T1(1-thread uniprocessor reference) / TP(predicted).
+func predictSpeedup(t *testing.T, name string, cpus int, scale float64) float64 {
+	t.Helper()
+	w, err := Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := threadlib.DefaultCosts()
+	p1 := threadlib.NewProcess(threadlib.Config{CPUs: 1, LWPs: 1, Costs: &costs})
+	r1, err := p1.Run(w.Bind(Params{Threads: 1, Scale: scale})(p1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := recordWorkload(t, name, Params{Threads: cpus, Scale: scale})
+	pred, err := core.Simulate(log, core.Machine{CPUs: cpus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return float64(r1.Duration) / float64(pred.Duration)
+}
+
+func inRange(t *testing.T, got, lo, hi float64, what string) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Fatalf("%s = %.3f, want in [%.2f, %.2f]", what, got, lo, hi)
+	}
+}
+
+// TestTable1Shapes pins the predicted speed-up shape of each SPLASH-2
+// analogue against the paper's Table 1 (the harness compares medians of
+// jittered reference runs; here the deterministic predictions suffice).
+func TestTable1Shapes(t *testing.T) {
+	const scale = 0.15 // small data set keeps the test fast
+	type band struct{ lo, hi float64 }
+	want := map[string][3]band{
+		// paper:        2P            4P            8P
+		"ocean":        {{1.90, 2.0}, {3.65, 3.95}, {6.0, 6.5}},
+		"waterspatial": {{1.93, 2.0}, {3.80, 4.0}, {7.4, 7.8}},
+		"fft":          {{1.48, 1.62}, {2.05, 2.25}, {2.5, 2.75}},
+		"radix":        {{1.94, 2.0}, {3.90, 4.0}, {7.6, 7.95}},
+		"lu":           {{1.75, 1.90}, {3.05, 3.25}, {4.6, 5.0}},
+	}
+	for name, bands := range want {
+		for i, cpus := range []int{2, 4, 8} {
+			s := predictSpeedup(t, name, cpus, scale)
+			inRange(t, s, bands[i].lo, bands[i].hi, name+" speed-up")
+		}
+	}
+}
+
+func TestFFTSaturates(t *testing.T) {
+	s8 := predictSpeedup(t, "fft", 8, 0.1)
+	s4 := predictSpeedup(t, "fft", 4, 0.1)
+	if s8-s4 > 0.8 {
+		t.Fatalf("FFT should saturate: S4=%.2f S8=%.2f", s4, s8)
+	}
+}
+
+func TestProdconsBottleneck(t *testing.T) {
+	log := recordWorkload(t, "prodcons", Params{Scale: 0.5})
+	uni, err := core.Simulate(log, core.Machine{CPUs: 1, LWPs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oct, err := core.Simulate(log, core.Machine{CPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := float64(uni.Duration)/float64(oct.Duration) - 1
+	// Paper: the naive program ran only 2.2% faster on 8 CPUs.
+	if gain < 0 || gain > 0.10 {
+		t.Fatalf("naive gain on 8 CPUs = %.1f%%, want ~2%%", gain*100)
+	}
+}
+
+func TestProdconsOptScales(t *testing.T) {
+	log := recordWorkload(t, "prodconsopt", Params{Scale: 0.5})
+	uni, err := core.Simulate(log, core.Machine{CPUs: 1, LWPs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oct, err := core.Simulate(log, core.Machine{CPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := float64(uni.Duration) / float64(oct.Duration)
+	// Paper: predicted 7.75 on the simulated eight-processor machine.
+	if s < 7.4 || s > 8.0 {
+		t.Fatalf("improved speed-up = %.2f, want ~7.75", s)
+	}
+}
+
+func TestExampleMatchesFigure2(t *testing.T) {
+	log := recordWorkload(t, "example", Params{})
+	if len(log.Threads) != 3 {
+		t.Fatalf("threads = %d", len(log.Threads))
+	}
+	listing := trace.FormatPaper(log)
+	for _, wantLine := range []string{"thr_create thr_a", "thr_create thr_b", "ok thr_join thr_a", "ok thr_join thr_b"} {
+		if !strings.Contains(listing, wantLine) {
+			t.Fatalf("listing missing %q:\n%s", wantLine, listing)
+		}
+	}
+}
+
+func TestAllWorkloadsRecordCleanly(t *testing.T) {
+	for _, name := range Names() {
+		prm := Params{Threads: 4, Scale: 0.05}
+		if name == "prodcons" || name == "prodconsopt" {
+			prm.Scale = 0.2
+		}
+		log := recordWorkload(t, name, prm)
+		if err := log.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if _, err := trace.BuildProfile(log); err != nil {
+			t.Fatalf("%s profile: %v", name, err)
+		}
+		// Every recording must simulate without deadlock on 3 CPUs.
+		if _, err := core.Simulate(log, core.Machine{CPUs: 3}); err != nil {
+			t.Fatalf("%s simulate: %v", name, err)
+		}
+	}
+}
+
+func TestRecordingDeterministic(t *testing.T) {
+	a := recordWorkload(t, "ocean", Params{Threads: 4, Scale: 0.05})
+	b := recordWorkload(t, "ocean", Params{Threads: 4, Scale: 0.05})
+	if len(a.Events) != len(b.Events) || a.Duration() != b.Duration() {
+		t.Fatalf("recordings differ: %d/%v vs %d/%v",
+			len(a.Events), a.Duration(), len(b.Events), b.Duration())
+	}
+}
+
+func TestBarrierWaitsForAll(t *testing.T) {
+	costs := threadlib.DefaultCosts()
+	p := threadlib.NewProcess(threadlib.Config{CPUs: 4, Costs: &costs})
+	bar := NewBarrier(p, "b", 4)
+	passed := 0
+	_, err := p.Run(func(main *threadlib.Thread) {
+		var ids []trace.ThreadID
+		for i := 0; i < 4; i++ {
+			d := int64(i)
+			ids = append(ids, main.Create(func(w *threadlib.Thread) {
+				w.Compute(vtime.Duration(5*(d+1)) * vtime.Millisecond)
+				bar.Wait(w)
+				passed++
+			}))
+		}
+		for _, id := range ids {
+			main.Join(id)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if passed != 4 {
+		t.Fatalf("passed = %d", passed)
+	}
+}

@@ -1,0 +1,149 @@
+package vppb
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEndToEndWorkflow exercises the public API exactly the way the README
+// quickstart does: write a program, record it, predict, visualize,
+// inspect.
+func TestEndToEndWorkflow(t *testing.T) {
+	setup := func(p *Process) func(*Thread) {
+		m := p.NewMutex("lock")
+		items := p.NewSema("items", 0)
+		return func(th *Thread) {
+			consumer := th.Create(func(w *Thread) {
+				for i := 0; i < 3; i++ {
+					items.Wait(w)
+					m.Lock(w)
+					w.Compute(5 * Millisecond)
+					m.Unlock(w)
+				}
+			}, WithName("consumer"))
+			for i := 0; i < 3; i++ {
+				th.Compute(5 * Millisecond)
+				items.Post(th)
+			}
+			th.Join(consumer)
+		}
+	}
+
+	log, runRes, err := Record(setup, RecordOptions{Program: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runRes.Threads != 2 {
+		t.Fatalf("threads = %d", runRes.Threads)
+	}
+	if log.Header.Program != "demo" {
+		t.Fatalf("program = %q", log.Header.Program)
+	}
+
+	// Round trip through a file.
+	path := filepath.Join(t.TempDir(), "demo.bin")
+	if err := WriteLog(path, log); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Events) != len(log.Events) {
+		t.Fatal("file round trip lost events")
+	}
+
+	// Predict on two CPUs and check the pipeline overlaps.
+	speedup, err := PredictSpeedup(loaded, Machine{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup <= 1.0 || speedup > 2.0 {
+		t.Fatalf("speedup = %.2f", speedup)
+	}
+
+	res, err := Simulate(loaded, Machine{CPUs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := NewView(res.Timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ascii := RenderASCII(view, ASCIIOptions{Width: 60})
+	if !strings.Contains(ascii, "consumer") {
+		t.Fatalf("flow graph missing consumer:\n%s", ascii)
+	}
+	svg := RenderSVG(view, SVGOptions{Title: "demo"})
+	if !strings.Contains(svg, "<svg") {
+		t.Fatal("no svg output")
+	}
+
+	in := NewInspector(res.Timeline)
+	ref, ok := in.At(4, 0)
+	if !ok {
+		t.Fatal("no events for consumer")
+	}
+	desc, err := in.Describe(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(desc, "T4") {
+		t.Fatalf("popup: %s", desc)
+	}
+}
+
+func TestFacadeWorkloadRegistry(t *testing.T) {
+	if len(Workloads()) < 8 {
+		t.Fatalf("workloads = %v", Workloads())
+	}
+	if len(SplashWorkloads()) != 5 {
+		t.Fatalf("splash = %v", SplashWorkloads())
+	}
+	w, err := GetWorkload("ocean")
+	if err != nil || w.Name != "ocean" {
+		t.Fatalf("GetWorkload: %v %v", w, err)
+	}
+	if _, err := GetWorkload("bogus"); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+	if _, err := RecordWorkload("bogus", WorkloadParams{}); err == nil {
+		t.Fatal("bogus workload recorded")
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	if Speedup(100*Second, 25*Second) != 4 {
+		t.Fatal("Speedup wrong")
+	}
+	e := PredictionError(6.65, 6.24)
+	if e < 0.06 || e > 0.063 {
+		t.Fatalf("PredictionError = %v", e)
+	}
+}
+
+func TestFacadeMarshal(t *testing.T) {
+	log, err := RecordWorkload("example", WorkloadParams{Scale: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := MarshalLogText(log)
+	bin := MarshalLogBinary(log)
+	if len(text) == 0 || len(bin) == 0 || len(bin) >= len(text) {
+		t.Fatalf("marshal sizes: text %d, binary %d", len(text), len(bin))
+	}
+	if !strings.Contains(FormatLog(log), "thr_create thr_a") {
+		t.Fatal("FormatLog missing expected line")
+	}
+	if log.ComputeStats().Events != len(log.Events) {
+		t.Fatal("stats mismatch")
+	}
+}
+
+func TestFacadeDefaultCosts(t *testing.T) {
+	c := DefaultCosts()
+	if c.BoundCreateFactor != 6.7 || c.BoundSyncFactor != 5.9 {
+		t.Fatalf("paper factors wrong: %+v", c)
+	}
+}
