@@ -24,7 +24,7 @@ import (
 // experimentNames in presentation order.
 var experimentNames = []string{
 	"table1", "fig2", "fig4", "fig5", "case5", "overhead", "logstats",
-	"bound", "commdelay", "lwps", "io",
+	"bound", "commdelay", "lwps", "io", "faults",
 }
 
 func main() {
@@ -132,6 +132,12 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 			}
 		case "io":
 			res, err := vppb.ExperimentIO(opts)
+			check(err)
+			if err == nil {
+				fmt.Fprintln(stdout, res.Report)
+			}
+		case "faults":
+			res, err := vppb.ExperimentFaults(opts)
 			check(err)
 			if err == nil {
 				fmt.Fprintln(stdout, res.Report)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -74,5 +75,44 @@ func TestPaperListing(t *testing.T) {
 func TestBadFlag(t *testing.T) {
 	if _, _, err := runCmd(t, "-nonsense"); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestUnknownWorkloadNamedInError(t *testing.T) {
+	_, _, err := runCmd(t, "-workload", "bogus")
+	if err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error does not name the workload: %v", err)
+	}
+}
+
+func TestUnwritableOutNamesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "x.log")
+	_, _, err := runCmd(t, "-workload", "example", "-scale", "0.2", "-out", path)
+	if err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("error does not name the output file: %v", err)
+	}
+}
+
+// TestMainExitCode re-executes the test binary as the real command to
+// assert the process-level contract: exit status 1 and a one-line
+// diagnostic.
+func TestMainExitCode(t *testing.T) {
+	if os.Getenv("VPPB_RECORD_MAIN_TEST") == "1" {
+		os.Args = []string{"vppb-record", "-workload", "bogus"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestMainExitCode")
+	cmd.Env = append(os.Environ(), "VPPB_RECORD_MAIN_TEST=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want non-zero exit, got err=%v output=%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(string(out), "vppb-record:") || !strings.Contains(string(out), "bogus") {
+		t.Fatalf("diagnostic missing:\n%s", out)
 	}
 }

@@ -11,6 +11,13 @@
 //	vppb-sim -log app.log -cpus 2 -bind 4=cpu:1 -bind 5=lwp -prio 6=55
 //	vppb-sim -log app.log -sweep 1,2,4,8,16
 //	vppb-sim -log app.log -cpus 8 -timeline app.tl   # artifact (g) for vppb-view
+//	vppb-sim -log damaged.log -repair                # print every applied fix
+//	vppb-sim -log damaged.log -strict                # refuse corrupt input
+//
+// A structurally invalid log is repaired automatically before simulation
+// (a one-line note goes to stderr); -repair additionally prints the full
+// repair report, and -strict turns any corruption into a hard failure.
+// -max-events and -max-vtime bound the simulation itself.
 package main
 
 import (
@@ -109,6 +116,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cpuReport  = fs.Bool("cpureport", false, "print per-CPU busy time and utilization")
 		timelineP  = fs.String("timeline", "", "write the predicted execution (figure 1's artifact g) to this file for vppb-view")
 		sweep      = fs.String("sweep", "", "comma-separated CPU counts: print a prediction per machine size instead of one simulation")
+		repair     = fs.Bool("repair", false, "print the full repair report when the log needs recovery")
+		strict     = fs.Bool("strict", false, "fail on a corrupt log instead of repairing it")
+		maxEvents  = fs.Int64("max-events", 0, "abort the simulation after this many simulated events (0 = unlimited)")
+		maxVtime   = fs.Int64("max-vtime", 0, "abort the simulation past this many microseconds of virtual time (0 = unlimited)")
 	)
 	fs.Var(&bindFlags{overrides}, "bind", "thread binding override: TID=cpu:N | TID=lwp | TID=unbound (repeatable)")
 	fs.Var(&prioFlags{overrides}, "prio", "pin a thread's priority: TID=PRIO (repeatable)")
@@ -119,21 +130,47 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *logPath == "" {
 		return fmt.Errorf("missing -log")
 	}
+	if *strict && *repair {
+		return fmt.Errorf("-strict and -repair are mutually exclusive")
+	}
 	log, err := vppb.ReadLog(*logPath)
 	if err != nil {
-		return err
+		return fmt.Errorf("%s: %w", *logPath, err)
+	}
+	if verr := log.Validate(); verr != nil {
+		if *strict {
+			return fmt.Errorf("%s: corrupt log: %w", *logPath, verr)
+		}
+		repaired, rep, rerr := vppb.RepairLog(log)
+		if rerr != nil {
+			return fmt.Errorf("%s: %w", *logPath, rerr)
+		}
+		if *repair {
+			fmt.Fprintf(stderr, "vppb-sim: %s: corrupt log (%v)\n", *logPath, verr)
+			fmt.Fprint(stderr, rep.String())
+		} else {
+			fmt.Fprintf(stderr, "vppb-sim: %s: corrupt log repaired: %s (-repair for details, -strict to fail)\n",
+				*logPath, rep.Summary())
+		}
+		log = repaired
 	}
 
+	guard := vppb.Machine{
+		MaxSimEvents:   *maxEvents,
+		MaxVirtualTime: vppb.Duration(*maxVtime),
+	}
 	if *sweep != "" {
-		return runSweep(stdout, log, *sweep, *lwps, vppb.Duration(*commDelay))
+		return runSweep(stdout, log, *sweep, *lwps, vppb.Duration(*commDelay), guard)
 	}
 
 	machine := vppb.Machine{
-		CPUs:         *cpus,
-		LWPs:         *lwps,
-		CommDelay:    vppb.Duration(*commDelay),
-		NoPreemption: *noPreempt,
-		Overrides:    overrides,
+		CPUs:           *cpus,
+		LWPs:           *lwps,
+		CommDelay:      vppb.Duration(*commDelay),
+		NoPreemption:   *noPreempt,
+		Overrides:      overrides,
+		MaxSimEvents:   guard.MaxSimEvents,
+		MaxVirtualTime: guard.MaxVirtualTime,
 	}
 	res, err := vppb.Simulate(log, machine)
 	if err != nil {
@@ -201,8 +238,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 // runSweep prints one prediction per machine size — the paper's core use
 // case of asking "what if I had N processors?" for several N at once.
-func runSweep(stdout io.Writer, log *vppb.Log, spec string, lwps int, delay vppb.Duration) error {
-	uni, err := vppb.Simulate(log, vppb.Machine{CPUs: 1, LWPs: 1})
+func runSweep(stdout io.Writer, log *vppb.Log, spec string, lwps int, delay vppb.Duration, guard vppb.Machine) error {
+	uni, err := vppb.Simulate(log, vppb.Machine{CPUs: 1, LWPs: 1,
+		MaxSimEvents: guard.MaxSimEvents, MaxVirtualTime: guard.MaxVirtualTime})
 	if err != nil {
 		return err
 	}
@@ -212,7 +250,8 @@ func runSweep(stdout io.Writer, log *vppb.Log, spec string, lwps int, delay vppb
 		if err != nil || cpus < 1 {
 			return fmt.Errorf("-sweep wants positive CPU counts, got %q", part)
 		}
-		res, err := vppb.Simulate(log, vppb.Machine{CPUs: cpus, LWPs: lwps, CommDelay: delay})
+		res, err := vppb.Simulate(log, vppb.Machine{CPUs: cpus, LWPs: lwps, CommDelay: delay,
+			MaxSimEvents: guard.MaxSimEvents, MaxVirtualTime: guard.MaxVirtualTime})
 		if err != nil {
 			return err
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -100,6 +101,125 @@ func TestTimelineOutput(t *testing.T) {
 	}
 	if tl.CPUs != 2 {
 		t.Fatalf("timeline CPUs = %d", tl.CPUs)
+	}
+}
+
+// corruptLog records a workload, truncates the log, and stores it.
+func corruptLog(t *testing.T) string {
+	t.Helper()
+	log, err := vppb.RecordWorkload("example", vppb.WorkloadParams{Scale: 0.2, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _, err := vppb.CorruptLog(log, "truncate", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "truncated.log")
+	if err := vppb.WriteLog(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestMissingFileNamedInError(t *testing.T) {
+	_, _, err := runCmd(t, "-log", "/no/such/file.log")
+	if err == nil || !strings.Contains(err.Error(), "/no/such/file.log") {
+		t.Fatalf("error does not name the file: %v", err)
+	}
+}
+
+func TestParseErrorNamesFileAndLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.log")
+	if err := os.WriteFile(path, []byte("not a log\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := runCmd(t, "-log", path)
+	if err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if !strings.Contains(err.Error(), path) || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("error lacks the file or line number: %v", err)
+	}
+}
+
+func TestCorruptLogRepairedByDefault(t *testing.T) {
+	path := corruptLog(t)
+	out, errOut, err := runCmd(t, "-log", path, "-cpus", "2")
+	if err != nil {
+		t.Fatalf("graceful degradation failed: %v", err)
+	}
+	if !strings.Contains(errOut, "corrupt log repaired") {
+		t.Fatalf("stderr lacks the repair note:\n%s", errOut)
+	}
+	if !strings.Contains(out, "predicted duration") {
+		t.Fatalf("no prediction printed:\n%s", out)
+	}
+}
+
+func TestRepairFlagPrintsReport(t *testing.T) {
+	path := corruptLog(t)
+	_, errOut, err := runCmd(t, "-log", path, "-cpus", "2", "-repair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "repair:") || !strings.Contains(errOut, "[synthesize-afters]") {
+		t.Fatalf("stderr lacks the full repair report:\n%s", errOut)
+	}
+}
+
+func TestStrictRejectsCorrupt(t *testing.T) {
+	path := corruptLog(t)
+	_, _, err := runCmd(t, "-log", path, "-cpus", "2", "-strict")
+	if err == nil || !strings.Contains(err.Error(), "corrupt log") || !strings.Contains(err.Error(), path) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStrictAcceptsClean(t *testing.T) {
+	path := fixtureLog(t, "example")
+	if _, _, err := runCmd(t, "-log", path, "-cpus", "2", "-strict"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrictRepairConflict(t *testing.T) {
+	path := fixtureLog(t, "example")
+	_, _, err := runCmd(t, "-log", path, "-strict", "-repair")
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEventBudgetFlag(t *testing.T) {
+	path := fixtureLog(t, "example")
+	_, _, err := runCmd(t, "-log", path, "-cpus", "2", "-max-events", "1")
+	if err == nil || !strings.Contains(err.Error(), "event budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestMainExitCode re-executes the test binary as the real command to
+// assert the process-level contract: exit status 1 and a one-line
+// diagnostic naming the offending file.
+func TestMainExitCode(t *testing.T) {
+	if os.Getenv("VPPB_SIM_MAIN_TEST") == "1" {
+		os.Args = []string{"vppb-sim", "-log", "/no/such/file.log"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestMainExitCode")
+	cmd.Env = append(os.Environ(), "VPPB_SIM_MAIN_TEST=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want non-zero exit, got err=%v output=%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(string(out), "vppb-sim: /no/such/file.log:") {
+		t.Fatalf("diagnostic missing:\n%s", out)
 	}
 }
 

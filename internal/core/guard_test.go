@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// guardProfile hand-builds a behaviour profile. A recorded log can never
+// deadlock (the recording finished), so the pathological schedules these
+// tests need are constructed directly.
+func guardProfile(objects []trace.ObjectInfo, threads map[trace.ThreadID][]trace.CallRecord) *trace.Profile {
+	l := &trace.Log{
+		Header:  trace.Header{Program: "guard", CPUs: 1, LWPs: 1, Start: 0, End: vtime.Time(vtime.Second)},
+		Objects: objects,
+	}
+	p := &trace.Profile{Log: l, Threads: make(map[trace.ThreadID]*trace.ThreadProfile)}
+	for id, calls := range threads {
+		info := trace.ThreadInfo{ID: id, Name: "t", Func: "t", BoundCPU: -1, Prio: 29}
+		if id == trace.MainThread {
+			info.Name = "main"
+		}
+		l.Threads = append(l.Threads, info)
+		p.Threads[id] = &trace.ThreadProfile{Info: info, Calls: calls}
+	}
+	return p
+}
+
+// TestDeadlockWaitForGraph builds the classic two-thread lock cycle:
+// T4 holds A and wants B, T5 holds B and wants A, main joins T4.
+func TestDeadlockWaitForGraph(t *testing.T) {
+	const (
+		mutexA trace.ObjectID = 1
+		mutexB trace.ObjectID = 2
+	)
+	prof := guardProfile(
+		[]trace.ObjectInfo{
+			{ID: mutexA, Kind: trace.ObjMutex, Name: "A"},
+			{ID: mutexB, Kind: trace.ObjMutex, Name: "B"},
+		},
+		map[trace.ThreadID][]trace.CallRecord{
+			1: {
+				{Call: trace.CallThrCreate, Target: 4},
+				{Call: trace.CallThrCreate, Target: 5},
+				{Call: trace.CallThrJoin, Target: 4},
+			},
+			4: {
+				{Call: trace.CallMutexLock, Object: mutexA},
+				{CPUBefore: 5 * vtime.Millisecond, Call: trace.CallMutexLock, Object: mutexB},
+			},
+			5: {
+				{CPUBefore: 1 * vtime.Millisecond, Call: trace.CallMutexLock, Object: mutexB},
+				{CPUBefore: 5 * vtime.Millisecond, Call: trace.CallMutexLock, Object: mutexA},
+			},
+		},
+	)
+	_, err := SimulateProfile(prof, Machine{CPUs: 2})
+	if err == nil {
+		t.Fatal("lock cycle did not deadlock")
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is %T, want *DeadlockError: %v", err, err)
+	}
+	if len(de.Edges) != 3 {
+		t.Fatalf("wait-for graph has %d edges, want 3:\n%v", len(de.Edges), err)
+	}
+	text := err.Error()
+	for _, want := range []string{
+		"wait-for graph:",
+		`T4 (sleeping in mutex_lock) -> mutex "B" held by T5`,
+		`T5 (sleeping in mutex_lock) -> mutex "A" held by T4`,
+		"T1 (sleeping in thr_join) -> thread T4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("diagnostic lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDeadlockLostWakeup signals a condition before anyone waits on it;
+// the later cond_wait then sleeps forever and the diagnostic must show a
+// holder-less condition edge.
+func TestDeadlockLostWakeup(t *testing.T) {
+	const (
+		guard trace.ObjectID = 1
+		empty trace.ObjectID = 2
+	)
+	prof := guardProfile(
+		[]trace.ObjectInfo{
+			{ID: guard, Kind: trace.ObjMutex, Name: "guard"},
+			{ID: empty, Kind: trace.ObjCond, Name: "empty"},
+		},
+		map[trace.ThreadID][]trace.CallRecord{
+			1: {
+				{Call: trace.CallThrCreate, Target: 4},
+				{Call: trace.CallThrCreate, Target: 5},
+				{Call: trace.CallThrJoin, Target: 4},
+			},
+			// The signaller fires immediately, before the waiter arrives.
+			5: {
+				{Call: trace.CallCondSignal, Object: empty},
+			},
+			// The waiter computes first and misses the wakeup.
+			4: {
+				{CPUBefore: 5 * vtime.Millisecond, Call: trace.CallMutexLock, Object: guard},
+				{Call: trace.CallCondWait, Object: empty, MutexObject: guard},
+			},
+		},
+	)
+	_, err := SimulateProfile(prof, Machine{CPUs: 2})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("error is %T, want *DeadlockError: %v", err, err)
+	}
+	text := err.Error()
+	if !strings.Contains(text, `T4 (sleeping in cond_wait) -> cond "empty" (no holder)`) {
+		t.Errorf("diagnostic lacks the holder-less condition edge:\n%s", text)
+	}
+}
+
+// TestLivelockWindow replays a thread of zero-cost yields: virtual time
+// never advances, so the dispatch watchdog must fire.
+func TestLivelockWindow(t *testing.T) {
+	yields := make([]trace.CallRecord, 50)
+	for i := range yields {
+		yields[i] = trace.CallRecord{Call: trace.CallThrYield}
+	}
+	prof := guardProfile(nil, map[trace.ThreadID][]trace.CallRecord{1: yields})
+	_, err := SimulateProfile(prof, Machine{CPUs: 1, LivelockWindow: 10})
+	var le *LivelockError
+	if !errors.As(err, &le) {
+		t.Fatalf("error is %T, want *LivelockError: %v", err, err)
+	}
+	if le.Window != 10 {
+		t.Fatalf("Window = %d, want 10", le.Window)
+	}
+	text := err.Error()
+	for _, want := range []string{"virtual time stuck", "burst=", "threads:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("diagnostic lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestLivelockDisabled verifies that a negative window turns the watchdog
+// off and the same yield storm completes normally.
+func TestLivelockDisabled(t *testing.T) {
+	yields := make([]trace.CallRecord, 50)
+	for i := range yields {
+		yields[i] = trace.CallRecord{Call: trace.CallThrYield}
+	}
+	prof := guardProfile(nil, map[trace.ThreadID][]trace.CallRecord{1: yields})
+	if _, err := SimulateProfile(prof, Machine{CPUs: 1, LivelockWindow: -1}); err != nil {
+		t.Fatalf("watchdog disabled but simulation failed: %v", err)
+	}
+}
+
+func TestEventBudget(t *testing.T) {
+	log := record(t, fig2)
+	_, err := Simulate(log, Machine{CPUs: 2, MaxSimEvents: 3})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BudgetError: %v", err, err)
+	}
+	if be.Kind != "events" || be.Limit != 3 {
+		t.Fatalf("BudgetError = %+v", be)
+	}
+	if !strings.Contains(err.Error(), "3-event budget") {
+		t.Fatalf("diagnostic: %v", err)
+	}
+}
+
+func TestVirtualTimeBudget(t *testing.T) {
+	log := record(t, fig2)
+	_, err := Simulate(log, Machine{CPUs: 2, MaxVirtualTime: vtime.Millisecond})
+	var be *BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BudgetError: %v", err, err)
+	}
+	if be.Kind != "virtual-time" {
+		t.Fatalf("Kind = %q, want virtual-time", be.Kind)
+	}
+	if !strings.Contains(err.Error(), "virtual-time budget") {
+		t.Fatalf("diagnostic: %v", err)
+	}
+}
+
+// TestBudgetsOffByDefault makes sure a normal prediction is unaffected by
+// the guardrail defaults.
+func TestBudgetsOffByDefault(t *testing.T) {
+	log := record(t, fig2)
+	mustSim(t, log, Machine{CPUs: 2})
+}

@@ -79,7 +79,27 @@ type Machine struct {
 	BoundSyncFactor   float64
 	// Overrides adjusts individual threads.
 	Overrides map[trace.ThreadID]Override
+
+	// Guardrails: budgets that terminate a runaway simulation of a
+	// corrupt or repaired log with a structured diagnostic.
+
+	// MaxSimEvents aborts the run after this many simulated probe events
+	// with a *BudgetError (0 = unlimited).
+	MaxSimEvents int64
+	// MaxVirtualTime aborts the run once simulated time exceeds this
+	// budget with a *BudgetError (0 = unlimited).
+	MaxVirtualTime vtime.Duration
+	// LivelockWindow aborts with a *LivelockError when this many queue
+	// dispatches occur without virtual time advancing. 0 selects the
+	// default of 1,000,000; negative disables the check.
+	LivelockWindow int
 }
+
+// DefaultLivelockWindow is the dispatch budget per virtual-time instant
+// when Machine.LivelockWindow is 0. Legitimate replays dispatch at most a
+// handful of events per instant per thread, so a million same-instant
+// dispatches means the replay is spinning.
+const DefaultLivelockWindow = 1_000_000
 
 func (m Machine) withDefaults() Machine {
 	if m.CPUs <= 0 {
@@ -90,6 +110,12 @@ func (m Machine) withDefaults() Machine {
 	}
 	if m.BoundSyncFactor == 0 {
 		m.BoundSyncFactor = 5.9
+	}
+	switch {
+	case m.LivelockWindow == 0:
+		m.LivelockWindow = DefaultLivelockWindow
+	case m.LivelockWindow < 0:
+		m.LivelockWindow = 0
 	}
 	return m
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"vppb/internal/dispatch"
 	"vppb/internal/trace"
@@ -303,11 +302,15 @@ func (s *sim) fail(err error) {
 	}
 }
 
-// run drives the event loop to completion.
+// run drives the event loop to completion, under the guardrail budgets:
+// a corrupted or repaired log must terminate with a structured diagnostic,
+// never hang.
 func (s *sim) run() (*Result, error) {
 	s.startThread(s.threads[trace.MainThread])
 	s.dispatchAll()
 	s.preemptPass()
+	var stuck int
+	var stuckKinds [len(sevKindNames)]int64
 	for s.live > 0 && s.err == nil {
 		if s.events.Len() == 0 {
 			s.fail(s.deadlockError())
@@ -316,6 +319,24 @@ func (s *sim) run() (*Result, error) {
 		at, ev := s.events.Pop()
 		if at > s.now {
 			s.now = at
+			stuck = 0
+			stuckKinds = [len(sevKindNames)]int64{}
+		}
+		if s.m.MaxVirtualTime > 0 && s.now.Sub(0) > s.m.MaxVirtualTime {
+			s.fail(&BudgetError{Kind: "virtual-time", Limit: int64(s.m.MaxVirtualTime), At: s.now, Events: s.eventSeq})
+			break
+		}
+		if s.m.MaxSimEvents > 0 && s.eventSeq > s.m.MaxSimEvents {
+			s.fail(&BudgetError{Kind: "events", Limit: s.m.MaxSimEvents, At: s.now, Events: s.eventSeq})
+			break
+		}
+		stuck++
+		if int(ev.kind) < len(stuckKinds) {
+			stuckKinds[ev.kind]++
+		}
+		if s.m.LivelockWindow > 0 && stuck > s.m.LivelockWindow {
+			s.fail(s.livelockError(stuckKinds, s.m.LivelockWindow))
+			break
 		}
 		s.handle(ev)
 		s.dispatchAll()
@@ -336,25 +357,6 @@ func (s *sim) run() (*Result, error) {
 	res.Timeline = s.tb.Build(s.prof.Log.Header.Program, s.m.CPUs, len(s.lwps), res.Duration)
 	res.Timeline.Objects = append([]trace.ObjectInfo(nil), s.prof.Log.Objects...)
 	return res, nil
-}
-
-func (s *sim) deadlockError() error {
-	var b strings.Builder
-	fmt.Fprintf(&b, "core: simulation deadlock at %v:", s.now)
-	for _, t := range s.order {
-		if t.state == tZombie || t.state == tNotStarted {
-			continue
-		}
-		what := "?"
-		if r := t.rec(); r != nil {
-			what = r.Call.String()
-			if t.waitObj != nil {
-				what += fmt.Sprintf(" on %s %q", t.waitObj.info.Kind, t.waitObj.info.Name)
-			}
-		}
-		fmt.Fprintf(&b, " T%d %s in %s;", t.id(), t.state, what)
-	}
-	return fmt.Errorf("%s", b.String())
 }
 
 // startThread activates a thread at the current time.

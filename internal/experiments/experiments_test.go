@@ -257,3 +257,30 @@ func TestIOExtension(t *testing.T) {
 		t.Fatal("report missing workload name")
 	}
 }
+
+func TestFaults(t *testing.T) {
+	res, err := Faults(Options{Scale: 0.3, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("rows = %d, want one per corruption class", len(res.Rows))
+	}
+	if res.Baseline <= 0 {
+		t.Fatal("no clean baseline prediction")
+	}
+	for _, r := range res.Rows {
+		if r.Trials != 2 {
+			t.Errorf("%s: trials = %d, want 2", r.Class, r.Trials)
+		}
+		if r.Repaired+r.Unrecoverable != r.Trials {
+			t.Errorf("%s: repaired %d + unrecoverable %d != trials %d",
+				r.Class, r.Repaired, r.Unrecoverable, r.Trials)
+		}
+	}
+	for _, want := range []string{"truncate", "dangling-object", "mean |err|"} {
+		if !strings.Contains(res.Report, want) {
+			t.Errorf("report lacks %q", want)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"vppb/internal/core"
+	"vppb/internal/faultinject"
+	"vppb/internal/recorder"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+	"vppb/internal/workloads"
+)
+
+// FaultsRow aggregates one corruption class across every seed.
+type FaultsRow struct {
+	Class faultinject.Class
+	// Trials is the number of seeded corruptions applied.
+	Trials int
+	// Repaired counts trials where Repair produced a Validate-passing log.
+	Repaired int
+	// Unrecoverable counts trials Repair rejected with a typed error.
+	Unrecoverable int
+	// SimFailed counts repaired logs the Simulator then refused (replay
+	// reached an impossible state or tripped a guardrail).
+	SimFailed int
+	// MeanErr and MaxErr are the relative prediction-error magnitudes of
+	// the trials that simulated, against the clean log's prediction.
+	MeanErr float64
+	MaxErr  float64
+}
+
+// FaultsResult is the robustness sweep: how much prediction quality
+// survives each corruption class after repair.
+type FaultsResult struct {
+	Baseline vtime.Duration
+	Rows     []FaultsRow
+	Report   string
+}
+
+// Faults records one workload, then for every corruption class and seed
+// corrupts the log, repairs it, re-simulates, and reports the degradation
+// of the predicted duration relative to the clean prediction.
+func Faults(opts Options) (*FaultsResult, error) {
+	opts = opts.normalized()
+	w, err := workloads.Get("prodcons")
+	if err != nil {
+		return nil, err
+	}
+	prm := workloads.Params{Threads: 4, Scale: opts.Scale}
+	log, _, err := recorder.Record(w.Bind(prm), recorder.Options{Program: "prodcons"})
+	if err != nil {
+		return nil, err
+	}
+
+	// Budgets keep a pathological repaired log from running away; they
+	// are far above anything the clean prediction needs.
+	m := core.Machine{
+		CPUs:           4,
+		MaxSimEvents:   int64(len(log.Events)) * 100,
+		MaxVirtualTime: log.Duration() * 100,
+	}
+	clean, err := core.Simulate(log, m)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &FaultsResult{Baseline: clean.Duration}
+	var b strings.Builder
+	b.WriteString("Prediction robustness under log corruption (corrupt -> repair -> simulate)\n\n")
+	fmt.Fprintf(&b, "clean prediction on %d CPUs: %s\n\n", m.CPUs, clean.Duration)
+	fmt.Fprintf(&b, "%-16s %7s %9s %14s %10s %10s %10s\n",
+		"class", "trials", "repaired", "unrecoverable", "sim-fail", "mean |err|", "max |err|")
+	for _, class := range faultinject.Classes() {
+		row := FaultsRow{Class: class}
+		var sum float64
+		simulated := 0
+		for seed := int64(1); seed <= int64(opts.Runs); seed++ {
+			row.Trials++
+			corrupt, _, err := faultinject.Inject(log, class, seed)
+			if err != nil {
+				return nil, err
+			}
+			repaired, _, err := trace.Repair(corrupt)
+			if err != nil {
+				var ue *trace.UnrecoverableError
+				if !errors.As(err, &ue) {
+					return nil, err
+				}
+				row.Unrecoverable++
+				continue
+			}
+			row.Repaired++
+			res, err := core.Simulate(repaired, m)
+			if err != nil {
+				row.SimFailed++
+				continue
+			}
+			e := float64(res.Duration-clean.Duration) / float64(clean.Duration)
+			if e < 0 {
+				e = -e
+			}
+			sum += e
+			simulated++
+			if e > row.MaxErr {
+				row.MaxErr = e
+			}
+		}
+		if simulated > 0 {
+			row.MeanErr = sum / float64(simulated)
+		}
+		out.Rows = append(out.Rows, row)
+		fmt.Fprintf(&b, "%-16s %7d %9d %14d %10d %9.1f%% %9.1f%%\n",
+			class, row.Trials, row.Repaired, row.Unrecoverable, row.SimFailed,
+			100*row.MeanErr, 100*row.MaxErr)
+	}
+	b.WriteString("\nerr = |predicted(repaired) - predicted(clean)| / predicted(clean)\n")
+	out.Report = b.String()
+	return out, nil
+}

@@ -1,0 +1,168 @@
+// Package faultinject deterministically corrupts recorded logs. It is the
+// adversary that trace.Repair and the internal/core guardrails defend
+// against: each corruption class models one way a log goes bad in transit
+// or storage — truncation, reordering, clock regression, record loss,
+// duplication, dangling references. The same (log, class, seed) triple
+// always yields the same corruption, so failures reproduce exactly; the
+// package doubles as a test harness and as the driver behind
+// `vppb-bench -experiment faults`.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// Class names one corruption class.
+type Class string
+
+// Corruption classes.
+const (
+	// Truncate cuts the event list at a random point, as a dropped
+	// connection or a partial write would.
+	Truncate Class = "truncate"
+	// Reorder shuffles the positions of a small window of events while
+	// keeping their payloads, as out-of-order delivery would.
+	Reorder Class = "reorder"
+	// ClockRegress rewinds one event's timestamp below its predecessor,
+	// as a stepped or skewed clock would.
+	ClockRegress Class = "clock-regress"
+	// DropAfter removes one AFTER record, leaving its call open forever.
+	DropAfter Class = "drop-after"
+	// Duplicate stores one event twice.
+	Duplicate Class = "duplicate"
+	// DanglingThread points one event at a thread absent from the thread
+	// table.
+	DanglingThread Class = "dangling-thread"
+	// DanglingObject points one event at a synchronization object absent
+	// from the object table.
+	DanglingObject Class = "dangling-object"
+)
+
+// Classes lists every corruption class in a stable order.
+func Classes() []Class {
+	return []Class{
+		Truncate, Reorder, ClockRegress, DropAfter,
+		Duplicate, DanglingThread, DanglingObject,
+	}
+}
+
+// Injection describes the corruption that was applied.
+type Injection struct {
+	Class Class
+	Seed  int64
+	// Mutated is the number of events touched (dropped, moved, rewritten
+	// or added).
+	Mutated int
+	Detail  string
+}
+
+func (i *Injection) String() string {
+	return fmt.Sprintf("%s(seed %d): %s", i.Class, i.Seed, i.Detail)
+}
+
+// Inject returns a corrupted deep copy of l; the original is never
+// modified. Injection is deterministic in (l, class, seed).
+func Inject(l *trace.Log, class Class, seed int64) (*trace.Log, *Injection, error) {
+	if len(l.Events) < 4 {
+		return nil, nil, fmt.Errorf("faultinject: log has %d events, need at least 4", len(l.Events))
+	}
+	r := rand.New(rand.NewSource(seed))
+	c := l.Clone()
+	inj := &Injection{Class: class, Seed: seed}
+	switch class {
+	case Truncate:
+		cut := 1 + r.Intn(len(c.Events)-1)
+		inj.Mutated = len(c.Events) - cut
+		inj.Detail = fmt.Sprintf("truncated %d of %d events", inj.Mutated, len(c.Events))
+		c.Events = c.Events[:cut]
+	case Reorder:
+		w := 2 + r.Intn(7)
+		if w > len(c.Events) {
+			w = len(c.Events)
+		}
+		start := r.Intn(len(c.Events) - w + 1)
+		r.Shuffle(w, func(i, j int) {
+			c.Events[start+i], c.Events[start+j] = c.Events[start+j], c.Events[start+i]
+		})
+		inj.Mutated = w
+		inj.Detail = fmt.Sprintf("shuffled events %d..%d", start, start+w-1)
+	case ClockRegress:
+		i := 1 + r.Intn(len(c.Events)-1)
+		span := int64(c.Events[i].Time - c.Header.Start)
+		back := vtime.Duration(1 + r.Int63n(span+1))
+		c.Events[i].Time = c.Events[i].Time.Add(-back)
+		inj.Mutated = 1
+		inj.Detail = fmt.Sprintf("rewound event %d (seq %d) by %v", i, c.Events[i].Seq, back)
+	case DropAfter:
+		var afters []int
+		for i, ev := range c.Events {
+			if ev.Class == trace.After {
+				afters = append(afters, i)
+			}
+		}
+		if len(afters) == 0 {
+			return nil, nil, fmt.Errorf("faultinject: log has no AFTER events to drop")
+		}
+		i := afters[r.Intn(len(afters))]
+		ev := c.Events[i]
+		c.Events = append(c.Events[:i:i], c.Events[i+1:]...)
+		inj.Mutated = 1
+		inj.Detail = fmt.Sprintf("dropped AFTER %s of T%d (seq %d)", ev.Call, ev.Thread, ev.Seq)
+	case Duplicate:
+		i := r.Intn(len(c.Events))
+		ev := c.Events[i]
+		c.Events = append(c.Events[:i+1:i+1], c.Events[i:]...)
+		inj.Mutated = 1
+		inj.Detail = fmt.Sprintf("duplicated event %d (seq %d, T%d %s %s)", i, ev.Seq, ev.Thread, ev.Class, ev.Call)
+	case DanglingThread:
+		i := r.Intn(len(c.Events))
+		ghost := unknownThread(c, r)
+		inj.Detail = fmt.Sprintf("retargeted event %d (seq %d) from T%d to unknown T%d", i, c.Events[i].Seq, c.Events[i].Thread, ghost)
+		c.Events[i].Thread = ghost
+		inj.Mutated = 1
+	case DanglingObject:
+		// Prefer an event that already references an object so the
+		// corruption looks like a mangled ID rather than a new field.
+		var withObj []int
+		for i, ev := range c.Events {
+			if ev.Object != 0 {
+				withObj = append(withObj, i)
+			}
+		}
+		i := r.Intn(len(c.Events))
+		if len(withObj) > 0 {
+			i = withObj[r.Intn(len(withObj))]
+		}
+		ghost := unknownObject(c, r)
+		inj.Detail = fmt.Sprintf("pointed event %d (seq %d, %s) at unknown object %d", i, c.Events[i].Seq, c.Events[i].Call, ghost)
+		c.Events[i].Object = ghost
+		inj.Mutated = 1
+	default:
+		return nil, nil, fmt.Errorf("faultinject: unknown corruption class %q", class)
+	}
+	return c, inj, nil
+}
+
+// unknownThread picks a thread ID absent from the log's thread table.
+func unknownThread(l *trace.Log, r *rand.Rand) trace.ThreadID {
+	for {
+		id := trace.ThreadID(1000 + r.Intn(1_000_000))
+		if l.Thread(id) == nil {
+			return id
+		}
+	}
+}
+
+// unknownObject picks an object ID absent from the log's object table.
+func unknownObject(l *trace.Log, r *rand.Rand) trace.ObjectID {
+	for {
+		id := trace.ObjectID(1000 + r.Intn(1_000_000))
+		if l.Object(id) == nil {
+			return id
+		}
+	}
+}

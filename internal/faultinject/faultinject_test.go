@@ -1,0 +1,150 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"vppb/internal/core"
+	"vppb/internal/recorder"
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// fixture records a small but structurally rich program: create/join,
+// mutex contention and a semaphore handoff, so every corruption class has
+// material to work with.
+func fixture(t *testing.T) *trace.Log {
+	t.Helper()
+	prog := func(p *threadlib.Process) func(*threadlib.Thread) {
+		m := p.NewMutex("lock")
+		s := p.NewSema("items", 0)
+		return func(th *threadlib.Thread) {
+			worker := func(w *threadlib.Thread) {
+				m.Lock(w)
+				w.Compute(2 * vtime.Millisecond)
+				m.Unlock(w)
+				s.Post(w)
+			}
+			a := th.Create(worker, threadlib.WithName("a"))
+			b := th.Create(worker, threadlib.WithName("b"))
+			s.Wait(th)
+			s.Wait(th)
+			th.Join(a)
+			th.Join(b)
+		}
+	}
+	log, _, err := recorder.Record(prog, recorder.Options{Program: "fixture"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestInjectDeterministic(t *testing.T) {
+	log := fixture(t)
+	for _, class := range Classes() {
+		a, ia, err := Inject(log, class, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		b, ib, err := Inject(log, class, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if ia.Detail != ib.Detail {
+			t.Errorf("%s: same seed, different injections: %q vs %q", class, ia.Detail, ib.Detail)
+		}
+		if len(a.Events) != len(b.Events) {
+			t.Errorf("%s: same seed, different event counts", class)
+		}
+	}
+}
+
+func TestInjectLeavesOriginalUntouched(t *testing.T) {
+	log := fixture(t)
+	before := len(log.Events)
+	for _, class := range Classes() {
+		if _, _, err := Inject(log, class, 1); err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+	}
+	if len(log.Events) != before {
+		t.Fatalf("injection mutated the original log")
+	}
+	if err := log.Validate(); err != nil {
+		t.Fatalf("original log invalidated: %v", err)
+	}
+}
+
+// TestRepairRoundTrip is the acceptance criterion: for every corruption
+// class and several seeds, Repair either yields a log that passes Validate
+// or returns a typed *trace.UnrecoverableError naming the bad record.
+func TestRepairRoundTrip(t *testing.T) {
+	log := fixture(t)
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, class := range Classes() {
+		for _, seed := range seeds {
+			corrupt, inj, err := Inject(log, class, seed)
+			if err != nil {
+				t.Fatalf("%s/%d: inject: %v", class, seed, err)
+			}
+			repaired, rep, err := trace.Repair(corrupt)
+			if err != nil {
+				var ue *trace.UnrecoverableError
+				if !errors.As(err, &ue) {
+					t.Errorf("%s/%d: repair failed with untyped error: %v", class, seed, err)
+				}
+				continue
+			}
+			if err := repaired.Validate(); err != nil {
+				t.Errorf("%s/%d (%s): repaired log fails Validate: %v\nreport:\n%s",
+					class, seed, inj, err, rep)
+			}
+			if corruptErr := corrupt.Validate(); corruptErr != nil && rep.Empty() {
+				t.Errorf("%s/%d: corrupt log was invalid but repair reported no mutations", class, seed)
+			}
+		}
+	}
+}
+
+// TestRepairedLogSimulates drives the full pipeline: corrupt → repair →
+// BuildProfile → Simulate. The simulator must terminate on every repaired
+// log — successfully or with a typed diagnostic — never hang.
+func TestRepairedLogSimulates(t *testing.T) {
+	log := fixture(t)
+	m := core.Machine{CPUs: 2, MaxSimEvents: 100_000, MaxVirtualTime: vtime.Duration(vtime.Second)}
+	for _, class := range Classes() {
+		for _, seed := range []int64{1, 2, 3} {
+			corrupt, _, err := Inject(log, class, seed)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", class, seed, err)
+			}
+			repaired, _, err := trace.Repair(corrupt)
+			if err != nil {
+				continue // unrecoverable: nothing to simulate
+			}
+			res, err := core.Simulate(repaired, m)
+			if err != nil {
+				// A repaired log can still replay to an impossible state
+				// (e.g. an unlock of a never-acquired mutex); what matters
+				// is a structured, prompt failure.
+				if !strings.Contains(err.Error(), "core:") && !strings.Contains(err.Error(), "trace:") {
+					t.Errorf("%s/%d: unexpected error shape: %v", class, seed, err)
+				}
+				continue
+			}
+			if res.Duration <= 0 {
+				t.Errorf("%s/%d: repaired simulation returned non-positive duration", class, seed)
+			}
+		}
+	}
+}
+
+func TestInjectUnknownClass(t *testing.T) {
+	log := fixture(t)
+	if _, _, err := Inject(log, Class("bogus"), 1); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"unicode"
 
 	"vppb/internal/source"
 	"vppb/internal/vtime"
@@ -30,7 +31,7 @@ func WriteText(w io.Writer, l *Log) error {
 func AppendText(dst []byte, l *Log) []byte {
 	b := strings.Builder{}
 	fmt.Fprintln(&b, textMagic)
-	fmt.Fprintf(&b, "program %s\n", l.Header.Program)
+	fmt.Fprintf(&b, "program %s\n", quote(l.Header.Program))
 	fmt.Fprintf(&b, "cpus %d\n", l.Header.CPUs)
 	fmt.Fprintf(&b, "lwps %d\n", l.Header.LWPs)
 	fmt.Fprintf(&b, "probecost %d\n", l.Header.ProbeCost)
@@ -71,18 +72,81 @@ func AppendText(dst []byte, l *Log) []byte {
 	return append(dst, b.String()...)
 }
 
+// quote escapes a name so it survives as exactly one whitespace-delimited
+// field of the text format: "-" stands for the empty string, backslash
+// introduces escapes, and every rune that strings.Fields would split on
+// (any Unicode space) is encoded.
 func quote(s string) string {
 	if s == "" {
 		return "-"
 	}
-	return strings.NewReplacer(" ", "\\s", "\n", "\\n").Replace(s)
+	if s == "-" {
+		return `\-`
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r == '\\':
+			b.WriteString(`\\`)
+		case r == ' ':
+			b.WriteString(`\s`)
+		case r == '\n':
+			b.WriteString(`\n`)
+		case r == '\t':
+			b.WriteString(`\t`)
+		case unicode.IsSpace(r):
+			// The remaining Unicode spaces (\r, NBSP, U+2028, ...) are all
+			// in the BMP, so four hex digits always suffice.
+			fmt.Fprintf(&b, `\u%04x`, r)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }
 
+// unquote is the exact inverse of quote.
 func unquote(s string) string {
 	if s == "-" {
 		return ""
 	}
-	return strings.NewReplacer("\\s", " ", "\\n", "\n").Replace(s)
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' || i+1 >= len(s) {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 's':
+			b.WriteByte(' ')
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '-':
+			b.WriteByte('-')
+		case 'u':
+			if i+4 < len(s) {
+				if v, err := strconv.ParseUint(s[i+1:i+5], 16, 32); err == nil {
+					b.WriteRune(rune(v))
+					i += 4
+					continue
+				}
+			}
+			b.WriteString(`\u`)
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
 func b2i(b bool) int {
@@ -136,7 +200,7 @@ func parseTextLine(l *Log, fields []string) error {
 	switch fields[0] {
 	case "program":
 		if len(fields) > 1 {
-			l.Header.Program = fields[1]
+			l.Header.Program = unquote(fields[1])
 		}
 	case "cpus", "lwps", "probecost", "start", "end":
 		if len(fields) < 2 {
@@ -252,6 +316,9 @@ func parseObjectLine(l *Log, fields []string) error {
 		default:
 			return fmt.Errorf("object: unknown field %q", k)
 		}
+	}
+	if o.Kind == ObjNone {
+		return fmt.Errorf("object %d: missing kind", o.ID)
 	}
 	l.Objects = append(l.Objects, o)
 	return nil

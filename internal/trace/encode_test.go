@@ -134,14 +134,53 @@ func TestDecodeBinaryRejectsGarbage(t *testing.T) {
 
 func TestQuoteRoundTrip(t *testing.T) {
 	f := func(s string) bool {
-		if strings.ContainsAny(s, "\\") {
-			return true // backslash itself is not escaped; skip
-		}
 		return unquote(quote(s)) == s
 	}
-	if err := quick.Check(f, nil); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestQuoteHardCases pins the asymmetries the original implementation had:
+// backslashes, the "-" empty marker, tabs, newlines, carriage returns and
+// non-ASCII whitespace all must survive a round trip, and the quoted form
+// must never contain characters that strings.Fields would split on.
+func TestQuoteHardCases(t *testing.T) {
+	cases := []string{
+		"", "-", `\`, `\\`, `\s`, ` `, "a b", " ", "  ",
+		"tab\there", "new\nline", "cr\rhere", "vt\vff\f",
+		"nbsp sep par ideo　",
+		"héllo wörld", "日本語 テスト", "mixed \t\n \\- end",
+	}
+	for _, s := range cases {
+		q := quote(s)
+		if got := unquote(q); got != s {
+			t.Errorf("unquote(quote(%q)) = %q via %q", s, got, q)
+		}
+		if len(strings.Fields(q)) > 1 || (q != "" && strings.TrimSpace(q) != q) {
+			t.Errorf("quote(%q) = %q still splits under strings.Fields", s, q)
+		}
+	}
+}
+
+// TestQuotedNamesSurviveTextFormat checks the property end to end: a log
+// whose names contain every awkward character round-trips through the
+// line-oriented text format.
+func TestQuotedNamesSurviveTextFormat(t *testing.T) {
+	l := richLog()
+	l.Header.Program = "prog with\nnewline\tand nbsp"
+	l.Threads[0].Name = "main thread\\with backslash"
+	l.Threads[1].Name = "-"
+	l.Objects[0].Name = "lock  line sep"
+	var buf bytes.Buffer
+	if err := WriteText(&buf, l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logsEqual(t, l, got)
 }
 
 // randomLog produces a structurally plausible log for round-trip fuzzing.

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two decoders that consume untrusted bytes: the text
+// log reader and the timeline JSON envelope. The contract under fuzzing is
+// simple — return an error on bad input, never panic — plus a round-trip
+// obligation: anything the decoder accepts must re-encode and re-decode to
+// the same log.
+
+func fuzzSeedLogs() []*Log {
+	truncated := repairFixture()
+	truncated.Events = truncated.Events[:4]
+	return []*Log{
+		exampleLog(),
+		richLog(),
+		repairFixture(),
+		truncated,
+		{Header: Header{Program: "empty", CPUs: 1, LWPs: 1}},
+		{
+			Header:  Header{Program: "weird name\twith\nspaces", CPUs: 1, LWPs: 1, End: 10},
+			Threads: []ThreadInfo{{ID: 1, Name: "-", Func: `\`, BoundCPU: -1}},
+			Events:  []Event{{Seq: 0, Time: 5, Thread: 1, Class: Before, Call: CallThrExit}},
+		},
+	}
+}
+
+func FuzzReadText(f *testing.F) {
+	for _, l := range fuzzSeedLogs() {
+		f.Add(AppendText(nil, l))
+	}
+	// Hand-damaged lines steer the fuzzer at the per-record parsers.
+	f.Add([]byte("# vppb-log v1\nevent 0 0 T1 before thr_exit\n"))
+	f.Add([]byte("# vppb-log v1\nthread 1 name=\\s prio=-9999999999999999999\n"))
+	f.Add([]byte("# vppb-log v1\nobject 9 kind=mutex name=\\u0020\n"))
+	f.Add([]byte("# vppb-log v1\ncpus 99999999999999999999\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, err := ReadText(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must survive a re-encode round trip.
+		back, err := ReadText(bytes.NewReader(AppendText(nil, l)))
+		if err != nil {
+			t.Fatalf("re-decode of accepted log failed: %v", err)
+		}
+		if len(back.Events) != len(l.Events) || len(back.Threads) != len(l.Threads) {
+			t.Fatalf("round trip changed shape: %d/%d events, %d/%d threads",
+				len(l.Events), len(back.Events), len(l.Threads), len(back.Threads))
+		}
+	})
+}
+
+func FuzzUnmarshalTimeline(f *testing.F) {
+	tb := NewTimelineBuilder()
+	tb.StartThread(ThreadInfo{ID: 1, Name: "main", BoundCPU: -1}, 0)
+	tb.AddSpan(1, Span{Start: 0, End: 100, State: StateRunning, CPU: 0, LWP: 0})
+	tb.EndThread(1, 100)
+	data, err := MarshalTimeline(tb.Build("fuzz", 1, 1, 100))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"format":"vppb-timeline","version":1}`))
+	f.Add([]byte(strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)))
+	f.Add([]byte(strings.Replace(string(data), `"end": 100`, `"end": -100`, 1)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tl, err := UnmarshalTimeline(data)
+		if err != nil {
+			return
+		}
+		// UnmarshalTimeline validates; an accepted timeline must
+		// re-marshal and re-load.
+		out, err := MarshalTimeline(tl)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted timeline failed: %v", err)
+		}
+		if _, err := UnmarshalTimeline(out); err != nil {
+			t.Fatalf("re-decode of accepted timeline failed: %v", err)
+		}
+	})
+}

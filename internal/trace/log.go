@@ -37,6 +37,17 @@ func (l *Log) Duration() vtime.Duration {
 	return l.Header.End.Sub(l.Header.Start)
 }
 
+// Clone returns a deep copy of the log. Mutating the copy (fault
+// injection, repair) leaves the original untouched.
+func (l *Log) Clone() *Log {
+	return &Log{
+		Header:  l.Header,
+		Threads: append([]ThreadInfo(nil), l.Threads...),
+		Objects: append([]ObjectInfo(nil), l.Objects...),
+		Events:  append([]Event(nil), l.Events...),
+	}
+}
+
 // Thread returns the ThreadInfo for id, or nil if unknown.
 func (l *Log) Thread(id ThreadID) *ThreadInfo {
 	for i := range l.Threads {
@@ -116,36 +127,43 @@ func (l *Log) ThreadIDs() []ThreadID {
 // references resolvable through the tables. It returns the first violation
 // found.
 func (l *Log) Validate() error {
+	_, err := l.validate()
+	return err
+}
+
+// validate is Validate plus the index of the offending event (-1 for
+// log-level violations), which Repair uses to name unrecoverable records.
+func (l *Log) validate() (int, error) {
 	var prev vtime.Time
 	prevSeq := int64(-1)
 	open := make(map[ThreadID]Call)
 	for i, ev := range l.Events {
 		if ev.Time < prev {
-			return fmt.Errorf("trace: event %d: time %v before previous %v", i, ev.Time, prev)
+			return i, fmt.Errorf("trace: event %d: time %v before previous %v", i, ev.Time, prev)
 		}
 		if ev.Time == prev && ev.Seq <= prevSeq && i > 0 {
-			return fmt.Errorf("trace: event %d: sequence not increasing at equal times", i)
+			return i, fmt.Errorf("trace: event %d: sequence not increasing at equal times", i)
 		}
 		prev, prevSeq = ev.Time, ev.Seq
 		if ev.Time < l.Header.Start || ev.Time > l.Header.End {
-			return fmt.Errorf("trace: event %d: time %v outside [%v, %v]", i, ev.Time, l.Header.Start, l.Header.End)
+			return i, fmt.Errorf("trace: event %d: time %v outside [%v, %v]", i, ev.Time, l.Header.Start, l.Header.End)
 		}
 		if ev.Call == CallNone || ev.Call >= numCalls {
-			return fmt.Errorf("trace: event %d: invalid call %d", i, uint8(ev.Call))
+			return i, fmt.Errorf("trace: event %d: invalid call %d", i, uint8(ev.Call))
 		}
 		if ev.Thread != 0 && l.Thread(ev.Thread) == nil {
-			return fmt.Errorf("trace: event %d: unknown thread %d", i, ev.Thread)
+			return i, fmt.Errorf("trace: event %d: unknown thread %d", i, ev.Thread)
 		}
 		if ev.Object != 0 && l.Object(ev.Object) == nil {
-			return fmt.Errorf("trace: event %d: unknown object %d", i, ev.Object)
+			return i, fmt.Errorf("trace: event %d: unknown object %d", i, ev.Object)
 		}
 		if ev.Mutex != 0 && l.Object(ev.Mutex) == nil {
-			return fmt.Errorf("trace: event %d: unknown mutex %d", i, ev.Mutex)
+			return i, fmt.Errorf("trace: event %d: unknown mutex %d", i, ev.Mutex)
 		}
 		switch ev.Class {
 		case Before:
 			if c, ok := open[ev.Thread]; ok {
-				return fmt.Errorf("trace: event %d: thread %d issued %v while %v still open", i, ev.Thread, ev.Call, c)
+				return i, fmt.Errorf("trace: event %d: thread %d issued %v while %v still open", i, ev.Thread, ev.Call, c)
 			}
 			if pairsWithAfter(ev.Call) {
 				open[ev.Thread] = ev.Call
@@ -153,24 +171,24 @@ func (l *Log) Validate() error {
 		case After:
 			c, ok := open[ev.Thread]
 			if !ok {
-				return fmt.Errorf("trace: event %d: thread %d AFTER %v without BEFORE", i, ev.Thread, ev.Call)
+				return i, fmt.Errorf("trace: event %d: thread %d AFTER %v without BEFORE", i, ev.Thread, ev.Call)
 			}
 			if c != ev.Call {
-				return fmt.Errorf("trace: event %d: thread %d AFTER %v does not match open %v", i, ev.Thread, ev.Call, c)
+				return i, fmt.Errorf("trace: event %d: thread %d AFTER %v does not match open %v", i, ev.Thread, ev.Call, c)
 			}
 			delete(open, ev.Thread)
 		default:
-			return fmt.Errorf("trace: event %d: invalid class %d", i, ev.Class)
+			return i, fmt.Errorf("trace: event %d: invalid class %d", i, ev.Class)
 		}
 	}
 	for tid, c := range open {
 		// thr_exit never completes for the exiting thread; everything else
 		// must have closed.
 		if c != CallThrExit {
-			return fmt.Errorf("trace: thread %d: %v never completed", tid, c)
+			return -1, fmt.Errorf("trace: thread %d: %v never completed", tid, c)
 		}
 	}
-	return nil
+	return -1, nil
 }
 
 // pairsWithAfter reports whether a Before event of call c is followed by a

@@ -43,6 +43,7 @@ import (
 	"vppb/internal/analysis"
 	"vppb/internal/core"
 	"vppb/internal/experiments"
+	"vppb/internal/faultinject"
 	"vppb/internal/metrics"
 	"vppb/internal/recorder"
 	"vppb/internal/threadlib"
@@ -151,6 +152,50 @@ func MarshalTimeline(tl *Timeline) ([]byte, error) { return trace.MarshalTimelin
 // UnmarshalTimeline decodes a stored execution description.
 func UnmarshalTimeline(data []byte) (*Timeline, error) { return trace.UnmarshalTimeline(data) }
 
+// Trace integrity & recovery.
+type (
+	// RepairStrategy names one recovery pass of RepairLog.
+	RepairStrategy = trace.RepairStrategy
+	// RepairReport lists every mutation a repair performed.
+	RepairReport = trace.RepairReport
+	// RepairMutation is one change in a RepairReport.
+	RepairMutation = trace.RepairMutation
+	// UnrecoverableError names the record a repair could not recover.
+	UnrecoverableError = trace.UnrecoverableError
+	// CorruptionClass names one way faultinject damages a log.
+	CorruptionClass = faultinject.Class
+	// CorruptionInjection describes an applied corruption.
+	CorruptionInjection = faultinject.Injection
+)
+
+// Repair strategies, in pipeline order.
+const (
+	RepairSort           = trace.RepairSort
+	RepairDropDuplicates = trace.RepairDropDuplicates
+	RepairClampTimes     = trace.RepairClampTimes
+	RepairDropOrphans    = trace.RepairDropOrphans
+	RepairSynthesize     = trace.RepairSynthesize
+)
+
+// RepairLog recovers a structurally damaged log; with no strategies the
+// full pipeline runs. The result passes Log.Validate or the error is an
+// *UnrecoverableError.
+func RepairLog(log *Log, strategies ...RepairStrategy) (*Log, *RepairReport, error) {
+	return trace.Repair(log, strategies...)
+}
+
+// AllRepairStrategies lists every repair strategy in pipeline order.
+func AllRepairStrategies() []RepairStrategy { return trace.AllRepairStrategies() }
+
+// CorruptLog applies one deterministic corruption to a copy of the log —
+// the adversarial half of the integrity test harness.
+func CorruptLog(log *Log, class CorruptionClass, seed int64) (*Log, *CorruptionInjection, error) {
+	return faultinject.Inject(log, class, seed)
+}
+
+// CorruptionClasses lists every corruption class in a stable order.
+func CorruptionClasses() []CorruptionClass { return faultinject.Classes() }
+
 // Simulator (the paper's primary contribution).
 type (
 	// Machine is the simulated hardware and scheduling configuration.
@@ -159,6 +204,14 @@ type (
 	Override = core.Override
 	// SimResult is a predicted execution.
 	SimResult = core.Result
+	// DeadlockError carries the wait-for graph of a stuck simulation.
+	DeadlockError = core.DeadlockError
+	// WaitEdge is one thread's entry in a DeadlockError wait-for graph.
+	WaitEdge = core.WaitEdge
+	// LivelockError reports a simulation spinning without time advance.
+	LivelockError = core.LivelockError
+	// BudgetError reports an exhausted Machine watchdog budget.
+	BudgetError = core.BudgetError
 )
 
 // Thread binding overrides.
@@ -299,6 +352,7 @@ var (
 	ExperimentOverhead = experiments.Overhead
 	ExperimentLogStats = experiments.LogStats
 	ExperimentIO       = experiments.IOExtension
+	ExperimentFaults   = experiments.Faults
 	AblationBound      = experiments.AblationBound
 	AblationCommDelay  = experiments.AblationCommDelay
 	AblationLWPs       = experiments.AblationLWPs
