@@ -1,0 +1,183 @@
+// Command vppb-analyze runs the happens-before analysis over a recorded
+// log: the machine-independent speed-up upper bound (total work divided by
+// the critical path), the critical path itself attributed to source lines
+// and synchronization objects, and the lock-order graph whose cycles flag
+// potential deadlocks the recorded run happened not to hit.
+//
+// Where vppb-sim answers "how fast on N processors?", vppb-analyze answers
+// "how fast on *any* number of processors, and what stops it from being
+// faster?" — the bound is printed next to the Simulator's per-CPU
+// predictions so the two can be read together.
+//
+// Usage:
+//
+//	vppb-analyze -log prodcons.log                     # bound + prediction sweep
+//	vppb-analyze -log prodcons.log -critpath -top 5    # top path sites and scores
+//	vppb-analyze -log app.log -lockorder               # potential deadlocks
+//	vppb-analyze -log app.log -json > report.json      # machine-readable
+//	vppb-analyze -log app.log -flow -width 120         # flow graph, path in '#'
+//	vppb-analyze -log app.log -svg app.svg             # flow graph with overlay
+//	vppb-analyze -log damaged.log -repair              # print every applied fix
+//	vppb-analyze -log damaged.log -strict              # refuse corrupt input
+//
+// A structurally invalid log is repaired automatically before analysis,
+// exactly as vppb-sim does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"vppb"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "vppb-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vppb-analyze", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		logPath   = fs.String("log", "", "recorded log file (required)")
+		cpusList  = fs.String("cpus", "2,4,8", "comma-separated CPU counts for the prediction sweep")
+		bound     = fs.Bool("bound", false, "print only the one-line speed-up bound")
+		critpath  = fs.Bool("critpath", false, "print the critical-path report (top sites and serialization scores)")
+		lockorder = fs.Bool("lockorder", false, "print the lock-order graph and potential deadlocks")
+		top       = fs.Int("top", 10, "number of sites/objects/scores to print")
+		jsonOut   = fs.Bool("json", false, "emit the full analysis as JSON instead of text")
+		flow      = fs.Bool("flow", false, "draw the execution flow graph of the replay with the critical path highlighted")
+		width     = fs.Int("width", 100, "flow graph width in columns")
+		svgPath   = fs.String("svg", "", "write the replay's flow graph with the critical-path overlay to this SVG file")
+		repair    = fs.Bool("repair", false, "print the full repair report when the log needs recovery")
+		strict    = fs.Bool("strict", false, "fail on a corrupt log instead of repairing it")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *logPath == "" {
+		return fmt.Errorf("missing -log")
+	}
+	if *strict && *repair {
+		return fmt.Errorf("-strict and -repair are mutually exclusive")
+	}
+	cpuCounts, err := parseCPUList(*cpusList)
+	if err != nil {
+		return err
+	}
+
+	log, err := vppb.ReadLog(*logPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *logPath, err)
+	}
+	if verr := log.Validate(); verr != nil {
+		if *strict {
+			return fmt.Errorf("%s: corrupt log: %w", *logPath, verr)
+		}
+		repaired, rep, rerr := vppb.RepairLog(log)
+		if rerr != nil {
+			return fmt.Errorf("%s: %w", *logPath, rerr)
+		}
+		if *repair {
+			fmt.Fprintf(stderr, "vppb-analyze: %s: corrupt log (%v)\n", *logPath, verr)
+			fmt.Fprint(stderr, rep.String())
+		} else {
+			fmt.Fprintf(stderr, "vppb-analyze: %s: corrupt log repaired: %s (-repair for details, -strict to fail)\n",
+				*logPath, rep.Summary())
+		}
+		log = repaired
+	}
+
+	a, err := vppb.AnalyzeHB(log)
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		data, err := a.FormatJSON(*top)
+		if err != nil {
+			return err
+		}
+		stdout.Write(data)
+		io.WriteString(stdout, "\n")
+		return nil
+	}
+
+	if *bound {
+		io.WriteString(stdout, a.FormatBound())
+		return nil
+	}
+
+	// Default header: the bound next to the Simulator's per-CPU
+	// predictions, so the machine-independent ceiling and the concrete
+	// what-if numbers read side by side.
+	fmt.Fprintf(stdout, "program            %s\n", log.Header.Program)
+	fmt.Fprintf(stdout, "events             %d over %d threads\n", len(log.Events), len(log.Threads))
+	io.WriteString(stdout, a.FormatBound())
+	fmt.Fprintf(stdout, "\n%6s %18s %13s\n", "CPUs", "predicted speed-up", "upper bound")
+	for _, cpus := range cpuCounts {
+		sp, err := vppb.PredictSpeedup(log, vppb.Machine{CPUs: cpus})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%6d %17.2fx %12.2fx\n", cpus, sp, a.BoundAt(cpus))
+	}
+
+	if *critpath {
+		io.WriteString(stdout, "\n")
+		io.WriteString(stdout, a.FormatCritPath(*top))
+	}
+	if *lockorder {
+		io.WriteString(stdout, "\n")
+		io.WriteString(stdout, a.FormatLockOrder())
+	}
+
+	if *flow || *svgPath != "" {
+		// The overlay highlights the replayed execution at the largest
+		// swept machine size.
+		cpus := cpuCounts[len(cpuCounts)-1]
+		res, err := vppb.Simulate(log, vppb.Machine{CPUs: cpus})
+		if err != nil {
+			return err
+		}
+		view, err := vppb.NewView(res.Timeline)
+		if err != nil {
+			return err
+		}
+		overlay := vppb.CritOverlay(a.PathRecords())
+		if *flow {
+			fmt.Fprintf(stdout, "\npredicted execution on %d CPUs:\n", cpus)
+			io.WriteString(stdout, vppb.RenderASCII(view, vppb.ASCIIOptions{Width: *width, Overlay: overlay}))
+		}
+		if *svgPath != "" {
+			svg := vppb.RenderSVG(view, vppb.SVGOptions{
+				Title:   fmt.Sprintf("%s on %d CPUs — critical path", log.Header.Program, cpus),
+				Overlay: overlay,
+			})
+			if err := os.WriteFile(*svgPath, []byte(svg), 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "wrote %s\n", *svgPath)
+		}
+	}
+	return nil
+}
+
+func parseCPUList(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-cpus wants positive CPU counts, got %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

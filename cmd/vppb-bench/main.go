@@ -11,11 +11,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"vppb"
 	"vppb/internal/experiments"
@@ -23,8 +25,8 @@ import (
 
 // experimentNames in presentation order.
 var experimentNames = []string{
-	"table1", "fig2", "fig4", "fig5", "case5", "overhead", "logstats",
-	"bound", "commdelay", "lwps", "io", "faults",
+	"table1", "bounds", "fig2", "fig4", "fig5", "case5", "overhead",
+	"logstats", "bound", "commdelay", "lwps", "io", "faults",
 }
 
 func main() {
@@ -38,10 +40,11 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("vppb-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which = fs.String("experiment", "all", "experiment to run: all | "+joinNames())
-		scale = fs.Float64("scale", 1.0, "problem-size multiplier")
-		runs  = fs.Int("runs", 5, "reference executions per Table-1 cell")
-		out   = fs.String("out", "", "directory for SVG artifacts (omit to skip writing)")
+		which   = fs.String("experiment", "all", "experiment to run: all | "+joinNames())
+		scale   = fs.Float64("scale", 1.0, "problem-size multiplier")
+		runs    = fs.Int("runs", 5, "reference executions per Table-1 cell")
+		out     = fs.String("out", "", "directory for SVG artifacts (omit to skip writing)")
+		jsonOut = fs.Bool("json", false, "additionally write BENCH_<experiment>.json with the structured results and wall time")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,90 +63,119 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 			firstErr = err
 		}
 	}
-	check := fail
 	run := func(name string) {
 		if firstErr != nil {
 			return
 		}
 		fmt.Fprintf(stdout, "==> %s\n\n", name)
+		started := time.Now()
+		// Every driver yields a human report plus the structured result
+		// the -json artifact serializes.
+		var (
+			report  string
+			payload any
+			err     error
+		)
 		switch name {
 		case "table1":
-			res, err := vppb.ExperimentTable1(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.ExperimentTable1(opts)
+			err = e
+			if e == nil {
+				report, payload = res.Report, res.Table
+			}
+		case "bounds":
+			res, e := vppb.ExperimentBounds(opts)
+			err = e
+			if e == nil {
+				report, payload = res.Report, res.Rows
 			}
 		case "fig2":
-			res, err := vppb.ExperimentFig2(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.ExperimentFig2(opts)
+			err = e
+			if e == nil {
+				report = res.Report
 			}
 		case "fig4":
-			res, err := vppb.ExperimentFig4(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.ExperimentFig4(opts)
+			err = e
+			if e == nil {
+				report = res.Report
 			}
 		case "fig5":
-			res, err := vppb.ExperimentFig5(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.ExperimentFig5(opts)
+			err = e
+			if e == nil {
+				report = res.Report
 				fail(writeSVG(stderr, *out, "fig5.svg", res.SVG))
 			}
 		case "case5":
-			res, err := vppb.ExperimentCase5(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.ExperimentCase5(opts)
+			err = e
+			if e == nil {
+				report = res.Report
+				// The SVGs go to -out; the JSON keeps the numbers only.
+				payload = map[string]float64{
+					"naive_gain":    res.NaiveGain,
+					"improved_pred": res.ImprovedPred,
+					"improved_real": res.ImprovedReal,
+					"error":         res.Error,
+				}
 				fail(writeSVG(stderr, *out, "fig6.svg", res.NaiveSVG))
 				fail(writeSVG(stderr, *out, "fig7.svg", res.ImprovedSVG))
 			}
 		case "overhead":
-			res, err := vppb.ExperimentOverhead(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.ExperimentOverhead(opts)
+			err = e
+			if e == nil {
+				report, payload = res.Report, res.Rows
 			}
 		case "logstats":
-			res, err := vppb.ExperimentLogStats(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.ExperimentLogStats(opts)
+			err = e
+			if e == nil {
+				report, payload = res.Report, res.Rows
 			}
 		case "bound":
-			res, err := vppb.AblationBound(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.AblationBound(opts)
+			err = e
+			if e == nil {
+				report = res.Report
 			}
 		case "commdelay":
-			res, err := vppb.AblationCommDelay(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.AblationCommDelay(opts)
+			err = e
+			if e == nil {
+				report = res.Report
 			}
 		case "lwps":
-			res, err := vppb.AblationLWPs(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.AblationLWPs(opts)
+			err = e
+			if e == nil {
+				report = res.Report
 			}
 		case "io":
-			res, err := vppb.ExperimentIO(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.ExperimentIO(opts)
+			err = e
+			if e == nil {
+				report = res.Report
 			}
 		case "faults":
-			res, err := vppb.ExperimentFaults(opts)
-			check(err)
-			if err == nil {
-				fmt.Fprintln(stdout, res.Report)
+			res, e := vppb.ExperimentFaults(opts)
+			err = e
+			if e == nil {
+				report = res.Report
 			}
 		default:
 			fail(fmt.Errorf("unknown experiment %q (want all | %s)", name, joinNames()))
+			return
+		}
+		fail(err)
+		if err != nil {
+			return
+		}
+		fmt.Fprintln(stdout, report)
+		if *jsonOut {
+			fail(writeBenchJSON(stderr, *out, name, opts, time.Since(started), report, payload))
 		}
 	}
 
@@ -155,6 +187,34 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	}
 	run(*which)
 	return firstErr
+}
+
+// writeBenchJSON stores one experiment's structured results as
+// BENCH_<experiment>.json in the -out directory (or the working directory
+// when -out is unset), so CI and regression tooling can diff numbers
+// without parsing the text reports.
+func writeBenchJSON(stderr io.Writer, dir, name string, opts experiments.Options, wall time.Duration, report string, payload any) error {
+	doc := struct {
+		Experiment  string  `json:"experiment"`
+		Scale       float64 `json:"scale"`
+		Runs        int     `json:"runs"`
+		WallSeconds float64 `json:"wall_seconds"`
+		Data        any     `json:"data,omitempty"`
+		Report      string  `json:"report"`
+	}{name, opts.Scale, opts.Runs, wall.Seconds(), payload, report}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir = "."
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %s\n", path)
+	return nil
 }
 
 func writeSVG(stderr io.Writer, dir, name, svg string) error {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,6 +85,55 @@ func TestExperimentNamesAllWired(t *testing.T) {
 		}
 		if _, _, err := runCmd(t, "-experiment", name, "-scale", "0.1", "-runs", "1"); err != nil {
 			t.Errorf("experiment %s failed: %v", name, err)
+		}
+	}
+}
+
+func TestBoundsExperimentJSON(t *testing.T) {
+	dir := t.TempDir()
+	out, errOut, err := runCmd(t, "-experiment", "bounds", "-scale", "0.05", "-runs", "1",
+		"-json", "-out", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Critical-path bounds vs Table 1") {
+		t.Errorf("report missing:\n%s", out)
+	}
+	path := filepath.Join(dir, "BENCH_bounds.json")
+	if !strings.Contains(errOut, "BENCH_bounds.json") {
+		t.Errorf("stderr = %q", errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment  string  `json:"experiment"`
+		WallSeconds float64 `json:"wall_seconds"`
+		Data        []struct {
+			Application string `json:"application"`
+			Cells       []struct {
+				CPUs      int     `json:"cpus"`
+				Bound     float64 `json:"bound"`
+				Predicted float64 `json:"predicted"`
+			} `json:"cells"`
+		} `json:"data"`
+		Report string `json:"report"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if doc.Experiment != "bounds" || doc.WallSeconds <= 0 || doc.Report == "" {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if len(doc.Data) != 5 {
+		t.Fatalf("applications = %d", len(doc.Data))
+	}
+	for _, row := range doc.Data {
+		for _, c := range row.Cells {
+			if c.Bound < 1 || c.Predicted < 1 {
+				t.Errorf("%s@%d: bound %.2f predicted %.2f", row.Application, c.CPUs, c.Bound, c.Predicted)
+			}
 		}
 	}
 }

@@ -204,6 +204,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// Rank by serialization score (how much of the critical path each
+		// object must serialize) when the recording supports happens-before
+		// analysis; otherwise keep the raw blocking-time order.
+		if a, err := vppb.AnalyzeHB(log); err == nil {
+			rep.ApplySerialization(a.SerializationScores())
+		} else {
+			fmt.Fprintf(stderr, "vppb-sim: contention ranked by blocking time only (%v)\n", err)
+		}
 		fmt.Fprintln(stdout)
 		fmt.Fprint(stdout, rep.Format(10))
 	}

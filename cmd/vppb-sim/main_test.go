@@ -60,9 +60,16 @@ func TestContentionAndCPUReports(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"contention report", "buffer", "per-CPU occupancy", "average utilization"} {
+	for _, want := range []string{"contention report", "buffer", "per-CPU occupancy", "average utilization", "serial"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
+		}
+	}
+	// The buffer mutex serializes nearly the whole run: its serialization
+	// score must head the table.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "buffer") && !strings.Contains(line, "%") {
+			t.Errorf("buffer row lacks a serialization score: %s", line)
 		}
 	}
 }

@@ -34,6 +34,12 @@ type ObjectContention struct {
 	MaxWait vtime.Duration
 	// Threads is the number of distinct threads touching the object.
 	Threads int
+	// SerializationScore is the fraction of the recording's critical path
+	// attributed to the object (0 when no happens-before analysis was
+	// applied). Unlike the raw operation counts it is machine-independent:
+	// it measures how much of the execution the object *must* serialize,
+	// not how often the simulated schedule happened to contend on it.
+	SerializationScore float64
 }
 
 // ThreadBlocking summarizes one thread's scheduling states.
@@ -50,6 +56,9 @@ type Report struct {
 	Duration vtime.Duration
 	Objects  []ObjectContention // sorted by TotalTime, descending
 	Threads  []ThreadBlocking   // sorted by Blocked, descending
+	// Serialized is true once ApplySerialization re-ranked Objects by
+	// serialization score.
+	Serialized bool
 }
 
 // Analyze builds the contention report of an execution.
@@ -125,13 +134,33 @@ func Analyze(tl *trace.Timeline) (*Report, error) {
 	return rep, nil
 }
 
-// Bottleneck returns the object with the largest total operation time, or
-// false when the execution has no synchronization at all.
+// Bottleneck returns the object with the largest total operation time (or,
+// after ApplySerialization, the largest serialization score), or false when
+// the execution has no synchronization at all.
 func (r *Report) Bottleneck() (ObjectContention, bool) {
 	if len(r.Objects) == 0 {
 		return ObjectContention{}, false
 	}
 	return r.Objects[0], true
+}
+
+// ApplySerialization attaches per-object serialization scores from a
+// happens-before analysis of the recording (hb.SerializationScores) and
+// re-ranks Objects by score — superseding the raw contention ordering,
+// which overweights objects the simulated schedule happened to queue on.
+// Objects absent from scores keep score 0 and fall back to the total-time
+// order among themselves.
+func (r *Report) ApplySerialization(scores map[trace.ObjectID]float64) {
+	if len(scores) == 0 {
+		return
+	}
+	for i := range r.Objects {
+		r.Objects[i].SerializationScore = scores[r.Objects[i].ID]
+	}
+	sort.SliceStable(r.Objects, func(i, j int) bool {
+		return r.Objects[i].SerializationScore > r.Objects[j].SerializationScore
+	})
+	r.Serialized = true
 }
 
 // Format renders the report: the top objects and the most-blocked threads.
@@ -141,15 +170,22 @@ func (r *Report) Format(topN int) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "contention report (execution time %s)\n\n", r.Duration)
-	fmt.Fprintf(&b, "%-18s %-7s %7s %9s %12s %12s %8s\n",
-		"object", "kind", "ops", "acquires", "total time", "max op", "threads")
+	serialCol := ""
+	if r.Serialized {
+		serialCol = fmt.Sprintf(" %8s", "serial")
+	}
+	fmt.Fprintf(&b, "%-18s %-7s %7s %9s %12s %12s %8s%s\n",
+		"object", "kind", "ops", "acquires", "total time", "max op", "threads", serialCol)
 	for i, oc := range r.Objects {
 		if i >= topN {
 			fmt.Fprintf(&b, "... and %d more objects\n", len(r.Objects)-topN)
 			break
 		}
-		fmt.Fprintf(&b, "%-18s %-7s %7d %9d %12s %12s %8d\n",
-			oc.Name, oc.Kind, oc.Ops, oc.AcquireOps, oc.TotalTime, oc.MaxWait, oc.Threads)
+		if r.Serialized {
+			serialCol = fmt.Sprintf(" %7.1f%%", 100*oc.SerializationScore)
+		}
+		fmt.Fprintf(&b, "%-18s %-7s %7d %9d %12s %12s %8d%s\n",
+			oc.Name, oc.Kind, oc.Ops, oc.AcquireOps, oc.TotalTime, oc.MaxWait, oc.Threads, serialCol)
 	}
 	b.WriteString("\nmost-blocked threads:\n")
 	fmt.Fprintf(&b, "%-18s %12s %12s %12s\n", "thread", "running", "runnable", "blocked")

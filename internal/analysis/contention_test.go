@@ -170,3 +170,40 @@ func TestAnalyzeCPUsNil(t *testing.T) {
 		t.Fatal("nil accepted")
 	}
 }
+
+func TestApplySerializationReranks(t *testing.T) {
+	rep := &Report{Objects: []ObjectContention{
+		{ID: 1, Name: "noisy", TotalTime: 1000},
+		{ID: 2, Name: "serial", TotalTime: 100},
+		{ID: 3, Name: "quiet", TotalTime: 10},
+	}}
+	rep.ApplySerialization(map[trace.ObjectID]float64{2: 0.9, 1: 0.1})
+	if !rep.Serialized {
+		t.Fatal("report not marked serialized")
+	}
+	if rep.Objects[0].ID != 2 || rep.Objects[1].ID != 1 || rep.Objects[2].ID != 3 {
+		t.Fatalf("order = %+v, want serial, noisy, quiet", rep.Objects)
+	}
+	if rep.Objects[0].SerializationScore != 0.9 || rep.Objects[2].SerializationScore != 0 {
+		t.Fatalf("scores = %+v", rep.Objects)
+	}
+	top, ok := rep.Bottleneck()
+	if !ok || top.Name != "serial" {
+		t.Fatalf("bottleneck = %+v, want the serialized object", top)
+	}
+	out := rep.Format(5)
+	if !strings.Contains(out, "serial") || !strings.Contains(out, "90.0%") {
+		t.Fatalf("format lacks the serialization column:\n%s", out)
+	}
+}
+
+func TestApplySerializationEmptyIsNoop(t *testing.T) {
+	rep := &Report{Objects: []ObjectContention{{ID: 1, Name: "m", TotalTime: 10}}}
+	rep.ApplySerialization(nil)
+	if rep.Serialized {
+		t.Fatal("empty scores must not mark the report serialized")
+	}
+	if out := rep.Format(5); strings.Contains(out, "serial") {
+		t.Fatalf("unserialized format shows the serial column:\n%s", out)
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBoundsDominateAndExplainFFT(t *testing.T) {
+	res, err := Bounds(Options{Scale: 0.05, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	cells := map[string]map[int]BoundsCell{}
+	for _, row := range res.Rows {
+		cells[row.Application] = map[int]BoundsCell{}
+		for _, c := range row.Cells {
+			if c.Bound <= 0 || c.Predicted <= 0 {
+				t.Fatalf("%s@%d: empty cell %+v", row.Application, c.CPUs, c)
+			}
+			// The bound is an upper bound: the Simulator's prediction may
+			// touch it but never exceed it (1% numeric tolerance).
+			if c.Predicted > c.Bound*1.01 {
+				t.Errorf("%s@%d: predicted %.3f exceeds bound %.3f",
+					row.Application, c.CPUs, c.Predicted, c.Bound)
+			}
+			cells[row.Application][c.CPUs] = c
+		}
+	}
+	// The headline result: FFT's eight-thread critical path caps the
+	// speed-up near the paper's measured saturation point of 2.62.
+	fft8 := cells["fft"][8]
+	if fft8.Bound < 2.2 || fft8.Bound > 3.2 {
+		t.Errorf("fft@8 bound = %.2f, want ~2.6", fft8.Bound)
+	}
+	// Radix, the near-linear kernel, keeps a bound close to the machine
+	// size — the bound separates saturating from scaling programs.
+	if r8 := cells["radix"][8]; r8.Bound < 7 {
+		t.Errorf("radix@8 bound = %.2f, want >= 7", r8.Bound)
+	}
+	for _, want := range []string{"Critical-path bounds vs Table 1", "fft", "paper"} {
+		if !strings.Contains(res.Report, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

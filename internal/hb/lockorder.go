@@ -1,0 +1,280 @@
+package hb
+
+import (
+	"sort"
+
+	"vppb/internal/source"
+	"vppb/internal/trace"
+)
+
+// The lock-order graph has one node per lock (mutexes and rwlocks) and an
+// edge A → B whenever some thread acquired B while holding A. A cycle means
+// two orderings were both exercised, so a schedule exists in which the
+// involved threads deadlock — even though the recorded run, and the
+// Simulator's replay of it, complete cleanly. This is the standard dynamic
+// deadlock-prediction discipline (lockset / goodlock); two classic
+// false-positive filters apply: a cycle all of whose edges were made by one
+// thread cannot deadlock (a thread does not race itself), and a cycle whose
+// edges all occurred under one common "gate" lock cannot interleave.
+
+// LockWitness is one recorded occurrence of a lock-order edge.
+type LockWitness struct {
+	// Thread acquired To (at AcquireLoc) while holding From (acquired at
+	// HeldLoc).
+	Thread     trace.ThreadID
+	HeldLoc    source.Loc
+	AcquireLoc source.Loc
+}
+
+// maxWitnesses caps the recorded occurrences per edge; Count keeps the
+// total.
+const maxWitnesses = 4
+
+// LockEdge is one lock-order constraint with its evidence.
+type LockEdge struct {
+	From, To  trace.ObjectID
+	Count     int
+	Witnesses []LockWitness
+
+	threads map[trace.ThreadID]bool
+	guards  map[trace.ObjectID]bool // nil until first occurrence
+}
+
+// Cycle is one strongly connected component of the lock-order graph with at
+// least two locks.
+type Cycle struct {
+	// Objects are the locks of the cycle, ascending by ID.
+	Objects []trace.ObjectID
+	// Threads are the distinct threads contributing edges, ascending.
+	Threads []trace.ThreadID
+	// Guards are gate locks held across every edge of the cycle; a
+	// non-empty set means the orderings cannot interleave.
+	Guards []trace.ObjectID
+	// SingleThread marks a cycle all of whose edges come from one thread.
+	SingleThread bool
+}
+
+// Suppressed reports whether a false-positive filter discharges the cycle.
+func (c Cycle) Suppressed() bool { return len(c.Guards) > 0 || c.SingleThread }
+
+// LockOrderGraph is the full lock-order analysis.
+type LockOrderGraph struct {
+	// Edges, sorted by (From, To).
+	Edges []LockEdge
+	// Cycles lists every multi-lock strongly connected component,
+	// suppressed or not.
+	Cycles []Cycle
+}
+
+// PotentialDeadlocks returns the cycles not discharged by the gate-lock and
+// single-thread filters.
+func (g *LockOrderGraph) PotentialDeadlocks() []Cycle {
+	var out []Cycle
+	for _, c := range g.Cycles {
+		if !c.Suppressed() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+type lockOrderBuilder struct {
+	edges map[[2]trace.ObjectID]*LockEdge
+}
+
+func newLockOrderBuilder() *lockOrderBuilder {
+	return &lockOrderBuilder{edges: make(map[[2]trace.ObjectID]*LockEdge)}
+}
+
+// acquired records the edges implied by thread t acquiring ev.Object while
+// holding its current lock stack.
+func (b *lockOrderBuilder) acquired(t *threadState, ev trace.Event, evIdx int) {
+	if ev.Object == 0 || len(t.held) == 0 {
+		return
+	}
+	for hi, h := range t.held {
+		if h.obj == ev.Object {
+			// Re-acquisition of a held lock; the recorded run survived it,
+			// so it is not an ordering edge (and a self-edge would be
+			// meaningless in the cycle analysis).
+			continue
+		}
+		e := b.edges[[2]trace.ObjectID{h.obj, ev.Object}]
+		if e == nil {
+			e = &LockEdge{From: h.obj, To: ev.Object, threads: make(map[trace.ThreadID]bool)}
+			b.edges[[2]trace.ObjectID{h.obj, ev.Object}] = e
+		}
+		e.Count++
+		e.threads[ev.Thread] = true
+		if len(e.Witnesses) < maxWitnesses {
+			e.Witnesses = append(e.Witnesses, LockWitness{
+				Thread:     ev.Thread,
+				HeldLoc:    h.acqLoc,
+				AcquireLoc: ev.Loc,
+			})
+		}
+		// Gate locks for this occurrence: everything else held.
+		occ := make(map[trace.ObjectID]bool)
+		for gi, g := range t.held {
+			if gi != hi && g.obj != ev.Object {
+				occ[g.obj] = true
+			}
+		}
+		if e.guards == nil {
+			e.guards = occ
+		} else {
+			for g := range e.guards {
+				if !occ[g] {
+					delete(e.guards, g)
+				}
+			}
+		}
+	}
+}
+
+// build finalizes the graph and runs cycle detection.
+func (b *lockOrderBuilder) build() *LockOrderGraph {
+	g := &LockOrderGraph{}
+	for _, e := range b.edges {
+		g.Edges = append(g.Edges, *e)
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].From != g.Edges[j].From {
+			return g.Edges[i].From < g.Edges[j].From
+		}
+		return g.Edges[i].To < g.Edges[j].To
+	})
+	g.findCycles()
+	return g
+}
+
+// findCycles computes strongly connected components (iterative Tarjan, so
+// adversarial inputs cannot overflow the goroutine stack) and keeps those
+// with at least two locks.
+func (g *LockOrderGraph) findCycles() {
+	succ := make(map[trace.ObjectID][]trace.ObjectID)
+	var nodes []trace.ObjectID
+	seen := make(map[trace.ObjectID]bool)
+	addNode := func(id trace.ObjectID) {
+		if !seen[id] {
+			seen[id] = true
+			nodes = append(nodes, id)
+		}
+	}
+	for _, e := range g.Edges {
+		succ[e.From] = append(succ[e.From], e.To)
+		addNode(e.From)
+		addNode(e.To)
+	}
+
+	index := make(map[trace.ObjectID]int)
+	low := make(map[trace.ObjectID]int)
+	onStack := make(map[trace.ObjectID]bool)
+	var stack []trace.ObjectID
+	next := 0
+	var sccs [][]trace.ObjectID
+
+	type frame struct {
+		v  trace.ObjectID
+		si int // next successor to visit
+	}
+	for _, root := range nodes {
+		if _, ok := index[root]; ok {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.si < len(succ[f.v]) {
+				w := succ[f.v][f.si]
+				f.si++
+				if _, ok := index[w]; !ok {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			if low[f.v] == index[f.v] {
+				var scc []trace.ObjectID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					scc = append(scc, w)
+					if w == f.v {
+						break
+					}
+				}
+				if len(scc) > 1 {
+					sccs = append(sccs, scc)
+				}
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[f.v] < low[p.v] {
+					low[p.v] = low[f.v]
+				}
+			}
+		}
+	}
+
+	for _, scc := range sccs {
+		g.Cycles = append(g.Cycles, g.describeCycle(scc))
+	}
+	sort.Slice(g.Cycles, func(i, j int) bool {
+		return g.Cycles[i].Objects[0] < g.Cycles[j].Objects[0]
+	})
+}
+
+// describeCycle derives the threads, gate locks and suppression verdict of
+// one strongly connected component from its internal edges.
+func (g *LockOrderGraph) describeCycle(scc []trace.ObjectID) Cycle {
+	member := make(map[trace.ObjectID]bool, len(scc))
+	for _, id := range scc {
+		member[id] = true
+	}
+	threads := make(map[trace.ThreadID]bool)
+	var guards map[trace.ObjectID]bool
+	for _, e := range g.Edges {
+		if !member[e.From] || !member[e.To] {
+			continue
+		}
+		for tid := range e.threads {
+			threads[tid] = true
+		}
+		if guards == nil {
+			guards = make(map[trace.ObjectID]bool, len(e.guards))
+			for id := range e.guards {
+				guards[id] = true
+			}
+		} else {
+			for id := range guards {
+				if !e.guards[id] {
+					delete(guards, id)
+				}
+			}
+		}
+	}
+	c := Cycle{SingleThread: len(threads) <= 1}
+	c.Objects = append(c.Objects, scc...)
+	sort.Slice(c.Objects, func(i, j int) bool { return c.Objects[i] < c.Objects[j] })
+	for tid := range threads {
+		c.Threads = append(c.Threads, tid)
+	}
+	sort.Slice(c.Threads, func(i, j int) bool { return c.Threads[i] < c.Threads[j] })
+	for id := range guards {
+		c.Guards = append(c.Guards, id)
+	}
+	sort.Slice(c.Guards, func(i, j int) bool { return c.Guards[i] < c.Guards[j] })
+	return c
+}

@@ -1,0 +1,218 @@
+package hb
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// FormatBound renders the one-line speed-up upper bound summary.
+func (a *Analysis) FormatBound() string {
+	return fmt.Sprintf("work %s  critical path %s  speed-up upper bound %.2f%s\n",
+		a.Work, a.CritPath, a.Bound(), a.dominantNote())
+}
+
+func (a *Analysis) dominantNote() string {
+	if a.Dominant == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  (serialized on %s)", a.Log.ObjectName(a.Dominant))
+}
+
+// FormatCritPath renders the critical-path summary: the bound, the top
+// source sites, and the per-object serialization scores.
+func (a *Analysis) FormatCritPath(topN int) string {
+	if topN <= 0 {
+		topN = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %s of %s total work over %d events (bound %.2f)\n",
+		a.CritPath, a.Work, len(a.Path), a.Bound())
+	if a.Dominant != 0 {
+		fmt.Fprintf(&b, "dominated by the serial demand of %s (dependency chain alone: %s)\n",
+			a.Log.ObjectName(a.Dominant), a.Chain)
+	}
+	b.WriteByte('\n')
+
+	b.WriteString("top critical-path sites:\n")
+	fmt.Fprintf(&b, "%-34s %12s %8s\n", "source", "time", "events")
+	for i, s := range a.Sites {
+		if i >= topN {
+			fmt.Fprintf(&b, "... and %d more sites\n", len(a.Sites)-topN)
+			break
+		}
+		fmt.Fprintf(&b, "%-34s %12s %8d\n", s.Loc.String(), s.Time, s.Count)
+	}
+
+	b.WriteString("\nserialization scores (fraction of critical path per object):\n")
+	fmt.Fprintf(&b, "%-18s %-7s %12s %8s\n", "object", "kind", "time", "score")
+	for i, s := range a.Scores {
+		if i >= topN {
+			fmt.Fprintf(&b, "... and %d more objects\n", len(a.Scores)-topN)
+			break
+		}
+		fmt.Fprintf(&b, "%-18s %-7s %12s %7.1f%%\n", s.Name, s.Kind, s.Time, 100*s.Score)
+	}
+	return b.String()
+}
+
+// FormatLockOrder renders the lock-order graph and its cycle verdicts.
+func (a *Analysis) FormatLockOrder() string {
+	g := a.LockOrder
+	var b strings.Builder
+	fmt.Fprintf(&b, "lock-order graph: %d edges, %d cycles, %d potential deadlocks\n",
+		len(g.Edges), len(g.Cycles), len(g.PotentialDeadlocks()))
+	for _, e := range g.Edges {
+		fmt.Fprintf(&b, "  %s -> %s (%d times)", a.Log.ObjectName(e.From), a.Log.ObjectName(e.To), e.Count)
+		if len(e.Witnesses) > 0 {
+			w := e.Witnesses[0]
+			fmt.Fprintf(&b, "  e.g. %s holding %s, acquiring at %s",
+				a.Log.ThreadName(w.Thread), w.HeldLoc, w.AcquireLoc)
+		}
+		b.WriteByte('\n')
+	}
+	for _, c := range g.Cycles {
+		names := make([]string, len(c.Objects))
+		for i, id := range c.Objects {
+			names[i] = a.Log.ObjectName(id)
+		}
+		switch {
+		case c.SingleThread:
+			fmt.Fprintf(&b, "  cycle {%s}: suppressed (single thread)\n", strings.Join(names, ", "))
+		case len(c.Guards) > 0:
+			guards := make([]string, len(c.Guards))
+			for i, id := range c.Guards {
+				guards[i] = a.Log.ObjectName(id)
+			}
+			fmt.Fprintf(&b, "  cycle {%s}: suppressed (gate lock %s)\n",
+				strings.Join(names, ", "), strings.Join(guards, ", "))
+		default:
+			threads := make([]string, len(c.Threads))
+			for i, id := range c.Threads {
+				threads[i] = a.Log.ThreadName(id)
+			}
+			fmt.Fprintf(&b, "  cycle {%s}: POTENTIAL DEADLOCK (threads %s) — the recorded run completed, but the lock orders can interleave\n",
+				strings.Join(names, ", "), strings.Join(threads, ", "))
+		}
+	}
+	return b.String()
+}
+
+// JSON types mirror the analysis for machine consumption.
+type (
+	// JSONReport is the machine-readable form of an Analysis.
+	JSONReport struct {
+		Program  string         `json:"program"`
+		Events   int            `json:"events"`
+		Threads  int            `json:"threads"`
+		WorkUS   int64          `json:"work_us"`
+		ChainUS  int64          `json:"dependency_chain_us"`
+		CritUS   int64          `json:"critical_path_us"`
+		Bound    float64        `json:"speedup_bound"`
+		Dominant string         `json:"dominant_object,omitempty"`
+		Sites    []JSONSite     `json:"critical_path_sites,omitempty"`
+		Scores   []JSONScore    `json:"serialization_scores,omitempty"`
+		Edges    []JSONLockEdge `json:"lock_order_edges,omitempty"`
+		Cycles   []JSONCycle    `json:"lock_order_cycles,omitempty"`
+		Deadlock bool           `json:"potential_deadlock"`
+	}
+	// JSONSite is one critical-path source site.
+	JSONSite struct {
+		Source string `json:"source"`
+		TimeUS int64  `json:"time_us"`
+		Count  int    `json:"count"`
+	}
+	// JSONScore is one object's serialization score.
+	JSONScore struct {
+		Object string  `json:"object"`
+		Kind   string  `json:"kind"`
+		TimeUS int64   `json:"time_us"`
+		Score  float64 `json:"score"`
+	}
+	// JSONLockEdge is one lock-order edge.
+	JSONLockEdge struct {
+		From  string `json:"from"`
+		To    string `json:"to"`
+		Count int    `json:"count"`
+	}
+	// JSONCycle is one lock-order cycle verdict.
+	JSONCycle struct {
+		Objects    []string `json:"objects"`
+		Threads    []string `json:"threads,omitempty"`
+		Guards     []string `json:"gate_locks,omitempty"`
+		Suppressed bool     `json:"suppressed"`
+	}
+)
+
+// JSONReport builds the machine-readable report.
+func (a *Analysis) JSONReport(topN int) JSONReport {
+	if topN <= 0 {
+		topN = 10
+	}
+	r := JSONReport{
+		Program: a.Log.Header.Program,
+		Events:  len(a.Log.Events),
+		Threads: len(a.threadIdx),
+		WorkUS:  int64(a.Work),
+		ChainUS: int64(a.Chain),
+		CritUS:  int64(a.CritPath),
+		Bound:   a.Bound(),
+	}
+	if a.Dominant != 0 {
+		r.Dominant = a.Log.ObjectName(a.Dominant)
+	}
+	for i, s := range a.Sites {
+		if i >= topN {
+			break
+		}
+		r.Sites = append(r.Sites, JSONSite{Source: s.Loc.String(), TimeUS: int64(s.Time), Count: s.Count})
+	}
+	for i, s := range a.Scores {
+		if i >= topN {
+			break
+		}
+		r.Scores = append(r.Scores, JSONScore{Object: s.Name, Kind: s.Kind.String(), TimeUS: int64(s.Time), Score: s.Score})
+	}
+	for _, e := range a.LockOrder.Edges {
+		r.Edges = append(r.Edges, JSONLockEdge{From: a.Log.ObjectName(e.From), To: a.Log.ObjectName(e.To), Count: e.Count})
+	}
+	for _, c := range a.LockOrder.Cycles {
+		jc := JSONCycle{Suppressed: c.Suppressed()}
+		for _, id := range c.Objects {
+			jc.Objects = append(jc.Objects, a.Log.ObjectName(id))
+		}
+		for _, id := range c.Threads {
+			jc.Threads = append(jc.Threads, a.Log.ThreadName(id))
+		}
+		for _, id := range c.Guards {
+			jc.Guards = append(jc.Guards, a.Log.ObjectName(id))
+		}
+		r.Cycles = append(r.Cycles, jc)
+	}
+	r.Deadlock = len(a.LockOrder.PotentialDeadlocks()) > 0
+	return r
+}
+
+// FormatJSON renders the analysis as indented JSON.
+func (a *Analysis) FormatJSON(topN int) ([]byte, error) {
+	return json.MarshalIndent(a.JSONReport(topN), "", "  ")
+}
+
+// TopObject returns the object with the largest serialization score, or
+// false when no critical-path time is attributed to any object.
+func (a *Analysis) TopObject() (ObjectScore, bool) {
+	if len(a.Scores) == 0 {
+		return ObjectScore{}, false
+	}
+	return a.Scores[0], true
+}
+
+// ObjectScoreByName returns the serialization score of the named object.
+func (a *Analysis) ObjectScoreByName(name string) (ObjectScore, bool) {
+	for _, s := range a.Scores {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return ObjectScore{}, false
+}

@@ -28,16 +28,16 @@ func repairFixture() *Log {
 		})
 	}
 	add(0, 1, Before, CallStartCollect, 0, 0)
-	add(50_000, 1, Before, CallThrCreate, 0, 4)   // 1
-	add(60_000, 1, After, CallThrCreate, 0, 4)    // 2
-	add(100_000, 4, Before, CallMutexLock, 1, 0)  // 3
-	add(110_000, 4, After, CallMutexLock, 1, 0)   // 4
+	add(50_000, 1, Before, CallThrCreate, 0, 4)    // 1
+	add(60_000, 1, After, CallThrCreate, 0, 4)     // 2
+	add(100_000, 4, Before, CallMutexLock, 1, 0)   // 3
+	add(110_000, 4, After, CallMutexLock, 1, 0)    // 4
 	add(150_000, 4, Before, CallMutexUnlock, 1, 0) // 5
-	add(151_000, 4, After, CallMutexUnlock, 1, 0) // 6
-	add(200_000, 1, Before, CallThrJoin, 0, 4)    // 7
-	add(400_000, 4, Before, CallThrExit, 0, 0)    // 8
-	add(401_000, 1, After, CallThrJoin, 0, 4)     // 9
-	add(800_000, 1, Before, CallThrExit, 0, 0)    // 10
+	add(151_000, 4, After, CallMutexUnlock, 1, 0)  // 6
+	add(200_000, 1, Before, CallThrJoin, 0, 4)     // 7
+	add(400_000, 4, Before, CallThrExit, 0, 0)     // 8
+	add(401_000, 1, After, CallThrJoin, 0, 4)      // 9
+	add(800_000, 1, Before, CallThrExit, 0, 0)     // 10
 	return l
 }
 

@@ -56,6 +56,8 @@ type ASCIIOptions struct {
 	Width int
 	// MaxFlowRows caps the number of thread rows; 0 means all.
 	MaxFlowRows int
+	// Overlay highlights critical-path call records in the flow graph.
+	Overlay CritOverlay
 }
 
 func (o ASCIIOptions) normalized() ASCIIOptions {
@@ -132,7 +134,11 @@ func RenderFlowASCII(v *View, opts ASCIIOptions) string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "execution flow (==running .=runnable)  window %s .. %s\n", start, end)
+	header := "execution flow (==running .=runnable)"
+	if !opts.Overlay.Empty() {
+		header = "execution flow (==running .=runnable #=critical path)"
+	}
+	fmt.Fprintf(&b, "%s  window %s .. %s\n", header, start, end)
 	for _, th := range threads {
 		row := make([]byte, width)
 		for i := range row {
@@ -158,6 +164,23 @@ func RenderFlowASCII(v *View, opts ASCIIOptions) string {
 			}
 			for c := c0; c < c1 && c < width; c++ {
 				row[c] = ch
+			}
+		}
+		// Critical-path intervals overwrite the state glyphs, then the
+		// event glyphs go on top.
+		for i, pe := range th.Events {
+			if !opts.Overlay.on(th.Info.ID, i) || pe.End <= start || pe.Start >= end {
+				continue
+			}
+			c0 := colOf(pe.Start, start, span, width)
+			c1 := colOf(pe.End, start, span, width)
+			if c1 <= c0 {
+				c1 = c0 + 1
+			}
+			for c := c0; c < c1 && c < width; c++ {
+				if c >= 0 {
+					row[c] = '#'
+				}
 			}
 		}
 		for _, pe := range th.Events {

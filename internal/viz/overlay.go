@@ -1,0 +1,31 @@
+package viz
+
+import (
+	"sort"
+
+	"vppb/internal/trace"
+)
+
+// CritOverlay marks, per thread, the sorted call-record ordinals that lie
+// on the critical path — the shape hb.(*Analysis).PathRecords returns.
+// Simulated and reference timelines place one event per completed call
+// record, in record order, so a thread's i-th placed event corresponds to
+// record ordinal i.
+type CritOverlay map[trace.ThreadID][]int
+
+// on reports whether the thread's idx-th placed event is on the path.
+func (o CritOverlay) on(tid trace.ThreadID, idx int) bool {
+	recs := o[tid]
+	k := sort.SearchInts(recs, idx)
+	return k < len(recs) && recs[k] == idx
+}
+
+// Empty reports whether the overlay highlights nothing.
+func (o CritOverlay) Empty() bool {
+	for _, recs := range o {
+		if len(recs) > 0 {
+			return false
+		}
+	}
+	return true
+}

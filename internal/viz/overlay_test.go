@@ -1,0 +1,105 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"vppb/internal/core"
+	"vppb/internal/hb"
+	"vppb/internal/recorder"
+	"vppb/internal/trace"
+	"vppb/internal/workloads"
+)
+
+// overlayFixture records prodcons, analyzes it, and replays it, returning
+// the replay view plus the critical-path overlay.
+func overlayFixture(t *testing.T) (*View, CritOverlay) {
+	t.Helper()
+	w, err := workloads.Get("prodcons")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := recorder.Record(w.Bind(workloads.Params{Scale: 0.2}), recorder.Options{Program: "prodcons"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := hb.Analyze(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Simulate(log, core.Machine{CPUs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mustView(t, res.Timeline), CritOverlay(a.PathRecords())
+}
+
+func TestCritOverlayLookup(t *testing.T) {
+	o := CritOverlay{7: {0, 2, 5}}
+	for idx, want := range map[int]bool{0: true, 1: false, 2: true, 5: true, 6: false} {
+		if o.on(7, idx) != want {
+			t.Errorf("on(7, %d) = %v", idx, !want)
+		}
+	}
+	if o.on(8, 0) {
+		t.Error("unknown thread highlighted")
+	}
+	if o.Empty() {
+		t.Error("non-empty overlay reported empty")
+	}
+	if !(CritOverlay{}).Empty() || !(CritOverlay{1: nil}).Empty() {
+		t.Error("empty overlays not reported empty")
+	}
+}
+
+func TestFlowASCIIOverlay(t *testing.T) {
+	v, o := overlayFixture(t)
+	plain := RenderFlowASCII(v, ASCIIOptions{Width: 80})
+	over := RenderFlowASCII(v, ASCIIOptions{Width: 80, Overlay: o})
+	if strings.Contains(plain, "#") {
+		t.Fatal("plain flow graph already contains the highlight glyph")
+	}
+	if !strings.Contains(over, "#") {
+		t.Fatalf("overlay did not highlight anything:\n%s", over)
+	}
+	if !strings.Contains(over, "#=critical path") {
+		t.Error("overlay legend missing from the header")
+	}
+}
+
+func TestSVGOverlay(t *testing.T) {
+	v, o := overlayFixture(t)
+	svg := RenderSVG(v, SVGOptions{Title: "prodcons", Overlay: o})
+	if !strings.Contains(svg, critColor) {
+		t.Fatal("SVG overlay missing the highlight colour")
+	}
+	if !strings.Contains(svg, "critical path highlighted") {
+		t.Error("SVG overlay legend missing")
+	}
+	if plain := RenderSVG(v, SVGOptions{Title: "prodcons"}); strings.Contains(plain, critColor) {
+		t.Error("plain SVG contains the highlight colour")
+	}
+}
+
+// TestOverlayOrdinalsMatchPlacedEvents checks the contract the overlay
+// rests on: every record ordinal the analysis reports exists as a placed
+// event of the replayed timeline.
+func TestOverlayOrdinalsMatchPlacedEvents(t *testing.T) {
+	v, o := overlayFixture(t)
+	byID := make(map[trace.ThreadID]*trace.ThreadTimeline)
+	for i := range v.Timeline().Threads {
+		th := &v.Timeline().Threads[i]
+		byID[th.Info.ID] = th
+	}
+	for tid, recs := range o {
+		th := byID[tid]
+		if th == nil {
+			t.Fatalf("overlay names unknown thread %d", tid)
+		}
+		for _, r := range recs {
+			if r < 0 || r >= len(th.Events) {
+				t.Fatalf("thread %d: ordinal %d out of %d placed events", tid, r, len(th.Events))
+			}
+		}
+	}
+}

@@ -25,6 +25,8 @@ type SVGOptions struct {
 	ParallelismHeight int
 	// Title is drawn above the graphs.
 	Title string
+	// Overlay highlights critical-path call records in the flow graph.
+	Overlay CritOverlay
 }
 
 func (o SVGOptions) normalized() SVGOptions {
@@ -94,6 +96,10 @@ func RenderSVG(v *View, opts SVGOptions) string {
 	}
 
 	renderParallelismSVG(&b, v, opts, x, plotW)
+	if !opts.Overlay.Empty() {
+		fmt.Fprintf(&b, `<text x="%d" y="%d" fill="%s">critical path highlighted</text>`+"\n",
+			svgMarginLeft, flowTop-6, critColor)
+	}
 	renderFlowSVG(&b, v, threads, opts, x, flowTop)
 	renderAxisSVG(&b, start, end, x, flowTop+len(threads)*opts.LaneHeight+14)
 
@@ -137,12 +143,34 @@ func renderParallelismSVG(b *strings.Builder, v *View, opts SVGOptions, x func(v
 	fmt.Fprintf(b, `<text x="%d" y="%d" text-anchor="end" fill="#cc3333">ready</text>`+"\n", svgMarginLeft-6, top+h/2+8)
 }
 
+// critColor is the critical-path highlight (an orange underlay beneath the
+// thread lane, like a marker pen over the flow graph).
+const critColor = "#ff8800"
+
 func renderFlowSVG(b *strings.Builder, v *View, threads []*trace.ThreadTimeline, opts SVGOptions, x func(vtime.Time) float64, flowTop int) {
 	start, end := v.Window()
 	for lane, th := range threads {
 		yMid := float64(flowTop + lane*opts.LaneHeight + opts.LaneHeight/2)
 		fmt.Fprintf(b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n",
 			svgMarginLeft-6, yMid+4, escape(flowLabel(th)))
+		for i, pe := range th.Events {
+			if !opts.Overlay.on(th.Info.ID, i) || pe.End <= start || pe.Start > end {
+				continue
+			}
+			from, to := pe.Start, pe.End
+			if from < start {
+				from = start
+			}
+			if to > end {
+				to = end
+			}
+			x0, x1 := x(from), x(to)
+			if x1 < x0+2 {
+				x1 = x0 + 2
+			}
+			fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="7" stroke-opacity="0.45"/>`+"\n",
+				x0, yMid, x1, yMid, critColor)
+		}
 		for _, s := range th.Spans {
 			if s.End <= start || s.Start >= end {
 				continue

@@ -1,0 +1,67 @@
+package workloads
+
+import "vppb/internal/threadlib"
+
+// lockorder is a deliberately order-inverted program: one thread nests
+// lock A -> lock B, the other nests B -> A. A semaphore hand-off forces
+// the second nest to start only after the first has fully released, so
+// every recording — and every replay, on any number of processors —
+// completes cleanly. The inverted acquisition orders remain in the trace,
+// which is exactly the case the lock-order analysis exists for: a
+// *potential* deadlock no single run can observe.
+func init() {
+	register(&Workload{
+		Name:         "lockorder",
+		Description:  "gated AB/BA lock nesting: runs cleanly, deadlocks only potentially",
+		FixedThreads: true,
+		Setup:        lockOrderSetup,
+	})
+}
+
+const (
+	loNestUS  = 120.0
+	loInnerUS = 40.0
+	loRounds  = 5
+)
+
+func lockOrderSetup(p *threadlib.Process, prm Params) func(*threadlib.Thread) {
+	prm = prm.normalized()
+	a := p.NewMutex("A")
+	bm := p.NewMutex("B")
+	turn := p.NewSema("turn-inv", 0)
+	back := p.NewSema("turn-fwd", 0)
+
+	nest := func(t *threadlib.Thread, first, then *threadlib.Mutex) {
+		first.Lock(t)
+		t.Compute(prm.scaled(loNestUS))
+		then.Lock(t)
+		t.Compute(prm.scaled(loInnerUS))
+		then.Unlock(t)
+		first.Unlock(t)
+	}
+	// The semaphore ping-pong fully serializes the two nests in every
+	// round, so no schedule — recorded or replayed — can interleave the
+	// inverted acquisitions. Semaphores are not held locks, so the
+	// analysis must not mistake the hand-off for a gate lock.
+	forward := func(t *threadlib.Thread) {
+		for i := 0; i < loRounds; i++ {
+			nest(t, a, bm)
+			turn.Post(t)
+			back.Wait(t)
+		}
+	}
+	inverted := func(t *threadlib.Thread) {
+		for i := 0; i < loRounds; i++ {
+			turn.Wait(t)
+			nest(t, bm, a)
+			back.Post(t)
+		}
+	}
+
+	return func(main *threadlib.Thread) {
+		t1 := main.Create(forward, threadlib.WithName("forward"))
+		t2 := main.Create(inverted, threadlib.WithName("inverted"))
+		main.Join(t1)
+		main.Join(t2)
+	}
+}

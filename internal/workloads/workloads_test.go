@@ -13,7 +13,7 @@ import (
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	want := []string{"dbserver", "example", "fft", "lu", "ocean", "prodcons", "prodconsopt", "radix", "waterspatial"}
+	want := []string{"dbserver", "example", "fft", "lockorder", "lu", "ocean", "prodcons", "prodconsopt", "radix", "waterspatial"}
 	if len(names) != len(want) {
 		t.Fatalf("names = %v", names)
 	}

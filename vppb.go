@@ -44,6 +44,7 @@ import (
 	"vppb/internal/core"
 	"vppb/internal/experiments"
 	"vppb/internal/faultinject"
+	"vppb/internal/hb"
 	"vppb/internal/metrics"
 	"vppb/internal/recorder"
 	"vppb/internal/threadlib"
@@ -285,6 +286,31 @@ type (
 // Analyze builds a contention report from an execution timeline.
 func Analyze(tl *Timeline) (*ContentionReport, error) { return analysis.Analyze(tl) }
 
+// Happens-before analysis.
+type (
+	// HBAnalysis is the happens-before analysis of a recording: vector
+	// clocks, the critical-path speed-up bound, per-object serialization
+	// scores and the lock-order graph.
+	HBAnalysis = hb.Analysis
+	// LockOrderGraph is the lock-acquisition-order graph with cycle
+	// detection; its unsuppressed cycles are potential deadlocks.
+	LockOrderGraph = hb.LockOrderGraph
+	// LockCycle is one cycle of the lock-order graph.
+	LockCycle = hb.Cycle
+	// ObjectScore is one object's serialization score.
+	ObjectScore = hb.ObjectScore
+	// CritOverlay highlights critical-path call records in the flow
+	// graph renderings (ASCIIOptions.Overlay / SVGOptions.Overlay).
+	CritOverlay = viz.CritOverlay
+)
+
+// AnalyzeHB computes the happens-before analysis of a 1-CPU/1-LWP
+// recording: the machine-independent speed-up upper bound (Work divided by
+// the critical path), the top critical-path source sites, per-object
+// serialization scores, and lock-order cycles flagging potential deadlocks
+// the recorded run happened not to hit.
+func AnalyzeHB(log *Log) (*HBAnalysis, error) { return hb.Analyze(log) }
+
 // CPUReport summarizes per-processor occupancy.
 type CPUReport = analysis.CPUReport
 
@@ -353,6 +379,7 @@ var (
 	ExperimentLogStats = experiments.LogStats
 	ExperimentIO       = experiments.IOExtension
 	ExperimentFaults   = experiments.Faults
+	ExperimentBounds   = experiments.Bounds
 	AblationBound      = experiments.AblationBound
 	AblationCommDelay  = experiments.AblationCommDelay
 	AblationLWPs       = experiments.AblationLWPs
