@@ -207,6 +207,72 @@ func BenchmarkVisualizer_Ocean8(b *testing.B) {
 	}
 }
 
+// Profile-sharing benchmarks: the tentpole of the concurrent prediction
+// pipeline. BuildProfile in isolation, a simulation that reuses a
+// prebuilt profile vs one that rebuilds it per call, and the parallel
+// sweep over one shared profile.
+
+// BenchmarkBuildProfile_Ocean8 measures deriving the behaviour profile
+// (per-thread split, burst extraction, call records) alone.
+func BenchmarkBuildProfile_Ocean8(b *testing.B) {
+	log := oceanLog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildProfile(log); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateProfile_Shared replays a prebuilt, shared profile —
+// what every simulation after the first costs under profile reuse.
+func BenchmarkSimulateProfile_Shared(b *testing.B) {
+	log := oceanLog(b)
+	prof, err := BuildProfile(log)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateProfile(prof, Machine{CPUs: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateProfile_Rebuild is the old cost model: profile rebuilt
+// on every simulation (what Simulate does). The Shared/Rebuild gap is the
+// per-simulation saving of profile reuse.
+func BenchmarkSimulateProfile_Rebuild(b *testing.B) {
+	log := oceanLog(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(log, Machine{CPUs: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweep_FFT measures the -sweep fan-out: one shared profile, the
+// uniprocessor baseline plus four machine sizes over the worker pool.
+func BenchmarkSweep_FFT(b *testing.B) {
+	log, err := RecordWorkload("fft", WorkloadParams{Threads: 8, Scale: benchOpts.Scale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prof, err := BuildProfile(log)
+	if err != nil {
+		b.Fatal(err)
+	}
+	machines := []Machine{{CPUs: 1}, {CPUs: 2}, {CPUs: 4}, {CPUs: 8}, {CPUs: 16}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateMany(prof, machines); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkLogEncode_Binary and ..._Text measure the log codecs.
 func BenchmarkLogEncode_Binary(b *testing.B) {
 	log := oceanLog(b)

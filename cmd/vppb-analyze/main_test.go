@@ -103,6 +103,23 @@ func TestJSONReport(t *testing.T) {
 	}
 }
 
+// TestJSONDeterministic: two runs over the same log produce byte-identical
+// -json output — no map-iteration order leaks into the report.
+func TestJSONDeterministic(t *testing.T) {
+	path := fixtureLog(t, "prodcons", vppb.WorkloadParams{Scale: 0.2, Threads: 4})
+	first, _, err := runCmd(t, "-log", path, "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := runCmd(t, "-log", path, "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("two identical -json runs differ:\n--- first\n%s--- second\n%s", first, second)
+	}
+}
+
 func TestFlowAndSVGOverlay(t *testing.T) {
 	path := fixtureLog(t, "prodcons", vppb.WorkloadParams{Scale: 0.2})
 	svgPath := filepath.Join(t.TempDir(), "out.svg")

@@ -21,6 +21,7 @@ import (
 
 	"vppb"
 	"vppb/internal/experiments"
+	"vppb/internal/par"
 )
 
 // experimentNames in presentation order.
@@ -40,11 +41,12 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("vppb-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		which   = fs.String("experiment", "all", "experiment to run: all | "+joinNames())
-		scale   = fs.Float64("scale", 1.0, "problem-size multiplier")
-		runs    = fs.Int("runs", 5, "reference executions per Table-1 cell")
-		out     = fs.String("out", "", "directory for SVG artifacts (omit to skip writing)")
-		jsonOut = fs.Bool("json", false, "additionally write BENCH_<experiment>.json with the structured results and wall time")
+		which    = fs.String("experiment", "all", "experiment to run: all | "+joinNames())
+		scale    = fs.Float64("scale", 1.0, "problem-size multiplier")
+		runs     = fs.Int("runs", 5, "reference executions per Table-1 cell")
+		out      = fs.String("out", "", "directory for SVG artifacts (omit to skip writing)")
+		jsonOut  = fs.Bool("json", false, "additionally write BENCH_<experiment>.json with the structured results and wall time")
+		baseline = fs.String("baseline", "", "committed BENCH_table1.json to compare the table1 wall time against")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,136 +59,191 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	names := []string{*which}
+	if *which == "all" {
+		names = experimentNames
+	}
+
+	// Evaluate the experiments concurrently on a bounded worker pool, then
+	// emit reports and artifacts strictly in presentation order, so the
+	// output is byte-identical to a sequential run.
+	results := make([]benchResult, len(names))
+	if err := par.ForEach(len(names), 0, func(i int) error {
+		results[i] = runExperiment(names[i], opts)
+		return nil
+	}); err != nil {
+		return err
+	}
+
 	var firstErr error
 	fail := func(err error) {
 		if firstErr == nil {
 			firstErr = err
 		}
 	}
-	run := func(name string) {
+	for i, name := range names {
 		if firstErr != nil {
-			return
+			break
+		}
+		r := results[i]
+		fail(r.err)
+		if r.err != nil {
+			break
 		}
 		fmt.Fprintf(stdout, "==> %s\n\n", name)
-		started := time.Now()
-		// Every driver yields a human report plus the structured result
-		// the -json artifact serializes.
-		var (
-			report  string
-			payload any
-			err     error
-		)
-		switch name {
-		case "table1":
-			res, e := vppb.ExperimentTable1(opts)
-			err = e
-			if e == nil {
-				report, payload = res.Report, res.Table
-			}
-		case "bounds":
-			res, e := vppb.ExperimentBounds(opts)
-			err = e
-			if e == nil {
-				report, payload = res.Report, res.Rows
-			}
-		case "fig2":
-			res, e := vppb.ExperimentFig2(opts)
-			err = e
-			if e == nil {
-				report = res.Report
-			}
-		case "fig4":
-			res, e := vppb.ExperimentFig4(opts)
-			err = e
-			if e == nil {
-				report = res.Report
-			}
-		case "fig5":
-			res, e := vppb.ExperimentFig5(opts)
-			err = e
-			if e == nil {
-				report = res.Report
-				fail(writeSVG(stderr, *out, "fig5.svg", res.SVG))
-			}
-		case "case5":
-			res, e := vppb.ExperimentCase5(opts)
-			err = e
-			if e == nil {
-				report = res.Report
-				// The SVGs go to -out; the JSON keeps the numbers only.
-				payload = map[string]float64{
-					"naive_gain":    res.NaiveGain,
-					"improved_pred": res.ImprovedPred,
-					"improved_real": res.ImprovedReal,
-					"error":         res.Error,
-				}
-				fail(writeSVG(stderr, *out, "fig6.svg", res.NaiveSVG))
-				fail(writeSVG(stderr, *out, "fig7.svg", res.ImprovedSVG))
-			}
-		case "overhead":
-			res, e := vppb.ExperimentOverhead(opts)
-			err = e
-			if e == nil {
-				report, payload = res.Report, res.Rows
-			}
-		case "logstats":
-			res, e := vppb.ExperimentLogStats(opts)
-			err = e
-			if e == nil {
-				report, payload = res.Report, res.Rows
-			}
-		case "bound":
-			res, e := vppb.AblationBound(opts)
-			err = e
-			if e == nil {
-				report = res.Report
-			}
-		case "commdelay":
-			res, e := vppb.AblationCommDelay(opts)
-			err = e
-			if e == nil {
-				report = res.Report
-			}
-		case "lwps":
-			res, e := vppb.AblationLWPs(opts)
-			err = e
-			if e == nil {
-				report = res.Report
-			}
-		case "io":
-			res, e := vppb.ExperimentIO(opts)
-			err = e
-			if e == nil {
-				report = res.Report
-			}
-		case "faults":
-			res, e := vppb.ExperimentFaults(opts)
-			err = e
-			if e == nil {
-				report = res.Report
-			}
-		default:
-			fail(fmt.Errorf("unknown experiment %q (want all | %s)", name, joinNames()))
-			return
+		fmt.Fprintln(stdout, r.report)
+		for _, svg := range r.svgs {
+			fail(writeSVG(stderr, *out, svg.name, svg.data))
 		}
-		fail(err)
-		if err != nil {
-			return
-		}
-		fmt.Fprintln(stdout, report)
 		if *jsonOut {
-			fail(writeBenchJSON(stderr, *out, name, opts, time.Since(started), report, payload))
+			fail(writeBenchJSON(stderr, *out, name, opts, r.wall, r.report, r.payload))
+		}
+		if *baseline != "" && name == "table1" {
+			fail(compareBaseline(stdout, *baseline, r.wall))
 		}
 	}
-
-	if *which == "all" {
-		for _, name := range experimentNames {
-			run(name)
-		}
-		return firstErr
-	}
-	run(*which)
 	return firstErr
+}
+
+type svgArtifact struct {
+	name string
+	data string
+}
+
+// benchResult is one experiment's evaluation: the human report, the
+// structured -json payload, SVG artifacts, wall time, or the failure.
+type benchResult struct {
+	report  string
+	payload any
+	svgs    []svgArtifact
+	wall    time.Duration
+	err     error
+}
+
+// runExperiment evaluates one named experiment. It only computes — all
+// printing and file writing happens afterwards, in presentation order.
+func runExperiment(name string, opts experiments.Options) benchResult {
+	started := time.Now()
+	var r benchResult
+	switch name {
+	case "table1":
+		res, e := vppb.ExperimentTable1(opts)
+		r.err = e
+		if e == nil {
+			r.report, r.payload = res.Report, res.Table
+		}
+	case "bounds":
+		res, e := vppb.ExperimentBounds(opts)
+		r.err = e
+		if e == nil {
+			r.report, r.payload = res.Report, res.Rows
+		}
+	case "fig2":
+		res, e := vppb.ExperimentFig2(opts)
+		r.err = e
+		if e == nil {
+			r.report = res.Report
+		}
+	case "fig4":
+		res, e := vppb.ExperimentFig4(opts)
+		r.err = e
+		if e == nil {
+			r.report = res.Report
+		}
+	case "fig5":
+		res, e := vppb.ExperimentFig5(opts)
+		r.err = e
+		if e == nil {
+			r.report = res.Report
+			r.svgs = append(r.svgs, svgArtifact{"fig5.svg", res.SVG})
+		}
+	case "case5":
+		res, e := vppb.ExperimentCase5(opts)
+		r.err = e
+		if e == nil {
+			r.report = res.Report
+			// The SVGs go to -out; the JSON keeps the numbers only.
+			r.payload = map[string]float64{
+				"naive_gain":    res.NaiveGain,
+				"improved_pred": res.ImprovedPred,
+				"improved_real": res.ImprovedReal,
+				"error":         res.Error,
+			}
+			r.svgs = append(r.svgs,
+				svgArtifact{"fig6.svg", res.NaiveSVG},
+				svgArtifact{"fig7.svg", res.ImprovedSVG})
+		}
+	case "overhead":
+		res, e := vppb.ExperimentOverhead(opts)
+		r.err = e
+		if e == nil {
+			r.report, r.payload = res.Report, res.Rows
+		}
+	case "logstats":
+		res, e := vppb.ExperimentLogStats(opts)
+		r.err = e
+		if e == nil {
+			r.report, r.payload = res.Report, res.Rows
+		}
+	case "bound":
+		res, e := vppb.AblationBound(opts)
+		r.err = e
+		if e == nil {
+			r.report = res.Report
+		}
+	case "commdelay":
+		res, e := vppb.AblationCommDelay(opts)
+		r.err = e
+		if e == nil {
+			r.report = res.Report
+		}
+	case "lwps":
+		res, e := vppb.AblationLWPs(opts)
+		r.err = e
+		if e == nil {
+			r.report = res.Report
+		}
+	case "io":
+		res, e := vppb.ExperimentIO(opts)
+		r.err = e
+		if e == nil {
+			r.report = res.Report
+		}
+	case "faults":
+		res, e := vppb.ExperimentFaults(opts)
+		r.err = e
+		if e == nil {
+			r.report = res.Report
+		}
+	default:
+		r.err = fmt.Errorf("unknown experiment %q (want all | %s)", name, joinNames())
+	}
+	r.wall = time.Since(started)
+	return r
+}
+
+// compareBaseline reads a previously committed BENCH_table1.json and
+// prints a benchstat-style old vs new wall-time line, failing on a
+// malformed baseline but never on a slowdown (CI surfaces the delta; a
+// human judges it).
+func compareBaseline(stdout io.Writer, path string, wall time.Duration) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	var doc struct {
+		WallSeconds float64 `json:"wall_seconds"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("-baseline %s: %w", path, err)
+	}
+	if doc.WallSeconds <= 0 {
+		return fmt.Errorf("-baseline %s: no wall_seconds recorded", path)
+	}
+	delta := (wall.Seconds() - doc.WallSeconds) / doc.WallSeconds * 100
+	fmt.Fprintf(stdout, "table1 wall time: baseline %.2fs -> now %.2fs (%+.1f%%)\n\n",
+		doc.WallSeconds, wall.Seconds(), delta)
+	return nil
 }
 
 // writeBenchJSON stores one experiment's structured results as

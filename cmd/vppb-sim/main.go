@@ -155,12 +155,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		log = repaired
 	}
 
-	guard := vppb.Machine{
-		MaxSimEvents:   *maxEvents,
-		MaxVirtualTime: vppb.Duration(*maxVtime),
-	}
-	if *sweep != "" {
-		return runSweep(stdout, log, *sweep, *lwps, vppb.Duration(*commDelay), guard)
+	// The profile is derived once and shared, read-only, by every
+	// simulation this invocation runs (the prediction, its uniprocessor
+	// baseline, and all sweep points).
+	prof, err := vppb.BuildProfile(log)
+	if err != nil {
+		return err
 	}
 
 	machine := vppb.Machine{
@@ -169,17 +169,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		CommDelay:      vppb.Duration(*commDelay),
 		NoPreemption:   *noPreempt,
 		Overrides:      overrides,
-		MaxSimEvents:   guard.MaxSimEvents,
-		MaxVirtualTime: guard.MaxVirtualTime,
+		MaxSimEvents:   *maxEvents,
+		MaxVirtualTime: vppb.Duration(*maxVtime),
 	}
-	res, err := vppb.Simulate(log, machine)
+	if *sweep != "" {
+		return runSweep(stdout, prof, *sweep, machine)
+	}
+
+	both, err := vppb.SimulateMany(prof, []vppb.Machine{machine, machine.Uniprocessor()})
 	if err != nil {
 		return err
 	}
-	speedup, err := vppb.PredictSpeedup(log, machine)
-	if err != nil {
-		return err
-	}
+	res, uni := both[0], both[1]
+	speedup := vppb.Speedup(uni.Duration, res.Duration)
 
 	fmt.Fprintf(stdout, "program            %s\n", log.Header.Program)
 	fmt.Fprintf(stdout, "recorded duration  %s (on 1 CPU, monitored)\n", log.Duration())
@@ -245,24 +247,37 @@ func run(args []string, stdout, stderr io.Writer) error {
 }
 
 // runSweep prints one prediction per machine size — the paper's core use
-// case of asking "what if I had N processors?" for several N at once.
-func runSweep(stdout io.Writer, log *vppb.Log, spec string, lwps int, delay vppb.Duration, guard vppb.Machine) error {
-	uni, err := vppb.Simulate(log, vppb.Machine{CPUs: 1, LWPs: 1,
-		MaxSimEvents: guard.MaxSimEvents, MaxVirtualTime: guard.MaxVirtualTime})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "%6s %16s %10s\n", "CPUs", "predicted time", "speed-up")
+// case of asking "what if I had N processors?" for several N at once. The
+// sweep points and the uniprocessor baseline all replay one shared
+// profile concurrently; rows print in the order the sizes were given. The
+// baseline shares every non-CPU parameter of the swept machine (-lwps,
+// -commdelay, overrides), so the printed speed-ups isolate the processor
+// count.
+func runSweep(stdout io.Writer, prof *vppb.TraceProfile, spec string, base vppb.Machine) error {
+	var sizes []int
 	for _, part := range strings.Split(spec, ",") {
 		cpus, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || cpus < 1 {
 			return fmt.Errorf("-sweep wants positive CPU counts, got %q", part)
 		}
-		res, err := vppb.Simulate(log, vppb.Machine{CPUs: cpus, LWPs: lwps, CommDelay: delay,
-			MaxSimEvents: guard.MaxSimEvents, MaxVirtualTime: guard.MaxVirtualTime})
-		if err != nil {
-			return err
-		}
+		sizes = append(sizes, cpus)
+	}
+	// Machine 0 is the baseline; the sweep points follow in input order.
+	machines := make([]vppb.Machine, 0, len(sizes)+1)
+	machines = append(machines, base.Uniprocessor())
+	for _, cpus := range sizes {
+		m := base
+		m.CPUs = cpus
+		machines = append(machines, m)
+	}
+	results, err := vppb.SimulateMany(prof, machines)
+	if err != nil {
+		return err
+	}
+	uni := results[0]
+	fmt.Fprintf(stdout, "%6s %16s %10s\n", "CPUs", "predicted time", "speed-up")
+	for i, cpus := range sizes {
+		res := results[i+1]
 		fmt.Fprintf(stdout, "%6d %16s %9.2fx\n", cpus, res.Duration, vppb.Speedup(uni.Duration, res.Duration))
 	}
 	return nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -85,6 +86,72 @@ func TestSweep(t *testing.T) {
 	}
 	if _, _, err := runCmd(t, "-log", path, "-sweep", "1,zero"); err == nil {
 		t.Fatal("bad sweep accepted")
+	}
+}
+
+// TestSweepDeterministic pins the worker-pool contract: the parallel
+// sweep prints byte-identical output across runs, and exactly what a
+// sequential loop of single-machine simulations over the shared profile
+// predicts.
+func TestSweepDeterministic(t *testing.T) {
+	path := fixtureLog(t, "fft")
+	first, _, err := runCmd(t, "-log", path, "-sweep", "1,2,4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := runCmd(t, "-log", path, "-sweep", "1,2,4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("two identical sweeps differ:\n--- first\n%s--- second\n%s", first, second)
+	}
+
+	// Sequential reference: one profile, one SimulateProfile per machine,
+	// formatted the same way.
+	log, err := vppb.ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := vppb.BuildProfile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni, err := vppb.SimulateProfile(prof, vppb.Machine{CPUs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	fmt.Fprintf(&want, "%6s %16s %10s\n", "CPUs", "predicted time", "speed-up")
+	for _, cpus := range []int{1, 2, 4, 8} {
+		res, err := vppb.SimulateProfile(prof, vppb.Machine{CPUs: cpus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&want, "%6d %16s %9.2fx\n", cpus, res.Duration, vppb.Speedup(uni.Duration, res.Duration))
+	}
+	if first != want.String() {
+		t.Fatalf("parallel sweep != sequential loop:\n--- parallel\n%s--- sequential\n%s", first, want.String())
+	}
+}
+
+// TestSweepBaselineSharesMachineParameters: the uniprocessor baseline
+// inherits -lwps and -commdelay, so the 1-CPU sweep point is the baseline
+// itself and must print a speed-up of exactly 1.00.
+func TestSweepBaselineSharesMachineParameters(t *testing.T) {
+	path := fixtureLog(t, "example")
+	out, _, err := runCmd(t, "-log", path, "-sweep", "1,4", "-lwps", "2", "-commdelay", "50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ones int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "1 ") && strings.HasSuffix(line, "1.00x") {
+			ones++
+		}
+	}
+	if ones != 1 {
+		t.Fatalf("1-CPU row should equal the shared-parameter baseline (speed-up 1.00x):\n%s", out)
 	}
 }
 

@@ -27,6 +27,7 @@ package core
 import (
 	"fmt"
 
+	"vppb/internal/par"
 	"vppb/internal/trace"
 	"vppb/internal/vtime"
 )
@@ -134,6 +135,16 @@ type Result struct {
 	Events int64
 }
 
+// Uniprocessor returns the one-processor variant of m that serves as the
+// baseline of every speed-up: identical in every non-CPU parameter (LWP
+// pool, communication delay, preemption, overrides, guard budgets), so
+// predicted speed-ups compare two runs of the same machine that differ
+// only in processor count.
+func (m Machine) Uniprocessor() Machine {
+	m.CPUs = 1
+	return m
+}
+
 // Simulate predicts the execution of a recorded program on machine m.
 func Simulate(log *trace.Log, m Machine) (*Result, error) {
 	prof, err := trace.BuildProfile(log)
@@ -144,11 +155,34 @@ func Simulate(log *trace.Log, m Machine) (*Result, error) {
 }
 
 // SimulateProfile predicts the execution of a behaviour profile on machine
-// m. The profile's log supplies the thread and object tables.
+// m. The profile's log supplies the thread and object tables. The profile
+// is only read, never written: any number of SimulateProfile calls may
+// share one profile concurrently.
 func SimulateProfile(prof *trace.Profile, m Machine) (*Result, error) {
 	s, err := newSim(prof, m.withDefaults())
 	if err != nil {
 		return nil, err
 	}
 	return s.run()
+}
+
+// SimulateMany predicts one profile on several machines concurrently,
+// using a bounded worker pool (one worker per available processor).
+// Results arrive in machine order regardless of completion order, and the
+// returned error is the lowest-index failure, so output is byte-for-byte
+// what a sequential loop would produce.
+func SimulateMany(prof *trace.Profile, machines []Machine) ([]*Result, error) {
+	results := make([]*Result, len(machines))
+	err := par.ForEach(len(machines), 0, func(i int) error {
+		res, err := SimulateProfile(prof, machines[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
 }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// TestSharedProfileParallelSimulate is the race proof for profile sharing:
+// many simulations of one Profile run concurrently (exercised under
+// go test -race by CI) and every one produces exactly the result a lone
+// sequential simulation produces.
+func TestSharedProfileParallelSimulate(t *testing.T) {
+	log := record(t, concProg)
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := []Machine{
+		{CPUs: 1},
+		{CPUs: 2},
+		{CPUs: 4},
+		{CPUs: 8},
+		{CPUs: 4, LWPs: 2},
+		{CPUs: 4, CommDelay: 50 * vtime.Microsecond},
+		{CPUs: 2, NoPreemption: true},
+	}
+
+	// Sequential reference results, one fresh simulation per machine.
+	want := make([]*Result, len(machines))
+	for i, m := range machines {
+		res, err := SimulateProfile(prof, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	// Now hammer the same shared profile from many goroutines at once:
+	// several concurrent simulations per machine.
+	const repeats = 4
+	got := make([]*Result, len(machines)*repeats)
+	var wg sync.WaitGroup
+	for r := 0; r < repeats; r++ {
+		for i := range machines {
+			wg.Add(1)
+			go func(slot, mi int) {
+				defer wg.Done()
+				res, err := SimulateProfile(prof, machines[mi])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got[slot] = res
+			}(r*len(machines)+i, i)
+		}
+	}
+	wg.Wait()
+
+	for r := 0; r < repeats; r++ {
+		for i := range machines {
+			res := got[r*len(machines)+i]
+			if res == nil {
+				t.Fatalf("machine %d repeat %d: no result", i, r)
+			}
+			if res.Duration != want[i].Duration || res.Events != want[i].Events {
+				t.Fatalf("machine %d repeat %d: %v/%d events, sequential run got %v/%d",
+					i, r, res.Duration, res.Events, want[i].Duration, want[i].Events)
+			}
+			if !reflect.DeepEqual(res.PerThreadCPU, want[i].PerThreadCPU) {
+				t.Fatalf("machine %d repeat %d: per-thread CPU diverged", i, r)
+			}
+		}
+	}
+}
+
+// TestSimulateManyMatchesSequential pins the determinism contract:
+// SimulateMany's results are exactly what a sequential SimulateProfile
+// loop produces, in machine order.
+func TestSimulateManyMatchesSequential(t *testing.T) {
+	log := record(t, concProg)
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machines := []Machine{{CPUs: 1}, {CPUs: 2}, {CPUs: 3}, {CPUs: 4}, {CPUs: 8}}
+	many, err := SimulateMany(prof, machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != len(machines) {
+		t.Fatalf("got %d results, want %d", len(many), len(machines))
+	}
+	for i, m := range machines {
+		seq, err := SimulateProfile(prof, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if many[i].Duration != seq.Duration || many[i].Events != seq.Events {
+			t.Fatalf("machine %d: parallel %v/%d, sequential %v/%d",
+				i, many[i].Duration, many[i].Events, seq.Duration, seq.Events)
+		}
+	}
+}
+
+// TestSimulateManyError: a failing machine surfaces its error and no
+// partial result slice.
+func TestSimulateManyError(t *testing.T) {
+	log := record(t, concProg)
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = SimulateMany(prof, []Machine{{CPUs: 2}, {CPUs: 2, MaxSimEvents: 1}})
+	if err == nil {
+		t.Fatal("want the budget error of machine 1")
+	}
+}
+
+func TestUniprocessorKeepsNonCPUParameters(t *testing.T) {
+	prio := 40
+	m := Machine{
+		CPUs:           8,
+		LWPs:           3,
+		CommDelay:      25 * vtime.Microsecond,
+		NoPreemption:   true,
+		Overrides:      map[trace.ThreadID]Override{4: {Priority: &prio}},
+		MaxSimEvents:   1000,
+		MaxVirtualTime: vtime.Duration(5 * vtime.Second),
+	}
+	uni := m.Uniprocessor()
+	if uni.CPUs != 1 {
+		t.Fatalf("CPUs = %d, want 1", uni.CPUs)
+	}
+	m.CPUs = 1
+	if !reflect.DeepEqual(uni, m) {
+		t.Fatalf("Uniprocessor changed more than CPUs:\n got %+v\nwant %+v", uni, m)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"vppb/internal/dispatch"
 	"vppb/internal/trace"
@@ -205,16 +204,25 @@ type sim struct {
 	err      error
 }
 
+// newSim assembles one simulation run over a shared profile. The profile
+// is read-only from here on: the run's mutable state (threads, objects,
+// queues) is built fresh, so concurrent runs over one profile never touch
+// shared memory.
 func newSim(prof *trace.Profile, m Machine) (*sim, error) {
+	nThreads := len(prof.Threads)
 	s := &sim{
 		m:           m,
 		prof:        prof,
 		table:       dispatch.NewTable(),
-		threads:     make(map[trace.ThreadID]*sthread),
-		objects:     make(map[trace.ObjectID]*sobject),
+		threads:     make(map[trace.ThreadID]*sthread, nThreads),
+		order:       make([]*sthread, 0, nThreads),
+		objects:     make(map[trace.ObjectID]*sobject, len(prof.Log.Objects)),
+		userRunQ:    make([]*sthread, 0, nThreads),
+		kernelQ:     make([]*slwp, 0, nThreads),
 		joinWaiters: make(map[trace.ThreadID][]*sthread),
 		tb:          trace.NewTimelineBuilder(),
 	}
+	s.cpus = make([]*scpu, 0, m.CPUs)
 	for i := 0; i < m.CPUs; i++ {
 		s.cpus = append(s.cpus, &scpu{id: i})
 	}
@@ -222,6 +230,8 @@ func newSim(prof *trace.Profile, m Machine) (*sim, error) {
 	if pool <= 0 {
 		pool = m.CPUs
 	}
+	s.lwps = make([]*slwp, 0, pool)
+	s.idleLWPs = make([]*slwp, 0, pool)
 	for i := 0; i < pool; i++ {
 		s.idleLWPs = append(s.idleLWPs, s.newLWP(false))
 	}
@@ -232,14 +242,10 @@ func newSim(prof *trace.Profile, m Machine) (*sim, error) {
 		}
 		s.objects[oi.ID] = o
 	}
-	// Instantiate every thread appearing in the profile. Threads other
-	// than main stay dormant until their recorded thr_create replays.
-	ids := make([]trace.ThreadID, 0, len(prof.Threads))
-	for id := range prof.Threads {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
+	// Instantiate every thread appearing in the profile, in the profile's
+	// precomputed ascending ID order. Threads other than main stay dormant
+	// until their recorded thr_create replays.
+	for _, id := range prof.ThreadIDs() {
 		tp := prof.Threads[id]
 		t := &sthread{
 			info:     tp.Info,

@@ -17,6 +17,7 @@ import (
 
 	"vppb/internal/core"
 	"vppb/internal/metrics"
+	"vppb/internal/par"
 	"vppb/internal/recorder"
 	"vppb/internal/threadlib"
 	"vppb/internal/trace"
@@ -172,39 +173,71 @@ type Table1Result struct {
 // count, the median (min-max) speed-up of Runs seeded reference
 // executions, the Simulator's prediction from a monitored uniprocessor
 // recording, and the error between them.
+//
+// Every cell of the grid (application x machine size) is independent —
+// its own recording, its own simulation, its own seeded reference runs —
+// so the cells fan out over a bounded worker pool. Cells write only their
+// own slot and the table assembles in grid order, which keeps the result
+// identical to a sequential evaluation.
 func Table1(opts Options) (*Table1Result, error) {
 	opts = opts.normalized()
-	var table metrics.Table
-	for _, name := range workloads.Splash() {
-		w, err := workloads.Get(name)
+	apps := workloads.Splash()
+
+	// Phase 1: one uniprocessor baseline (the T1 of every speed-up) per
+	// application, in parallel.
+	ws := make([]*workloads.Workload, len(apps))
+	t1s := make([]vtime.Duration, len(apps))
+	err := par.ForEach(len(apps), 0, func(i int) error {
+		w, err := workloads.Get(apps[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t1, err := uniBaseline(w, workloads.Params{Scale: opts.Scale})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := metrics.Row{Application: w.Name}
-		for _, cpus := range opts.CPUCounts {
-			prm := workloads.Params{Threads: cpus, Scale: opts.Scale}
-			predTP, _, err := predictDuration(w, prm, core.Machine{CPUs: cpus})
+		ws[i], t1s[i] = w, t1
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the full cell grid in parallel.
+	nCPUs := len(opts.CPUCounts)
+	cells := make([]metrics.Cell, len(apps)*nCPUs)
+	err = par.ForEach(len(cells), 0, func(i int) error {
+		ai, ci := i/nCPUs, i%nCPUs
+		name, w, t1 := apps[ai], ws[ai], t1s[ai]
+		cpus := opts.CPUCounts[ci]
+		prm := workloads.Params{Threads: cpus, Scale: opts.Scale}
+		predTP, _, err := predictDuration(w, prm, core.Machine{CPUs: cpus})
+		if err != nil {
+			return err
+		}
+		cell := metrics.Cell{CPUs: cpus, Predicted: metrics.Speedup(t1, predTP)}
+		if paper, ok := paperTable1[name][cpus]; ok {
+			cell.PaperReal, cell.PaperPredicted = paper[0], paper[1]
+		}
+		bonus := cacheBonus(name, cpus)
+		for run := 0; run < opts.Runs; run++ {
+			tp, err := referenceRun(w, prm, cpus, uint64(run+1), bonus)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			cell := metrics.Cell{CPUs: cpus, Predicted: metrics.Speedup(t1, predTP)}
-			if paper, ok := paperTable1[name][cpus]; ok {
-				cell.PaperReal, cell.PaperPredicted = paper[0], paper[1]
-			}
-			bonus := cacheBonus(name, cpus)
-			for run := 0; run < opts.Runs; run++ {
-				tp, err := referenceRun(w, prm, cpus, uint64(run+1), bonus)
-				if err != nil {
-					return nil, err
-				}
-				cell.Real.Add(metrics.Speedup(t1, tp))
-			}
-			row.Cells = append(row.Cells, cell)
+			cell.Real.Add(metrics.Speedup(t1, tp))
 		}
+		cells[i] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var table metrics.Table
+	for ai, w := range ws {
+		row := metrics.Row{Application: w.Name}
+		row.Cells = append(row.Cells, cells[ai*nCPUs:(ai+1)*nCPUs]...)
 		table.Rows = append(table.Rows, row)
 	}
 	report := "Table 1: measured and predicted speed-ups\n" +

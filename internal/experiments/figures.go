@@ -56,8 +56,10 @@ func Fig4(opts Options) (*FigureResult, error) {
 	}
 	var b strings.Builder
 	b.WriteString("Figure 4: the Simulator's sorting of the log from the Recorder\n\n")
+	// Split once; ThreadIDs gives the deterministic walk order over the map.
+	perThread := log.PerThread()
 	for _, id := range log.ThreadIDs() {
-		byThread := log.PerThread()[id]
+		byThread := perThread[id]
 		fmt.Fprintf(&b, "%s's event list:\n", log.ThreadName(id))
 		sub := &trace.Log{Header: log.Header, Threads: log.Threads, Objects: log.Objects, Events: byThread}
 		b.WriteString(trace.FormatPaper(sub))

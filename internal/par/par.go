@@ -1,0 +1,69 @@
+// Package par is the bounded worker pool behind every parallel prediction
+// path: the -sweep fan-out of vppb-sim, the Table-1 cell grid of the
+// experiments package, and the -experiment all run of vppb-bench.
+//
+// The contract that keeps parallel output byte-identical to sequential
+// output is index discipline: callers size a result slice up front, each
+// job writes only its own slot, and consumers read the slots in input
+// order. Nothing about scheduling order can then leak into results, and
+// the first error is defined as the lowest-index one rather than the
+// first to happen on the wall clock.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers is the default fan-out width: one worker per available
+// processor.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(0) … fn(n-1) on at most workers goroutines (workers <= 0
+// selects Workers()) and waits for all of them. Jobs must be independent
+// and write results only into caller-owned, index-disjoint slots. The
+// returned error is the lowest-index failure, so error reporting is as
+// deterministic as the results; later jobs still run to completion.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

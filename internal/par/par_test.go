@@ -1,0 +1,122 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		n := 53
+		counts := make([]atomic.Int64, n)
+		if err := ForEach(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	ran := false
+	if err := ForEach(0, 4, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(-3, 4, func(int) error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("fn ran for n <= 0")
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	// Indices 10, 20 and 40 fail; whatever the scheduling, the reported
+	// error must be index 10's.
+	err := ForEach(50, 8, func(i int) error {
+		if i == 10 || i == 20 || i == 40 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "job 10 failed" {
+		t.Fatalf("got %v, want job 10's error", err)
+	}
+}
+
+func TestForEachRunsAllJobsDespiteError(t *testing.T) {
+	// A failure must not cancel the remaining jobs: every slot is still
+	// written, so partial results stay usable.
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	err := ForEach(64, 4, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if got := ran.Load(); got != 64 {
+		t.Fatalf("ran %d of 64 jobs", got)
+	}
+}
+
+func TestForEachSequentialFastPathStopsOnError(t *testing.T) {
+	// With one worker the pool degenerates to a plain loop that stops at
+	// the first failure, like a sequential caller would.
+	var ran int
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if ran != 4 {
+		t.Fatalf("ran %d jobs, want 4", ran)
+	}
+}
+
+func TestForEachIndexDiscipline(t *testing.T) {
+	// The core determinism property: results assembled by index are
+	// identical regardless of worker count.
+	n := 200
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 3, 16} {
+		got := make([]int, n)
+		if err := ForEach(n, workers, func(i int) error {
+			got[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

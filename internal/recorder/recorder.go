@@ -137,15 +137,25 @@ func Record(setup Setup, opts Options) (*trace.Log, *threadlib.Result, error) {
 }
 
 // WriteFile stores a log at path, in binary format if the name ends in
-// ".bin", text otherwise.
+// ".bin", text otherwise. Text logs stream record by record, so a large
+// log is never materialized in memory on the way out.
 func WriteFile(path string, log *trace.Log) error {
-	var data []byte
 	if isBinaryPath(path) {
-		data = trace.AppendBinary(nil, log)
-	} else {
-		data = trace.AppendText(nil, log)
+		data := trace.AppendBinary(nil, log)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return fmt.Errorf("recorder: %w", err)
+		}
+		return nil
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("recorder: %w", err)
+	}
+	if err := trace.WriteText(f, log); err != nil {
+		f.Close()
+		return fmt.Errorf("recorder: %w", err)
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("recorder: %w", err)
 	}
 	return nil

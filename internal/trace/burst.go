@@ -2,6 +2,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"vppb/internal/source"
 	"vppb/internal/vtime"
@@ -66,10 +67,31 @@ func (p *ThreadProfile) TotalCPU() vtime.Duration {
 	return total
 }
 
-// Profile is the complete behaviour profile of a recording.
+// Profile is the complete behaviour profile of a recording. A Profile is
+// immutable once built: the Simulator and every other consumer only read
+// it, so one Profile may back any number of concurrent simulations
+// (vppb-sim -sweep builds it once and fans the machine sizes out over it).
 type Profile struct {
 	Log     *Log
 	Threads map[ThreadID]*ThreadProfile
+	// IDs lists the profiled threads in ascending order, so consumers
+	// never iterate the Threads map directly (map order is random and
+	// would make replays nondeterministic).
+	IDs []ThreadID
+}
+
+// ThreadIDs returns the profiled thread IDs in ascending order. It
+// tolerates hand-built profiles that left IDs unset.
+func (p *Profile) ThreadIDs() []ThreadID {
+	if len(p.IDs) == len(p.Threads) {
+		return p.IDs
+	}
+	ids := make([]ThreadID, 0, len(p.Threads))
+	for id := range p.Threads {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // BuildProfile derives the per-thread behaviour profile from a
@@ -187,6 +209,11 @@ func BuildProfile(l *Log) (*Profile, error) {
 		}
 		p.Threads[tid] = tp
 	}
+	p.IDs = make([]ThreadID, 0, len(p.Threads))
+	for id := range p.Threads {
+		p.IDs = append(p.IDs, id)
+	}
+	sort.Slice(p.IDs, func(i, j int) bool { return p.IDs[i] < p.IDs[j] })
 	return p, nil
 }
 

@@ -21,55 +21,141 @@ import (
 
 const textMagic = "# vppb-log v1"
 
-// WriteText writes the log in the text format.
+// WriteText writes the log in the text format, streaming record by record
+// through a buffered writer: a large log never materializes as one
+// contiguous byte slice on the way out.
 func WriteText(w io.Writer, l *Log) error {
-	_, err := w.Write(AppendText(nil, l))
-	return err
+	bw := bufio.NewWriterSize(w, 1<<16)
+	// One scratch line, reused for every record.
+	buf := make([]byte, 0, 256)
+	buf = appendTextPreamble(buf, l)
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for i := range l.Threads {
+		buf = appendThreadLine(buf[:0], &l.Threads[i])
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for i := range l.Objects {
+		buf = appendObjectLine(buf[:0], &l.Objects[i])
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for i := range l.Events {
+		buf = appendEventLine(buf[:0], &l.Events[i])
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 // AppendText appends the text encoding of l to dst and returns the result.
 func AppendText(dst []byte, l *Log) []byte {
-	b := strings.Builder{}
-	fmt.Fprintln(&b, textMagic)
-	fmt.Fprintf(&b, "program %s\n", quote(l.Header.Program))
-	fmt.Fprintf(&b, "cpus %d\n", l.Header.CPUs)
-	fmt.Fprintf(&b, "lwps %d\n", l.Header.LWPs)
-	fmt.Fprintf(&b, "probecost %d\n", l.Header.ProbeCost)
-	fmt.Fprintf(&b, "start %d\n", l.Header.Start)
-	fmt.Fprintf(&b, "end %d\n", l.Header.End)
-	for _, t := range l.Threads {
-		fmt.Fprintf(&b, "thread %d name=%s func=%s bound=%d boundcpu=%d prio=%d\n",
-			t.ID, quote(t.Name), quote(t.Func), b2i(t.Bound), t.BoundCPU, t.Prio)
+	dst = appendTextPreamble(dst, l)
+	for i := range l.Threads {
+		dst = appendThreadLine(dst, &l.Threads[i])
 	}
-	for _, o := range l.Objects {
-		fmt.Fprintf(&b, "object %d kind=%s name=%s count=%d\n", o.ID, o.Kind, quote(o.Name), o.InitCount)
+	for i := range l.Objects {
+		dst = appendObjectLine(dst, &l.Objects[i])
 	}
-	for _, ev := range l.Events {
-		fmt.Fprintf(&b, "event %d %d T%d %s %s", ev.Seq, ev.Time, ev.Thread, ev.Class, ev.Call)
-		if ev.Object != 0 {
-			fmt.Fprintf(&b, " obj=%d", ev.Object)
-		}
-		if ev.Mutex != 0 {
-			fmt.Fprintf(&b, " mutex=%d", ev.Mutex)
-		}
-		if ev.Target != 0 {
-			fmt.Fprintf(&b, " target=%d", ev.Target)
-		}
-		if ev.Call == CallMutexTryLock || ev.Call == CallSemaTryWait || ev.Call == CallCondTimedWait {
-			fmt.Fprintf(&b, " ok=%d", b2i(ev.OK))
-		}
-		if ev.Timeout != 0 {
-			fmt.Fprintf(&b, " timeout=%d", ev.Timeout)
-		}
-		if ev.Prio != 0 {
-			fmt.Fprintf(&b, " prio=%d", ev.Prio)
-		}
-		if !ev.Loc.IsZero() {
-			fmt.Fprintf(&b, " loc=%s:%d", quote(ev.Loc.File), ev.Loc.Line)
-		}
-		b.WriteByte('\n')
+	for i := range l.Events {
+		dst = appendEventLine(dst, &l.Events[i])
 	}
-	return append(dst, b.String()...)
+	return dst
+}
+
+func appendTextPreamble(dst []byte, l *Log) []byte {
+	dst = append(dst, textMagic...)
+	dst = append(dst, '\n')
+	dst = append(dst, "program "...)
+	dst = appendQuoted(dst, l.Header.Program)
+	dst = append(dst, "\ncpus "...)
+	dst = strconv.AppendInt(dst, int64(l.Header.CPUs), 10)
+	dst = append(dst, "\nlwps "...)
+	dst = strconv.AppendInt(dst, int64(l.Header.LWPs), 10)
+	dst = append(dst, "\nprobecost "...)
+	dst = strconv.AppendInt(dst, int64(l.Header.ProbeCost), 10)
+	dst = append(dst, "\nstart "...)
+	dst = strconv.AppendInt(dst, int64(l.Header.Start), 10)
+	dst = append(dst, "\nend "...)
+	dst = strconv.AppendInt(dst, int64(l.Header.End), 10)
+	return append(dst, '\n')
+}
+
+func appendThreadLine(dst []byte, t *ThreadInfo) []byte {
+	dst = append(dst, "thread "...)
+	dst = strconv.AppendInt(dst, int64(t.ID), 10)
+	dst = append(dst, " name="...)
+	dst = appendQuoted(dst, t.Name)
+	dst = append(dst, " func="...)
+	dst = appendQuoted(dst, t.Func)
+	dst = append(dst, " bound="...)
+	dst = strconv.AppendInt(dst, int64(b2i(t.Bound)), 10)
+	dst = append(dst, " boundcpu="...)
+	dst = strconv.AppendInt(dst, int64(t.BoundCPU), 10)
+	dst = append(dst, " prio="...)
+	dst = strconv.AppendInt(dst, int64(t.Prio), 10)
+	return append(dst, '\n')
+}
+
+func appendObjectLine(dst []byte, o *ObjectInfo) []byte {
+	dst = append(dst, "object "...)
+	dst = strconv.AppendInt(dst, int64(o.ID), 10)
+	dst = append(dst, " kind="...)
+	dst = append(dst, o.Kind.String()...)
+	dst = append(dst, " name="...)
+	dst = appendQuoted(dst, o.Name)
+	dst = append(dst, " count="...)
+	dst = strconv.AppendInt(dst, int64(o.InitCount), 10)
+	return append(dst, '\n')
+}
+
+func appendEventLine(dst []byte, ev *Event) []byte {
+	dst = append(dst, "event "...)
+	dst = strconv.AppendInt(dst, ev.Seq, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(ev.Time), 10)
+	dst = append(dst, ' ', 'T')
+	dst = strconv.AppendInt(dst, int64(ev.Thread), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, ev.Class.String()...)
+	dst = append(dst, ' ')
+	dst = append(dst, ev.Call.String()...)
+	if ev.Object != 0 {
+		dst = append(dst, " obj="...)
+		dst = strconv.AppendInt(dst, int64(ev.Object), 10)
+	}
+	if ev.Mutex != 0 {
+		dst = append(dst, " mutex="...)
+		dst = strconv.AppendInt(dst, int64(ev.Mutex), 10)
+	}
+	if ev.Target != 0 {
+		dst = append(dst, " target="...)
+		dst = strconv.AppendInt(dst, int64(ev.Target), 10)
+	}
+	if ev.Call == CallMutexTryLock || ev.Call == CallSemaTryWait || ev.Call == CallCondTimedWait {
+		dst = append(dst, " ok="...)
+		dst = strconv.AppendInt(dst, int64(b2i(ev.OK)), 10)
+	}
+	if ev.Timeout != 0 {
+		dst = append(dst, " timeout="...)
+		dst = strconv.AppendInt(dst, int64(ev.Timeout), 10)
+	}
+	if ev.Prio != 0 {
+		dst = append(dst, " prio="...)
+		dst = strconv.AppendInt(dst, int64(ev.Prio), 10)
+	}
+	if !ev.Loc.IsZero() {
+		dst = append(dst, " loc="...)
+		dst = appendQuoted(dst, ev.Loc.File)
+		dst = append(dst, ':')
+		dst = strconv.AppendInt(dst, int64(ev.Loc.Line), 10)
+	}
+	return append(dst, '\n')
 }
 
 // quote escapes a name so it survives as exactly one whitespace-delimited
@@ -82,6 +168,9 @@ func quote(s string) string {
 	}
 	if s == "-" {
 		return `\-`
+	}
+	if !needsQuoting(s) {
+		return s
 	}
 	var b strings.Builder
 	for _, r := range s {
@@ -103,6 +192,30 @@ func quote(s string) string {
 		}
 	}
 	return b.String()
+}
+
+// needsQuoting reports whether quote would change s. Nearly every name and
+// source path in a log is plain, so the encoders check first and copy the
+// string bytes straight through instead of rebuilding them.
+func needsQuoting(s string) bool {
+	for _, r := range s {
+		if r == '\\' || unicode.IsSpace(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendQuoted appends quote(s) to dst without allocating in the common
+// no-escape case.
+func appendQuoted(dst []byte, s string) []byte {
+	if s == "" {
+		return append(dst, '-')
+	}
+	if s != "-" && !needsQuoting(s) {
+		return append(dst, s...)
+	}
+	return append(dst, quote(s)...)
 }
 
 // unquote is the exact inverse of quote.

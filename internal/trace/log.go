@@ -99,6 +99,8 @@ func (l *Log) SortEvents() {
 // PerThread splits the global event list into one chronological list per
 // thread — the Simulator's first step (paper figure 4). Collection markers
 // (start_collect / end_collect) stay with the thread that generated them.
+// The returned map has no defined iteration order; callers that emit
+// per-thread output must walk it through ThreadIDs.
 func (l *Log) PerThread() map[ThreadID][]Event {
 	m := make(map[ThreadID][]Event)
 	for _, ev := range l.Events {
@@ -107,10 +109,20 @@ func (l *Log) PerThread() map[ThreadID][]Event {
 	return m
 }
 
-// ThreadIDs returns all thread IDs appearing in the log, ascending.
+// ThreadIDs returns all thread IDs appearing in the log, ascending. Both
+// sources count: the thread table and the event list. A thread that was
+// registered but recorded zero events (it was created and exited between
+// probes, or the log was truncated) still gets an ID, so visualization and
+// analysis lanes do not silently disappear.
 func (l *Log) ThreadIDs() []ThreadID {
-	seen := make(map[ThreadID]bool)
-	var ids []ThreadID
+	seen := make(map[ThreadID]bool, len(l.Threads))
+	ids := make([]ThreadID, 0, len(l.Threads))
+	for i := range l.Threads {
+		if id := l.Threads[i].ID; !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
 	for _, ev := range l.Events {
 		if !seen[ev.Thread] {
 			seen[ev.Thread] = true

@@ -179,6 +179,25 @@ func TestThreadIDs(t *testing.T) {
 	}
 }
 
+// TestThreadIDsIncludesTableOnlyThreads: a thread present in the thread
+// table but absent from the event stream (it never reached a probe before
+// the recording ended) still gets an ID — and so a lane in the
+// Visualizer.
+func TestThreadIDsIncludesTableOnlyThreads(t *testing.T) {
+	l := exampleLog()
+	l.Threads = append(l.Threads, ThreadInfo{ID: 9, Name: "silent"})
+	ids := l.ThreadIDs()
+	want := []ThreadID{1, 4, 5, 9}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+}
+
 func TestSortEvents(t *testing.T) {
 	l := exampleLog()
 	// Shuffle deterministically by reversing.

@@ -223,8 +223,29 @@ const (
 	BindCPU        = core.BindCPU
 )
 
+// TraceProfile is the immutable per-thread behaviour profile the
+// Simulator replays — build it once per log and share it across any
+// number of concurrent simulations.
+type TraceProfile = trace.Profile
+
+// BuildProfile derives the behaviour profile of a recording. The result
+// is read-only: SimulateProfile and SimulateMany never mutate it.
+func BuildProfile(log *Log) (*TraceProfile, error) { return trace.BuildProfile(log) }
+
 // Simulate predicts the execution of a recording on machine m.
 func Simulate(log *Log, m Machine) (*SimResult, error) { return core.Simulate(log, m) }
+
+// SimulateProfile predicts the execution of a prebuilt behaviour profile
+// on machine m, skipping the per-call profile derivation Simulate repeats.
+func SimulateProfile(prof *TraceProfile, m Machine) (*SimResult, error) {
+	return core.SimulateProfile(prof, m)
+}
+
+// SimulateMany predicts one profile on several machines concurrently over
+// a bounded worker pool, with results in machine order.
+func SimulateMany(prof *TraceProfile, machines []Machine) ([]*SimResult, error) {
+	return core.SimulateMany(prof, machines)
+}
 
 // Speedup is T1/TP.
 func Speedup(t1, tp Duration) float64 { return metrics.Speedup(t1, tp) }
@@ -234,14 +255,21 @@ func PredictionError(real, predicted float64) float64 {
 	return metrics.PredictionError(real, predicted)
 }
 
-// PredictSpeedup predicts the speed-up of a recorded program on cpus
-// processors, using a 1-CPU replay of the same recording as baseline.
+// PredictSpeedup predicts the speed-up of a recorded program on machine m,
+// using a one-processor replay of the same recording as baseline. The
+// baseline shares every non-CPU parameter of m (LWPs, communication delay,
+// overrides), so the ratio isolates the processor count. The profile is
+// derived once and shared by both replays.
 func PredictSpeedup(log *Log, m Machine) (float64, error) {
-	uni, err := core.Simulate(log, Machine{CPUs: 1, LWPs: 1})
+	prof, err := trace.BuildProfile(log)
 	if err != nil {
 		return 0, err
 	}
-	multi, err := core.Simulate(log, m)
+	uni, err := core.SimulateProfile(prof, m.Uniprocessor())
+	if err != nil {
+		return 0, err
+	}
+	multi, err := core.SimulateProfile(prof, m)
 	if err != nil {
 		return 0, err
 	}
