@@ -12,11 +12,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"vppb"
@@ -27,14 +29,30 @@ import (
 // experimentNames in presentation order.
 var experimentNames = []string{
 	"table1", "bounds", "fig2", "fig4", "fig5", "case5", "overhead",
-	"logstats", "bound", "commdelay", "lwps", "io", "faults",
+	"logstats", "bound", "commdelay", "lwps", "io", "faults", "policies",
 }
 
 func main() {
 	if err := runMain(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "vppb-bench:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// usageError marks an invocation mistake; the process exits with status 2,
+// the conventional bad-command-line code.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// exitCode maps an error from runMain to a process exit status.
+func exitCode(err error) int {
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
 }
 
 func runMain(args []string, stdout, stderr io.Writer) error {
@@ -47,12 +65,16 @@ func runMain(args []string, stdout, stderr io.Writer) error {
 		out      = fs.String("out", "", "directory for SVG artifacts (omit to skip writing)")
 		jsonOut  = fs.Bool("json", false, "additionally write BENCH_<experiment>.json with the structured results and wall time")
 		baseline = fs.String("baseline", "", "committed BENCH_table1.json to compare the table1 wall time against")
+		policy   = fs.String("policy", "", "scheduling policy for every machine in the experiments: "+strings.Join(vppb.SchedulingPolicies(), ", ")+" (default \"ts\"; the policies experiment sweeps all of them)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := vppb.CheckPolicy(*policy); err != nil {
+		return usageError{fmt.Errorf("-policy: %w", err)}
+	}
 
-	opts := experiments.Options{Scale: *scale, Runs: *runs}
+	opts := experiments.Options{Scale: *scale, Runs: *runs, Policy: *policy}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			return err
@@ -214,6 +236,12 @@ func runExperiment(name string, opts experiments.Options) benchResult {
 		r.err = e
 		if e == nil {
 			r.report = res.Report
+		}
+	case "policies":
+		res, e := vppb.ExperimentPolicySweep(opts)
+		r.err = e
+		if e == nil {
+			r.report, r.payload = res.Report, res.Rows
 		}
 	default:
 		r.err = fmt.Errorf("unknown experiment %q (want all | %s)", name, joinNames())

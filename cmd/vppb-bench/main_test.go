@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"vppb"
 )
 
 func runCmd(t *testing.T, args ...string) (string, string, error) {
@@ -86,6 +88,80 @@ func TestExperimentNamesAllWired(t *testing.T) {
 		if _, _, err := runCmd(t, "-experiment", name, "-scale", "0.1", "-runs", "1"); err != nil {
 			t.Errorf("experiment %s failed: %v", name, err)
 		}
+	}
+}
+
+// TestPoliciesExperimentJSON runs the policy sweep end to end and checks
+// the BENCH_policies.json payload: one row per registered policy per CPU
+// count, with positive durations and self-normalized speed-ups.
+func TestPoliciesExperimentJSON(t *testing.T) {
+	dir := t.TempDir()
+	out, errOut, err := runCmd(t, "-experiment", "policies", "-scale", "0.1", "-runs", "1",
+		"-json", "-out", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Policy sweep") {
+		t.Errorf("report missing:\n%s", out)
+	}
+	if !strings.Contains(errOut, "BENCH_policies.json") {
+		t.Errorf("stderr = %q", errOut)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "BENCH_policies.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Data       []struct {
+			Policy     string  `json:"policy"`
+			CPUs       int     `json:"cpus"`
+			DurationUS int64   `json:"duration_us"`
+			Speedup    float64 `json:"speedup"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	policies := vppb.SchedulingPolicies()
+	wantRows := len(policies) * 3 // default CPUCounts {2, 4, 8}
+	if doc.Experiment != "policies" || len(doc.Data) != wantRows {
+		t.Fatalf("experiment %q with %d rows, want policies/%d", doc.Experiment, len(doc.Data), wantRows)
+	}
+	seen := map[string]int{}
+	for _, row := range doc.Data {
+		seen[row.Policy]++
+		if row.DurationUS <= 0 || row.Speedup <= 0 {
+			t.Errorf("%s@%d: duration %d speedup %.2f", row.Policy, row.CPUs, row.DurationUS, row.Speedup)
+		}
+	}
+	for _, p := range policies {
+		if seen[p] != 3 {
+			t.Errorf("policy %s has %d rows, want 3", p, seen[p])
+		}
+	}
+}
+
+// TestUnknownPolicyRejected: vppb-bench validates -policy up front with a
+// usage error (exit status 2) listing the valid names.
+func TestUnknownPolicyRejected(t *testing.T) {
+	_, _, err := runCmd(t, "-experiment", "fig2", "-policy", "lottery")
+	if err == nil {
+		t.Fatal("unknown -policy accepted")
+	}
+	if !strings.Contains(err.Error(), strings.Join(vppb.SchedulingPolicies(), ", ")) {
+		t.Errorf("error does not list the valid policies: %v", err)
+	}
+	if code := exitCode(err); code != 2 {
+		t.Errorf("exitCode = %d, want 2", code)
+	}
+}
+
+// TestPolicyFlagThreadsThrough: a valid -policy reaches the experiment
+// options and the cheap experiments still pass under it.
+func TestPolicyFlagThreadsThrough(t *testing.T) {
+	if _, _, err := runCmd(t, "-experiment", "fig5", "-scale", "0.1", "-runs", "1", "-policy", "fifo"); err != nil {
+		t.Fatalf("fig5 under fifo: %v", err)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	vppb-sim -log app.log -cpus 4 -lwps 2 -commdelay 50
 //	vppb-sim -log app.log -cpus 2 -bind 4=cpu:1 -bind 5=lwp -prio 6=55
 //	vppb-sim -log app.log -sweep 1,2,4,8,16
+//	vppb-sim -log app.log -cpus 8 -policy rr         # what-if: round-robin scheduling
 //	vppb-sim -log app.log -cpus 8 -timeline app.tl   # artifact (g) for vppb-view
 //	vppb-sim -log damaged.log -repair                # print every applied fix
 //	vppb-sim -log damaged.log -strict                # refuse corrupt input
@@ -21,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,8 +37,25 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "vppb-sim:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// usageError marks an invocation mistake (as opposed to a runtime
+// failure): the process exits with status 2, the conventional
+// bad-command-line code.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// exitCode maps an error from run to a process exit status.
+func exitCode(err error) int {
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
 }
 
 type bindFlags struct {
@@ -111,6 +130,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		lwps       = fs.Int("lwps", 0, "number of LWPs (0 = one per CPU, honour thr_setconcurrency)")
 		commDelay  = fs.Int64("commdelay", 0, "inter-CPU communication delay in microseconds")
 		noPreempt  = fs.Bool("nopreempt", false, "disable priority preemption")
+		policy     = fs.String("policy", "", "scheduling policy: "+strings.Join(vppb.SchedulingPolicies(), ", ")+" (default \"ts\")")
 		perThread  = fs.Bool("perthread", false, "print per-thread statistics")
 		contention = fs.Bool("contention", false, "print the contention report (top objects and most-blocked threads)")
 		cpuReport  = fs.Bool("cpureport", false, "print per-CPU busy time and utilization")
@@ -132,6 +152,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *strict && *repair {
 		return fmt.Errorf("-strict and -repair are mutually exclusive")
+	}
+	if err := vppb.CheckPolicy(*policy); err != nil {
+		return usageError{fmt.Errorf("-policy: %w", err)}
 	}
 	log, err := vppb.ReadLog(*logPath)
 	if err != nil {
@@ -168,6 +191,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		LWPs:           *lwps,
 		CommDelay:      vppb.Duration(*commDelay),
 		NoPreemption:   *noPreempt,
+		Policy:         *policy,
 		Overrides:      overrides,
 		MaxSimEvents:   *maxEvents,
 		MaxVirtualTime: vppb.Duration(*maxVtime),
@@ -185,7 +209,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	fmt.Fprintf(stdout, "program            %s\n", log.Header.Program)
 	fmt.Fprintf(stdout, "recorded duration  %s (on 1 CPU, monitored)\n", log.Duration())
-	fmt.Fprintf(stdout, "machine            %d CPUs, %d LWPs, comm delay %s\n", *cpus, *lwps, vppb.Duration(*commDelay))
+	polName := *policy
+	if polName == "" {
+		polName = vppb.DefaultPolicy
+	}
+	fmt.Fprintf(stdout, "machine            %d CPUs, %d LWPs, comm delay %s, policy %s\n", *cpus, *lwps, vppb.Duration(*commDelay), polName)
 	fmt.Fprintf(stdout, "predicted duration %s\n", res.Duration)
 	fmt.Fprintf(stdout, "predicted speed-up %.2f\n", speedup)
 	fmt.Fprintf(stdout, "simulated events   %d\n", res.Events)

@@ -297,6 +297,89 @@ func TestMainExitCode(t *testing.T) {
 	}
 }
 
+// TestPolicyFlag: every registered policy is accepted, named in the
+// machine line, and produces byte-identical output across runs.
+func TestPolicyFlag(t *testing.T) {
+	path := fixtureLog(t, "prodcons")
+	for _, policy := range vppb.SchedulingPolicies() {
+		first, _, err := runCmd(t, "-log", path, "-cpus", "4", "-policy", policy)
+		if err != nil {
+			t.Fatalf("-policy %s: %v", policy, err)
+		}
+		if !strings.Contains(first, "policy "+policy) {
+			t.Errorf("-policy %s: machine line does not name the policy:\n%s", policy, first)
+		}
+		second, _, err := runCmd(t, "-log", path, "-cpus", "4", "-policy", policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != second {
+			t.Errorf("-policy %s: two identical runs differ:\n--- first\n%s--- second\n%s",
+				policy, first, second)
+		}
+	}
+}
+
+// TestPolicySweepDeterministic: the concurrent sweep stays byte-identical
+// across runs under a non-default policy too.
+func TestPolicySweepDeterministic(t *testing.T) {
+	path := fixtureLog(t, "fft")
+	first, _, err := runCmd(t, "-log", path, "-sweep", "1,2,4", "-policy", "rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _, err := runCmd(t, "-log", path, "-sweep", "1,2,4", "-policy", "rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("rr sweeps differ:\n--- first\n%s--- second\n%s", first, second)
+	}
+}
+
+// TestUnknownPolicyRejected: an unknown -policy is a usage error (exit
+// status 2) whose message lists every valid name.
+func TestUnknownPolicyRejected(t *testing.T) {
+	path := fixtureLog(t, "example")
+	_, _, err := runCmd(t, "-log", path, "-policy", "lottery")
+	if err == nil {
+		t.Fatal("unknown -policy accepted")
+	}
+	for _, want := range append([]string{"lottery"}, vppb.SchedulingPolicies()...) {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if code := exitCode(err); code != 2 {
+		t.Errorf("exitCode = %d, want the usage-error status 2", code)
+	}
+}
+
+// TestMainExitCodeUsageError re-executes the binary with a bad -policy to
+// assert the process-level contract: exit status 2 and a diagnostic
+// listing the valid policies.
+func TestMainExitCodeUsageError(t *testing.T) {
+	if os.Getenv("VPPB_SIM_USAGE_TEST") == "1" {
+		os.Args = []string{"vppb-sim", "-log", "whatever.log", "-policy", "lottery"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestMainExitCodeUsageError")
+	cmd.Env = append(os.Environ(), "VPPB_SIM_USAGE_TEST=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want non-zero exit, got err=%v output=%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for a usage error", code)
+	}
+	if !strings.Contains(string(out), "unknown scheduling policy") ||
+		!strings.Contains(string(out), strings.Join(vppb.SchedulingPolicies(), ", ")) {
+		t.Fatalf("diagnostic does not list the valid policies:\n%s", out)
+	}
+}
+
 func TestOverrideFlags(t *testing.T) {
 	path := fixtureLog(t, "example")
 	out, _, err := runCmd(t, "-log", path, "-cpus", "2",

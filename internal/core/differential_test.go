@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"vppb/internal/recorder"
+	"vppb/internal/sched"
 	"vppb/internal/threadlib"
 	"vppb/internal/trace"
 	"vppb/internal/vtime"
@@ -193,6 +194,86 @@ func relGap(a, b vtime.Duration) float64 {
 		return 0
 	}
 	return d / float64(b)
+}
+
+// TestDifferentialPolicyIdentity is the fidelity-by-construction check the
+// shared scheduler core makes possible: for EVERY registered policy, a
+// program recorded under policy P and replayed by the Simulator under P on
+// the same machine shape (1 CPU, 1 LWP) reproduces the recorded timeline
+// EXACTLY — both engines drive their state machines through one
+// sched.Core, so the schedules cannot diverge. Probe cost is zeroed so the
+// recording has no intrusion to deduct; equality is then exact, not
+// approximate.
+func TestDifferentialPolicyIdentity(t *testing.T) {
+	for _, policy := range sched.Names() {
+		for _, seed := range []uint64{3, 21, 89} {
+			prog := genProgram(seed)
+			costs := threadlib.DefaultCosts()
+			costs.Probe = 0
+			log, res, err := recorder.Record(prog, recorder.Options{
+				Program: fmt.Sprintf("ident-%s-%d", policy, seed),
+				Costs:   &costs,
+				Policy:  policy,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", policy, seed, err)
+			}
+			pred, err := Simulate(log, Machine{CPUs: 1, LWPs: 1, Policy: policy})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", policy, seed, err)
+			}
+			if pred.Duration != res.Duration {
+				t.Errorf("%s seed %d: replay %v != recorded %v (diff %v) — the engines scheduled differently",
+					policy, seed, pred.Duration, res.Duration, pred.Duration-res.Duration)
+			}
+		}
+	}
+}
+
+// TestDifferentialPoliciesApproximate extends the multiprocessor
+// differential check across the non-default policies: predictions under
+// fifo and rr must track execution-driven reference runs configured with
+// the same policy, within the same tolerance the ts policy is held to.
+func TestDifferentialPoliciesApproximate(t *testing.T) {
+	for _, policy := range []string{"fifo", "rr"} {
+		for _, seed := range []uint64{5, 34} {
+			prog := genProgram(seed)
+			log, _, err := recorder.Record(prog, recorder.Options{
+				Program: fmt.Sprintf("rand-%s-%d", policy, seed),
+				Policy:  policy,
+			})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", policy, seed, err)
+			}
+			for _, cpus := range []int{2, 4} {
+				pred, err := Simulate(log, Machine{CPUs: cpus, Policy: policy})
+				if err != nil {
+					t.Fatalf("%s seed %d cpus %d: %v", policy, seed, cpus, err)
+				}
+				ref := referencePolicy(t, prog, cpus, policy)
+				if gap := relGap(pred.Duration, ref); gap > 0.35 {
+					t.Errorf("%s seed %d cpus %d: prediction %v vs reference %v (gap %.1f%%)",
+						policy, seed, cpus, pred.Duration, ref, 100*gap)
+				}
+			}
+		}
+	}
+}
+
+// referencePolicy is an unmonitored execution-driven run under the given
+// scheduling policy, with the Simulator-invisible overheads zeroed so the
+// comparison isolates scheduling behaviour.
+func referencePolicy(t *testing.T, prog func(p *threadlib.Process) func(*threadlib.Thread), cpus int, policy string) vtime.Duration {
+	t.Helper()
+	costs := threadlib.DefaultCosts()
+	costs.ContextSwitch = 0
+	costs.Migration = 0
+	p := threadlib.NewProcess(threadlib.Config{Program: "ref", CPUs: cpus, Policy: policy, Costs: &costs})
+	res, err := p.Run(prog(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Duration
 }
 
 // TestDifferentialSpeedupMonotone checks a sanity property over random

@@ -74,6 +74,11 @@ type Machine struct {
 	CommDelay vtime.Duration
 	// NoPreemption disables priority preemption of running LWPs.
 	NoPreemption bool
+	// Policy selects the scheduling discipline by its internal/sched
+	// registry name. Empty means the default Solaris TS class ("ts").
+	// Predictions are only faithful when the policy matches the machine
+	// the trace was recorded on; other policies answer what-if questions.
+	Policy string
 	// BoundCreateFactor and BoundSyncFactor are the bound-thread cost
 	// ratios; zero values mean the paper's 6.7 and 5.9.
 	BoundCreateFactor float64

@@ -27,8 +27,8 @@ func (s *sim) applyOp(cpu *scpu, t *sthread, r *trace.CallRecord) (blocked bool)
 	case trace.CallThrSetPrio:
 		if !t.prioPinned {
 			t.prio = dispatch.Clamp(int(r.Prio))
-			if s.removeUserRunQ(t) {
-				s.pushUserRunQ(t)
+			if s.sc.RemoveUserRunQ(t) {
+				s.sc.PushUserRunQ(t)
 			}
 		}
 		return false
@@ -151,12 +151,9 @@ func (s *sim) opYield(cpu *scpu, t *sthread) bool {
 	l := t.lwp
 	t.stage = stWaiting
 	t.state = tRunnable
-	s.setTState(t, trace.StateRunnable, -1, int32(l.id))
-	cpu.epoch++
-	l.sliceEpoch++
-	l.cpu = nil
-	cpu.lwp = nil
-	s.pushKernelQ(l)
+	s.setTState(t, trace.StateRunnable, -1, int32(l.ID))
+	s.sc.Unlink(cpu, l)
+	s.sc.PushKernelQ(l)
 	return true
 }
 
@@ -173,14 +170,7 @@ func (s *sim) opSetConcurrency(n int) {
 		}
 	}
 	for ; have < n; have++ {
-		nl := s.newLWP(false)
-		if next := s.popUserRunQ(); next != nil {
-			nl.thread = next
-			next.lwp = nl
-			s.pushKernelQ(nl)
-		} else {
-			s.idleLWPs = append(s.idleLWPs, nl)
-		}
+		s.sc.ReassignOrIdle(s.newLWP(false))
 	}
 }
 
@@ -506,39 +496,25 @@ func (s *sim) parkOffCPU(cpu *scpu, t *sthread) {
 	t.state = tSleeping
 	s.setTState(t, trace.StateBlocked, -1, -1)
 	l := t.lwp
-	cpu.epoch++
-	l.sliceEpoch++
-	l.cpu = nil
-	cpu.lwp = nil
+	s.sc.Unlink(cpu, l)
 	if !t.bound {
 		l.thread = nil
 		t.lwp = nil
-		s.lwpNext(cpu, l)
+		s.sc.NextThread(cpu, l)
 	}
 }
 
 func (s *sim) unqueueRunnable(t *sthread) {
 	if t.lwp == nil {
-		s.removeUserRunQ(t)
+		s.sc.RemoveUserRunQ(t)
 		return
 	}
 	l := t.lwp
-	for i, q := range s.kernelQ {
-		if q == l {
-			s.kernelQ = append(s.kernelQ[:i], s.kernelQ[i+1:]...)
-			break
-		}
-	}
+	s.sc.RemoveKernelQ(l)
 	if !t.bound {
 		l.thread = nil
 		t.lwp = nil
-		if next := s.popUserRunQ(); next != nil {
-			l.thread = next
-			next.lwp = l
-			s.pushKernelQ(l)
-		} else {
-			s.idleLWPs = append(s.idleLWPs, l)
-		}
+		s.sc.ReassignOrIdle(l)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"vppb/internal/dispatch"
+	"vppb/internal/sched"
 	"vppb/internal/trace"
 	"vppb/internal/vtime"
 )
@@ -100,25 +101,40 @@ func (t *sthread) rec() *trace.CallRecord {
 	return &t.calls[t.idx]
 }
 
-// slwp is a simulated LWP.
+// slwp is a simulated LWP. The embedded sched.LWPNode (identity, kernel
+// priority, quantum, slice epoch) is owned by the shared scheduler core.
 type slwp struct {
-	id          int
-	prio        int
-	quantumLeft vtime.Duration
-	thread      *sthread
-	cpu         *scpu
-	dedicated   bool
-	dead        bool
-	sliceEpoch  uint64
+	sched.LWPNode
+	thread    *sthread
+	cpu       *scpu
+	dedicated bool
+	dead      bool
 }
 
-// scpu is a simulated processor.
+func (l *slwp) Node() *sched.LWPNode      { return &l.LWPNode }
+func (l *slwp) SchedThread() *sthread     { return l.thread }
+func (l *slwp) SetSchedThread(t *sthread) { l.thread = t }
+func (l *slwp) SchedCPU() *scpu           { return l.cpu }
+func (l *slwp) SetSchedCPU(c *scpu)       { l.cpu = c }
+
+// scpu is a simulated processor. The embedded sched.CPUNode (identity,
+// burst epoch) is owned by the shared scheduler core.
 type scpu struct {
-	id            int
+	sched.CPUNode
 	lwp           *slwp
-	epoch         uint64
 	lastAccounted vtime.Time
 }
+
+func (c *scpu) Node() *sched.CPUNode { return &c.CPUNode }
+func (c *scpu) SchedLWP() *slwp      { return c.lwp }
+func (c *scpu) SetSchedLWP(l *slwp)  { c.lwp = l }
+
+// sthread's scheduler view: effective priority, binding, carrying LWP.
+func (t *sthread) SchedPrio() int      { return t.prio }
+func (t *sthread) SchedBound() bool    { return t.bound }
+func (t *sthread) SchedBoundCPU() int  { return t.boundCPU }
+func (t *sthread) SchedLWP() *slwp     { return t.lwp }
+func (t *sthread) SetSchedLWP(l *slwp) { t.lwp = l }
 
 // sobject is the simulated state of a synchronization object.
 type sobject struct {
@@ -177,22 +193,19 @@ type sevent struct {
 
 // sim is one simulation run.
 type sim struct {
-	m     Machine
-	prof  *trace.Profile
-	table *dispatch.Table
+	m    Machine
+	prof *trace.Profile
+	sc   *sched.Core[*sthread, *slwp, *scpu]
 
 	now    vtime.Time
 	events vtime.EventQueue[sevent]
 
-	threads  map[trace.ThreadID]*sthread
-	order    []*sthread
-	objects  map[trace.ObjectID]*sobject
-	cpus     []*scpu
-	lwps     []*slwp
-	nextLWP  int
-	userRunQ []*sthread
-	kernelQ  []*slwp
-	idleLWPs []*slwp
+	threads map[trace.ThreadID]*sthread
+	order   []*sthread
+	objects map[trace.ObjectID]*sobject
+	cpus    []*scpu
+	lwps    []*slwp
+	nextLWP int
 
 	zombies     []*sthread // unreaped, exit order
 	joinWaiters map[trace.ThreadID][]*sthread
@@ -209,31 +222,32 @@ type sim struct {
 // queues) is built fresh, so concurrent runs over one profile never touch
 // shared memory.
 func newSim(prof *trace.Profile, m Machine) (*sim, error) {
+	pol, err := sched.New(m.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	nThreads := len(prof.Threads)
 	s := &sim{
 		m:           m,
 		prof:        prof,
-		table:       dispatch.NewTable(),
 		threads:     make(map[trace.ThreadID]*sthread, nThreads),
 		order:       make([]*sthread, 0, nThreads),
 		objects:     make(map[trace.ObjectID]*sobject, len(prof.Log.Objects)),
-		userRunQ:    make([]*sthread, 0, nThreads),
-		kernelQ:     make([]*slwp, 0, nThreads),
 		joinWaiters: make(map[trace.ThreadID][]*sthread),
 		tb:          trace.NewTimelineBuilder(),
 	}
 	s.cpus = make([]*scpu, 0, m.CPUs)
 	for i := 0; i < m.CPUs; i++ {
-		s.cpus = append(s.cpus, &scpu{id: i})
+		s.cpus = append(s.cpus, &scpu{CPUNode: sched.CPUNode{ID: i}})
 	}
+	s.sc = sched.NewCore[*sthread, *slwp, *scpu](pol, (*sengine)(s), s.cpus, m.NoPreemption, nThreads)
 	pool := m.LWPs
 	if pool <= 0 {
 		pool = m.CPUs
 	}
 	s.lwps = make([]*slwp, 0, pool)
-	s.idleLWPs = make([]*slwp, 0, pool)
 	for i := 0; i < pool; i++ {
-		s.idleLWPs = append(s.idleLWPs, s.newLWP(false))
+		s.sc.AddIdleLWP(s.newLWP(false))
 	}
 	for _, oi := range prof.Log.Objects {
 		o := &sobject{info: oi, count: int(oi.InitCount)}
@@ -295,8 +309,11 @@ func (s *sim) applyOverride(t *sthread) {
 }
 
 func (s *sim) newLWP(dedicated bool) *slwp {
-	l := &slwp{id: s.nextLWP, prio: dispatch.DefaultPriority, dedicated: dedicated}
-	l.quantumLeft = vtime.Duration(s.table.Quantum(l.prio))
+	l := &slwp{
+		LWPNode:   sched.LWPNode{ID: s.nextLWP, Prio: dispatch.DefaultPriority},
+		dedicated: dedicated,
+	}
+	l.QuantumLeft = s.sc.Quantum(l.Prio)
 	s.nextLWP++
 	s.lwps = append(s.lwps, l)
 	return l
@@ -313,8 +330,8 @@ func (s *sim) fail(err error) {
 // never hang.
 func (s *sim) run() (*Result, error) {
 	s.startThread(s.threads[trace.MainThread])
-	s.dispatchAll()
-	s.preemptPass()
+	s.sc.DispatchAll()
+	s.sc.PreemptPass()
 	var stuck int
 	var stuckKinds [len(sevKindNames)]int64
 	for s.live > 0 && s.err == nil {
@@ -345,8 +362,8 @@ func (s *sim) run() (*Result, error) {
 			break
 		}
 		s.handle(ev)
-		s.dispatchAll()
-		s.preemptPass()
+		s.sc.DispatchAll()
+		s.sc.PreemptPass()
 	}
 	if s.err != nil {
 		return nil, s.err
@@ -389,71 +406,6 @@ func (s *sim) startThread(t *sthread) {
 	}
 	t.state = tSleeping // wake() requires a non-runnable state
 	s.wake(t, -1, false)
-}
-
-// ---- queues (identical discipline to the execution substrate) -------------
-
-func (s *sim) pushUserRunQ(t *sthread) {
-	i := len(s.userRunQ)
-	for i > 0 && s.userRunQ[i-1].prio < t.prio {
-		i--
-	}
-	s.userRunQ = append(s.userRunQ, nil)
-	copy(s.userRunQ[i+1:], s.userRunQ[i:])
-	s.userRunQ[i] = t
-}
-
-func (s *sim) popUserRunQ() *sthread {
-	if len(s.userRunQ) == 0 {
-		return nil
-	}
-	t := s.userRunQ[0]
-	s.userRunQ = s.userRunQ[1:]
-	return t
-}
-
-func (s *sim) removeUserRunQ(t *sthread) bool {
-	for i, c := range s.userRunQ {
-		if c == t {
-			s.userRunQ = append(s.userRunQ[:i], s.userRunQ[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
-
-func (s *sim) pushKernelQ(l *slwp) {
-	i := len(s.kernelQ)
-	for i > 0 && s.kernelQ[i-1].prio < l.prio {
-		i--
-	}
-	s.kernelQ = append(s.kernelQ, nil)
-	copy(s.kernelQ[i+1:], s.kernelQ[i:])
-	s.kernelQ[i] = l
-}
-
-func (s *sim) lwpEligible(cpu *scpu, l *slwp) bool {
-	t := l.thread
-	return t == nil || t.boundCPU < 0 || t.boundCPU == cpu.id
-}
-
-func (s *sim) takeKernelQ(cpu *scpu) *slwp {
-	for i, l := range s.kernelQ {
-		if s.lwpEligible(cpu, l) {
-			s.kernelQ = append(s.kernelQ[:i], s.kernelQ[i+1:]...)
-			return l
-		}
-	}
-	return nil
-}
-
-func (s *sim) peekKernelQ(cpu *scpu) (int, bool) {
-	for _, l := range s.kernelQ {
-		if s.lwpEligible(cpu, l) {
-			return l.prio, true
-		}
-	}
-	return 0, false
 }
 
 // ---- timeline --------------------------------------------------------------
@@ -553,108 +505,29 @@ func (s *sim) wake(t *sthread, fromCPU int, boost bool) {
 func (s *sim) deliverWake(t *sthread, boost bool) {
 	t.state = tRunnable
 	t.waitObj = nil
-	if t.bound {
-		l := t.lwp
-		if boost {
-			l.prio = s.table.AfterSleepReturn(l.prio)
-		}
-		l.quantumLeft = vtime.Duration(s.table.Quantum(l.prio))
-		s.setTState(t, trace.StateRunnable, -1, int32(l.id))
-		s.pushKernelQ(l)
-		return
-	}
-	if len(s.idleLWPs) > 0 {
-		l := s.idleLWPs[0]
-		s.idleLWPs = s.idleLWPs[1:]
-		l.thread = t
-		t.lwp = l
-		if boost {
-			l.prio = s.table.AfterSleepReturn(l.prio)
-		}
-		l.quantumLeft = vtime.Duration(s.table.Quantum(l.prio))
-		s.setTState(t, trace.StateRunnable, -1, int32(l.id))
-		s.pushKernelQ(l)
-		return
-	}
-	s.setTState(t, trace.StateRunnable, -1, -1)
-	s.pushUserRunQ(t)
+	s.sc.Wake(t, boost)
 }
 
-func (s *sim) preemptPass() {
-	if s.m.NoPreemption {
-		return
-	}
-	for {
-		preempted := false
-		for _, l := range s.kernelQ {
-			var victim *scpu
-			for _, c := range s.cpus {
-				if !s.lwpEligible(c, l) || c.lwp == nil {
-					continue
-				}
-				if c.lwp.prio < l.prio && (victim == nil || c.lwp.prio < victim.lwp.prio) {
-					victim = c
-				}
-			}
-			if victim != nil {
-				s.undispatch(victim)
-				s.dispatchAll()
-				preempted = true
-				break
-			}
-		}
-		if !preempted {
-			return
-		}
-	}
-}
+// The queueing, dispatch, preemption and time-slice machinery lives in
+// internal/sched — the same core the recording kernel drives, so the
+// Simulator cannot drift from the machine the trace was recorded on. The
+// sengine adapter below receives the core's decisions and applies this
+// engine's specifics: record replay, simulated probes and timeline spans.
 
-func (s *sim) undispatch(cpu *scpu) {
-	s.account(cpu)
-	l := cpu.lwp
-	if l == nil {
-		return
-	}
+// sengine adapts sim to sched.Engine.
+type sengine sim
+
+func (e *sengine) Account(cpu *scpu) { (*sim)(e).account(cpu) }
+
+// Placed: the core linked l to a previously idle cpu (the kernel-queue
+// dispatch path).
+func (e *sengine) Placed(cpu *scpu, l *slwp) {
+	s := (*sim)(e)
 	t := l.thread
-	cpu.lwp = nil
-	cpu.epoch++
-	l.sliceEpoch++
-	l.cpu = nil
-	if t != nil {
-		t.state = tRunnable
-		s.setTState(t, trace.StateRunnable, -1, int32(l.id))
-	}
-	s.pushKernelQ(l)
-}
-
-func (s *sim) dispatchAll() {
-	for {
-		progress := false
-		for _, cpu := range s.cpus {
-			if cpu.lwp != nil {
-				continue
-			}
-			l := s.takeKernelQ(cpu)
-			if l == nil {
-				continue
-			}
-			s.runOn(cpu, l)
-			progress = true
-		}
-		if !progress {
-			return
-		}
-	}
-}
-
-func (s *sim) runOn(cpu *scpu, l *slwp) {
-	t := l.thread
-	cpu.lwp = l
-	l.cpu = cpu
 	cpu.lastAccounted = s.now
-	t.lastCPU = cpu.id
+	t.lastCPU = cpu.ID
 	t.state = tRunning
-	s.setTState(t, trace.StateRunning, int32(cpu.id), int32(l.id))
+	s.setTState(t, trace.StateRunning, int32(cpu.ID), int32(l.ID))
 	if t.stage == stWaiting {
 		s.completeOp(cpu, t)
 		if s.err != nil || cpu.lwp != l || l.thread != t {
@@ -663,6 +536,35 @@ func (s *sim) runOn(cpu *scpu, l *slwp) {
 	}
 	s.scheduleBurst(cpu)
 	s.scheduleSlice(l)
+}
+
+// Switched: the core handed a still-linked pool LWP its next thread (the
+// run-to-next-thread path that skips the kernel queue).
+func (e *sengine) Switched(cpu *scpu, l *slwp, next *sthread) {
+	s := (*sim)(e)
+	next.lastCPU = cpu.ID
+	next.state = tRunning
+	s.setTState(next, trace.StateRunning, int32(cpu.ID), int32(l.ID))
+	if next.stage == stWaiting {
+		s.completeOp(cpu, next)
+		if s.err != nil || cpu.lwp != l || l.thread != next {
+			return
+		}
+	}
+	s.scheduleBurst(cpu)
+	s.scheduleSlice(l)
+}
+
+func (e *sengine) Runnable(t *sthread, l *slwp) {
+	s := (*sim)(e)
+	t.state = tRunnable
+	s.setTState(t, trace.StateRunnable, -1, int32(l.ID))
+}
+
+func (e *sengine) Parked(t *sthread) {
+	s := (*sim)(e)
+	t.state = tRunnable
+	s.setTState(t, trace.StateRunnable, -1, -1)
 }
 
 // completeOp finishes a call whose completion happened while the thread
@@ -686,20 +588,21 @@ func (s *sim) advanceRecord(cpu *scpu, t *sthread) {
 }
 
 func (s *sim) scheduleBurst(cpu *scpu) {
-	cpu.epoch++
+	cpu.Epoch++
 	l := cpu.lwp
 	if l == nil || l.thread == nil {
 		return
 	}
-	s.events.Push(s.now.Add(l.thread.workLeft), sevent{kind: evBurst, cpu: cpu, epoch: cpu.epoch})
+	s.events.Push(s.now.Add(l.thread.workLeft), sevent{kind: evBurst, cpu: cpu, epoch: cpu.Epoch})
 }
 
 func (s *sim) scheduleSlice(l *slwp) {
-	l.sliceEpoch++
-	if l.quantumLeft <= 0 {
-		l.quantumLeft = vtime.Duration(s.table.Quantum(l.prio))
+	delay, epoch, ok := s.sc.ArmSlice(l)
+	if !ok {
+		// The policy runs threads to block: no slice event.
+		return
 	}
-	s.events.Push(s.now.Add(l.quantumLeft), sevent{kind: evSlice, lwp: l, epoch: l.sliceEpoch})
+	s.events.Push(s.now.Add(delay), sevent{kind: evSlice, lwp: l, epoch: epoch})
 }
 
 func (s *sim) account(cpu *scpu) {
@@ -709,7 +612,7 @@ func (s *sim) account(cpu *scpu) {
 	if l == nil || dt <= 0 {
 		return
 	}
-	l.quantumLeft -= dt
+	l.QuantumLeft -= dt
 	t := l.thread
 	if t == nil {
 		return
@@ -725,17 +628,20 @@ func (s *sim) handle(ev sevent) {
 	switch ev.kind {
 	case evBurst:
 		cpu := ev.cpu
-		if cpu.epoch != ev.epoch || cpu.lwp == nil {
+		if cpu.Epoch != ev.epoch || cpu.lwp == nil {
 			return
 		}
 		s.account(cpu)
 		s.advanceThread(cpu)
 	case evSlice:
 		l := ev.lwp
-		if l.sliceEpoch != ev.epoch || l.cpu == nil || l.dead {
+		if l.SliceEpoch != ev.epoch || l.cpu == nil || l.dead {
 			return
 		}
-		s.sliceExpired(l)
+		if !s.sc.SliceExpired(l) {
+			// The LWP keeps its CPU; re-arm the next slice.
+			s.scheduleSlice(l)
+		}
 	case evTimer:
 		t := ev.t
 		if t.timerEpoch != ev.epoch {
@@ -756,18 +662,6 @@ func (s *sim) handle(ev sevent) {
 	case evIODone:
 		s.ioDone(ev.obj, ev.epoch)
 	}
-}
-
-func (s *sim) sliceExpired(l *slwp) {
-	cpu := l.cpu
-	s.account(cpu)
-	l.prio = s.table.AfterQuantumExpiry(l.prio)
-	l.quantumLeft = vtime.Duration(s.table.Quantum(l.prio))
-	if prio, ok := s.peekKernelQ(cpu); ok && prio >= l.prio {
-		s.undispatch(cpu)
-		return
-	}
-	s.scheduleSlice(l)
 }
 
 // advanceThread drives the running thread through its record phases.
@@ -858,40 +752,15 @@ func (s *sim) blockThread(cpu *scpu, t *sthread, obj *sobject) {
 
 func (s *sim) detachFromCPU(cpu *scpu, t *sthread) {
 	l := t.lwp
-	cpu.epoch++
 	if t.bound {
-		l.sliceEpoch++
-		l.cpu = nil
-		cpu.lwp = nil
+		// The dedicated LWP sleeps with its thread.
+		s.sc.Unlink(cpu, l)
 		return
 	}
+	cpu.Epoch++
 	l.thread = nil
 	t.lwp = nil
-	s.lwpNext(cpu, l)
-}
-
-func (s *sim) lwpNext(cpu *scpu, l *slwp) {
-	next := s.popUserRunQ()
-	if next == nil {
-		l.sliceEpoch++
-		l.cpu = nil
-		cpu.lwp = nil
-		s.idleLWPs = append(s.idleLWPs, l)
-		return
-	}
-	l.thread = next
-	next.lwp = l
-	next.lastCPU = cpu.id
-	next.state = tRunning
-	s.setTState(next, trace.StateRunning, int32(cpu.id), int32(l.id))
-	if next.stage == stWaiting {
-		s.completeOp(cpu, next)
-		if s.err != nil || cpu.lwp != l || l.thread != next {
-			return
-		}
-	}
-	s.scheduleBurst(cpu)
-	s.scheduleSlice(l)
+	s.sc.NextThread(cpu, l)
 }
 
 // exitThread finalizes a simulated thread.
@@ -931,16 +800,14 @@ func (s *sim) exitThread(cpu *scpu, t *sthread) {
 
 	l := t.lwp
 	t.lwp = nil
-	cpu.epoch++
+	cpu.Epoch++
 	if l != nil {
 		if l.dedicated {
 			l.dead = true
-			l.sliceEpoch++
-			l.cpu = nil
-			cpu.lwp = nil
+			s.sc.Unlink(cpu, l)
 		} else {
 			l.thread = nil
-			s.lwpNext(cpu, l)
+			s.sc.NextThread(cpu, l)
 		}
 	}
 }

@@ -57,7 +57,7 @@ func Bounds(opts Options) (*BoundsResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		t1, err := uniBaseline(w, workloads.Params{Scale: opts.Scale})
+		t1, err := uniBaseline(w, workloads.Params{Scale: opts.Scale}, opts.Policy)
 		if err != nil {
 			return nil, err
 		}

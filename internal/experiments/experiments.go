@@ -35,6 +35,10 @@ type Options struct {
 	Runs int
 	// CPUCounts are the machine sizes of Table 1. nil means {2, 4, 8}.
 	CPUCounts []int
+	// Policy is the scheduling discipline every machine in the experiment
+	// uses (internal/sched registry name; empty = the default TS class).
+	// The PolicySweep experiment ignores it and sweeps all policies.
+	Policy string
 }
 
 func (o Options) normalized() Options {
@@ -117,11 +121,12 @@ var paperTable1 = map[string]map[int][2]float64{
 // referenceRun executes a workload on the reference machine: the
 // execution-driven kernel with the reality effects the Simulator ignores
 // (context switches, migration penalties, cache locality, jitter).
-func referenceRun(w *workloads.Workload, prm workloads.Params, cpus int, seed uint64, bonus float64) (vtime.Duration, error) {
+func referenceRun(w *workloads.Workload, prm workloads.Params, cpus int, seed uint64, bonus float64, policy string) (vtime.Duration, error) {
 	costs := threadlib.DefaultCosts()
 	p := threadlib.NewProcess(threadlib.Config{
 		Program:    w.Name,
 		CPUs:       cpus,
+		Policy:     policy,
 		Costs:      &costs,
 		Seed:       seed,
 		JitterAmp:  referenceJitter,
@@ -138,9 +143,9 @@ func referenceRun(w *workloads.Workload, prm workloads.Params, cpus int, seed ui
 
 // uniBaseline is the unmonitored single-thread uniprocessor execution time
 // — the T1 of every speed-up.
-func uniBaseline(w *workloads.Workload, prm workloads.Params) (vtime.Duration, error) {
+func uniBaseline(w *workloads.Workload, prm workloads.Params, policy string) (vtime.Duration, error) {
 	costs := threadlib.DefaultCosts()
-	p := threadlib.NewProcess(threadlib.Config{Program: w.Name, CPUs: 1, LWPs: 1, Costs: &costs})
+	p := threadlib.NewProcess(threadlib.Config{Program: w.Name, CPUs: 1, LWPs: 1, Policy: policy, Costs: &costs})
 	prm.Threads = 1
 	res, err := p.Run(w.Bind(prm)(p))
 	if err != nil {
@@ -150,9 +155,10 @@ func uniBaseline(w *workloads.Workload, prm workloads.Params) (vtime.Duration, e
 }
 
 // predictDuration records the workload on the monitored uniprocessor and
-// replays it on the target machine.
+// replays it on the target machine. The monitored machine schedules with
+// the same policy as the target, keeping the recording faithful.
 func predictDuration(w *workloads.Workload, prm workloads.Params, m core.Machine) (vtime.Duration, *trace.Log, error) {
-	log, _, err := recorder.Record(w.Bind(prm), recorder.Options{Program: w.Name})
+	log, _, err := recorder.Record(w.Bind(prm), recorder.Options{Program: w.Name, Policy: m.Policy})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -192,7 +198,7 @@ func Table1(opts Options) (*Table1Result, error) {
 		if err != nil {
 			return err
 		}
-		t1, err := uniBaseline(w, workloads.Params{Scale: opts.Scale})
+		t1, err := uniBaseline(w, workloads.Params{Scale: opts.Scale}, opts.Policy)
 		if err != nil {
 			return err
 		}
@@ -211,7 +217,7 @@ func Table1(opts Options) (*Table1Result, error) {
 		name, w, t1 := apps[ai], ws[ai], t1s[ai]
 		cpus := opts.CPUCounts[ci]
 		prm := workloads.Params{Threads: cpus, Scale: opts.Scale}
-		predTP, _, err := predictDuration(w, prm, core.Machine{CPUs: cpus})
+		predTP, _, err := predictDuration(w, prm, core.Machine{CPUs: cpus, Policy: opts.Policy})
 		if err != nil {
 			return err
 		}
@@ -221,7 +227,7 @@ func Table1(opts Options) (*Table1Result, error) {
 		}
 		bonus := cacheBonus(name, cpus)
 		for run := 0; run < opts.Runs; run++ {
-			tp, err := referenceRun(w, prm, cpus, uint64(run+1), bonus)
+			tp, err := referenceRun(w, prm, cpus, uint64(run+1), bonus, opts.Policy)
 			if err != nil {
 				return err
 			}

@@ -149,18 +149,18 @@ func Case5(opts Options) (*Case5Result, error) {
 		return nil, err
 	}
 	prm := workloads.Params{Scale: opts.Scale}
-	t1, err := uniBaseline(w, prm)
+	t1, err := uniBaseline(w, prm, opts.Policy)
 	if err != nil {
 		return nil, err
 	}
-	predTP, _, err := predictDuration(w, prm, core.Machine{CPUs: 8})
+	predTP, _, err := predictDuration(w, prm, core.Machine{CPUs: 8, Policy: opts.Policy})
 	if err != nil {
 		return nil, err
 	}
 	out.ImprovedPred = metrics.Speedup(t1, predTP)
 	var reals metrics.RunSet
 	for run := 0; run < opts.Runs; run++ {
-		tp, err := referenceRun(w, prm, 8, uint64(run+1), cacheBonus("prodconsopt", 8))
+		tp, err := referenceRun(w, prm, 8, uint64(run+1), cacheBonus("prodconsopt", 8), opts.Policy)
 		if err != nil {
 			return nil, err
 		}

@@ -28,7 +28,7 @@ func IOExtension(opts Options) (*IOResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	t1, err := uniBaseline(w, workloads.Params{Scale: opts.Scale})
+	t1, err := uniBaseline(w, workloads.Params{Scale: opts.Scale}, opts.Policy)
 	if err != nil {
 		return nil, err
 	}
@@ -38,13 +38,13 @@ func IOExtension(opts Options) (*IOResult, error) {
 	fmt.Fprintf(&b, "%6s %12s %12s\n", "CPUs", "predicted", "measured")
 	for _, cpus := range opts.CPUCounts {
 		prm := workloads.Params{Threads: cpus, Scale: opts.Scale}
-		predTP, _, err := predictDuration(w, prm, core.Machine{CPUs: cpus})
+		predTP, _, err := predictDuration(w, prm, core.Machine{CPUs: cpus, Policy: opts.Policy})
 		if err != nil {
 			return nil, err
 		}
 		var reals metrics.RunSet
 		for run := 0; run < opts.Runs; run++ {
-			tp, err := referenceRun(w, prm, cpus, uint64(run+1), 0)
+			tp, err := referenceRun(w, prm, cpus, uint64(run+1), 0, opts.Policy)
 			if err != nil {
 				return nil, err
 			}

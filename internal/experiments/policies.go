@@ -1,0 +1,105 @@
+// The policy-sweep experiment: the what-if question the pluggable
+// scheduler core opens up. One monitored recording is replayed under every
+// registered scheduling policy at several machine sizes, answering "how
+// would this program scale if the kernel scheduled differently?" — an
+// axis the paper's Solaris-only tool could not explore.
+
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vppb/internal/core"
+	"vppb/internal/metrics"
+	"vppb/internal/recorder"
+	"vppb/internal/sched"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+	"vppb/internal/workloads"
+)
+
+// PolicyCell is one point of the policy sweep.
+type PolicyCell struct {
+	// Policy is the scheduling discipline simulated.
+	Policy string `json:"policy"`
+	// CPUs is the simulated processor count.
+	CPUs int `json:"cpus"`
+	// DurationUS is the predicted execution time in microseconds.
+	DurationUS int64 `json:"duration_us"`
+	// Speedup is DurationUS relative to the same policy's uniprocessor
+	// replay, so each policy's scaling curve is normalized to itself.
+	Speedup float64 `json:"speedup"`
+}
+
+// PolicySweepResult is the policy-sweep experiment's outcome.
+type PolicySweepResult struct {
+	// Workload names the recorded program.
+	Workload string `json:"workload"`
+	// Rows holds one cell per policy x CPU count, grouped by policy in
+	// registry order with CPU counts ascending within a policy.
+	Rows []PolicyCell `json:"rows"`
+	// Report is the formatted table.
+	Report string `json:"-"`
+}
+
+// PolicySweep records one workload once (under the default policy, as a
+// faithful monitored run) and replays the single recording under every
+// registered scheduling policy at every Options.CPUCounts machine size.
+// All simulations share one immutable profile and run concurrently.
+func PolicySweep(opts Options) (*PolicySweepResult, error) {
+	opts = opts.normalized()
+	const app = "fft"
+	w, err := workloads.Get(app)
+	if err != nil {
+		return nil, err
+	}
+	prm := workloads.Params{Threads: 8, Scale: opts.Scale}
+	log, _, err := recorder.Record(w.Bind(prm), recorder.Options{Program: app})
+	if err != nil {
+		return nil, err
+	}
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		return nil, err
+	}
+
+	policies := sched.Names()
+	// Per policy: one uniprocessor baseline followed by the sweep points.
+	perPolicy := 1 + len(opts.CPUCounts)
+	machines := make([]core.Machine, 0, len(policies)*perPolicy)
+	for _, pol := range policies {
+		machines = append(machines, core.Machine{CPUs: 1, Policy: pol})
+		for _, cpus := range opts.CPUCounts {
+			machines = append(machines, core.Machine{CPUs: cpus, Policy: pol})
+		}
+	}
+	results, err := core.SimulateMany(prof, machines)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &PolicySweepResult{Workload: app}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Policy sweep: %s (%d threads), one recording, %d policies x %d machine sizes\n\n",
+		app, prm.Threads, len(policies), len(opts.CPUCounts))
+	fmt.Fprintf(&b, "%-8s %6s %16s %10s\n", "policy", "CPUs", "predicted time", "speed-up")
+	for pi, pol := range policies {
+		uni := results[pi*perPolicy]
+		for ci, cpus := range opts.CPUCounts {
+			res := results[pi*perPolicy+1+ci]
+			cell := PolicyCell{
+				Policy:     pol,
+				CPUs:       cpus,
+				DurationUS: int64(res.Duration / vtime.Microsecond),
+				Speedup:    metrics.Speedup(uni.Duration, res.Duration),
+			}
+			out.Rows = append(out.Rows, cell)
+			fmt.Fprintf(&b, "%-8s %6d %16s %9.2fx\n", pol, cpus, res.Duration, cell.Speedup)
+		}
+	}
+	b.WriteString("\n(each policy's speed-up is against its own uniprocessor replay;\n" +
+		" the recording itself was monitored under the default TS class)\n")
+	out.Report = b.String()
+	return out, nil
+}

@@ -89,6 +89,9 @@ type Options struct {
 	Program string
 	// Costs overrides the substrate cost model (nil = defaults).
 	Costs *threadlib.CostModel
+	// Policy selects the scheduling discipline of the monitored machine
+	// (internal/sched registry name; empty = default Solaris TS class).
+	Policy string
 	// MaxOpsWithoutProgress forwards the livelock guard setting.
 	MaxOpsWithoutProgress int
 	// MaxDuration forwards the virtual-time watchdog.
@@ -119,6 +122,7 @@ func Record(setup Setup, opts Options) (*trace.Log, *threadlib.Result, error) {
 		Program:               opts.Program,
 		CPUs:                  1,
 		LWPs:                  1,
+		Policy:                opts.Policy,
 		Costs:                 costs,
 		Hook:                  rec,
 		MaxOpsWithoutProgress: opts.MaxOpsWithoutProgress,

@@ -1,0 +1,429 @@
+package sched
+
+import "vppb/internal/vtime"
+
+// The Core is generic over the engines' own thread/LWP/CPU types: the
+// recording kernel schedules live goroutine-backed threads, the Simulator
+// schedules trace records, and neither pays an interface allocation per
+// entity. The three type parameters reference each other, so the
+// constraint interfaces are parameterized the same way.
+
+// LWPNode is the scheduler-owned state embedded in each engine's LWP
+// struct.
+type LWPNode struct {
+	ID          int
+	Prio        int
+	QuantumLeft vtime.Duration
+	// SliceEpoch invalidates pending slice-expiry events: the engine
+	// stamps each armed event with the current epoch and drops the event
+	// on mismatch.
+	SliceEpoch uint64
+}
+
+// CPUNode is the scheduler-owned state embedded in each engine's CPU
+// struct.
+type CPUNode struct {
+	ID int
+	// Epoch invalidates pending burst events, same protocol as
+	// LWPNode.SliceEpoch.
+	Epoch uint64
+}
+
+// Thread is the scheduler's view of an engine thread.
+type Thread[L any] interface {
+	comparable
+	SchedPrio() int
+	SchedBound() bool
+	SchedBoundCPU() int
+	SchedLWP() L
+	SetSchedLWP(L)
+}
+
+// LWP is the scheduler's view of an engine LWP.
+type LWP[T, C any] interface {
+	comparable
+	Node() *LWPNode
+	SchedThread() T
+	SetSchedThread(T)
+	SchedCPU() C
+	SetSchedCPU(C)
+}
+
+// CPU is the scheduler's view of an engine CPU.
+type CPU[L any] interface {
+	comparable
+	Node() *CPUNode
+	SchedLWP() L
+	SetSchedLWP(L)
+}
+
+// Engine receives the scheduling decisions the Core makes. The Core owns
+// the queues and the who-runs-where choice; the engine owns time,
+// events, costs and probes.
+type Engine[T Thread[L], L LWP[T, C], C CPU[L]] interface {
+	// Account charges elapsed virtual time on the CPU before a
+	// scheduling decision changes what it runs.
+	Account(cpu C)
+	// Placed runs after the Core links l to a previously idle cpu: apply
+	// dispatch overheads, mark the thread running, finish an off-CPU
+	// completed call, and arm the burst and slice events.
+	Placed(cpu C, l L)
+	// Switched runs after the Core hands a still-linked pool LWP its
+	// next thread (the run-to-next-thread path, no trip through the
+	// kernel queue).
+	Switched(cpu C, l L, next T)
+	// Runnable marks a thread runnable on its LWP l, just before the
+	// Core requeues l on the kernel queue.
+	Runnable(t T, l L)
+	// Parked marks a thread runnable but LWP-less, just before the Core
+	// pushes it on the user run queue.
+	Parked(t T)
+}
+
+// Core is the shared two-level scheduler state machine: the user run
+// queue (threads waiting for an LWP), the kernel queue (LWPs waiting for
+// a CPU), the idle-LWP pool, and the policy-driven dispatch, preemption
+// and time-slice rules.
+type Core[T Thread[L], L LWP[T, C], C CPU[L]] struct {
+	policy    Policy
+	engine    Engine[T, L, C]
+	cpus      []C
+	noPreempt bool
+
+	userRunQ []T
+	kernelQ  []L
+	idleLWPs []L
+
+	// OnPushKernelQ, when non-nil, runs before every kernel-queue
+	// insertion — the engines' debug-invariant hook.
+	OnPushKernelQ func(L)
+}
+
+// NewCore builds a scheduler over the given CPUs. hint preallocates the
+// queues (the Simulator knows its thread count up front).
+func NewCore[T Thread[L], L LWP[T, C], C CPU[L]](policy Policy, engine Engine[T, L, C], cpus []C, noPreemption bool, hint int) *Core[T, L, C] {
+	return &Core[T, L, C]{
+		policy:    policy,
+		engine:    engine,
+		cpus:      cpus,
+		noPreempt: noPreemption,
+		userRunQ:  make([]T, 0, hint),
+		kernelQ:   make([]L, 0, hint),
+		idleLWPs:  make([]L, 0, hint),
+	}
+}
+
+// Policy returns the active scheduling policy.
+func (c *Core[T, L, C]) Policy() Policy { return c.policy }
+
+// Quantum is the policy's time slice at priority p.
+func (c *Core[T, L, C]) Quantum(p int) vtime.Duration { return c.policy.Quantum(p) }
+
+// KernelQ exposes the kernel queue for invariant checks. Read-only.
+func (c *Core[T, L, C]) KernelQ() []L { return c.kernelQ }
+
+// UserRunQ exposes the user run queue for invariant checks. Read-only.
+func (c *Core[T, L, C]) UserRunQ() []T { return c.userRunQ }
+
+// IdleLWPs exposes the idle pool for invariant checks. Read-only.
+func (c *Core[T, L, C]) IdleLWPs() []L { return c.idleLWPs }
+
+// AddIdleLWP parks a fresh pool LWP on the idle list.
+func (c *Core[T, L, C]) AddIdleLWP(l L) { c.idleLWPs = append(c.idleLWPs, l) }
+
+// ---- queues ---------------------------------------------------------------
+
+// PushUserRunQ inserts a runnable LWP-less thread in policy order, FIFO
+// within a priority.
+func (c *Core[T, L, C]) PushUserRunQ(t T) {
+	i := len(c.userRunQ)
+	for i > 0 && c.policy.Precedes(t.SchedPrio(), c.userRunQ[i-1].SchedPrio()) {
+		i--
+	}
+	var zero T
+	c.userRunQ = append(c.userRunQ, zero)
+	copy(c.userRunQ[i+1:], c.userRunQ[i:])
+	c.userRunQ[i] = t
+}
+
+// PopUserRunQ removes and returns the best queued thread, or the zero
+// value.
+func (c *Core[T, L, C]) PopUserRunQ() T {
+	if len(c.userRunQ) == 0 {
+		var zero T
+		return zero
+	}
+	t := c.userRunQ[0]
+	c.userRunQ = c.userRunQ[1:]
+	return t
+}
+
+// RemoveUserRunQ unqueues a specific thread; false if it was not queued.
+func (c *Core[T, L, C]) RemoveUserRunQ(t T) bool {
+	for i, q := range c.userRunQ {
+		if q == t {
+			c.userRunQ = append(c.userRunQ[:i], c.userRunQ[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// PushKernelQ inserts a runnable LWP in policy order, FIFO within a
+// priority.
+func (c *Core[T, L, C]) PushKernelQ(l L) {
+	if c.OnPushKernelQ != nil {
+		c.OnPushKernelQ(l)
+	}
+	i := len(c.kernelQ)
+	for i > 0 && c.policy.Precedes(l.Node().Prio, c.kernelQ[i-1].Node().Prio) {
+		i--
+	}
+	var zero L
+	c.kernelQ = append(c.kernelQ, zero)
+	copy(c.kernelQ[i+1:], c.kernelQ[i:])
+	c.kernelQ[i] = l
+}
+
+// RemoveKernelQ unqueues a specific LWP; false if it was not queued.
+func (c *Core[T, L, C]) RemoveKernelQ(l L) bool {
+	for i, q := range c.kernelQ {
+		if q == l {
+			c.kernelQ = append(c.kernelQ[:i], c.kernelQ[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// eligible reports whether the LWP may run on the CPU (bound-thread CPU
+// affinity).
+func (c *Core[T, L, C]) eligible(cpu C, l L) bool {
+	t := l.SchedThread()
+	var zero T
+	return t == zero || t.SchedBoundCPU() < 0 || t.SchedBoundCPU() == cpu.Node().ID
+}
+
+// takeKernelQ removes and returns the best LWP runnable on cpu.
+func (c *Core[T, L, C]) takeKernelQ(cpu C) (L, bool) {
+	for i, l := range c.kernelQ {
+		if c.eligible(cpu, l) {
+			c.kernelQ = append(c.kernelQ[:i], c.kernelQ[i+1:]...)
+			return l, true
+		}
+	}
+	var zero L
+	return zero, false
+}
+
+// peekKernelQ reports the priority of the best LWP runnable on cpu.
+func (c *Core[T, L, C]) peekKernelQ(cpu C) (int, bool) {
+	for _, l := range c.kernelQ {
+		if c.eligible(cpu, l) {
+			return l.Node().Prio, true
+		}
+	}
+	return 0, false
+}
+
+// ---- scheduling -----------------------------------------------------------
+
+// Wake makes a (non-suspended) thread runnable: requeue its dedicated
+// LWP, attach an idle pool LWP, or park it on the user run queue. boost
+// applies the policy's sleep-return priority lift.
+func (c *Core[T, L, C]) Wake(t T, boost bool) {
+	if t.SchedBound() {
+		l := t.SchedLWP()
+		c.refreshWake(l, boost)
+		c.engine.Runnable(t, l)
+		c.PushKernelQ(l)
+		return
+	}
+	if len(c.idleLWPs) > 0 {
+		l := c.idleLWPs[0]
+		c.idleLWPs = c.idleLWPs[1:]
+		l.SetSchedThread(t)
+		t.SetSchedLWP(l)
+		c.refreshWake(l, boost)
+		c.engine.Runnable(t, l)
+		c.PushKernelQ(l)
+		return
+	}
+	c.engine.Parked(t)
+	c.PushUserRunQ(t)
+}
+
+// refreshWake applies the wake boost and grants a fresh quantum.
+func (c *Core[T, L, C]) refreshWake(l L, boost bool) {
+	n := l.Node()
+	if boost {
+		n.Prio = c.policy.OnWake(n.Prio)
+	}
+	n.QuantumLeft = c.policy.Quantum(n.Prio)
+}
+
+// Unlink detaches an LWP from its CPU and invalidates both pending event
+// streams — the CPU's burst epoch and the LWP's slice epoch. Every
+// requeue or park of a running LWP funnels through here.
+func (c *Core[T, L, C]) Unlink(cpu C, l L) {
+	cpu.Node().Epoch++
+	l.Node().SliceEpoch++
+	var zeroL L
+	var zeroC C
+	cpu.SetSchedLWP(zeroL)
+	l.SetSchedCPU(zeroC)
+}
+
+// Undispatch evicts the running LWP from a CPU, preserving its thread's
+// progress, and requeues it on the kernel queue.
+func (c *Core[T, L, C]) Undispatch(cpu C) {
+	c.engine.Account(cpu)
+	l := cpu.SchedLWP()
+	var zeroL L
+	if l == zeroL {
+		return
+	}
+	t := l.SchedThread()
+	c.Unlink(cpu, l)
+	var zeroT T
+	if t != zeroT {
+		c.engine.Runnable(t, l)
+	}
+	c.PushKernelQ(l)
+}
+
+// DispatchAll assigns runnable LWPs to idle CPUs until no assignment is
+// possible, invoking the engine's Placed hook for each.
+func (c *Core[T, L, C]) DispatchAll() {
+	var zeroL L
+	for {
+		progress := false
+		for _, cpu := range c.cpus {
+			if cpu.SchedLWP() != zeroL {
+				continue
+			}
+			l, ok := c.takeKernelQ(cpu)
+			if !ok {
+				continue
+			}
+			cpu.SetSchedLWP(l)
+			l.SetSchedCPU(cpu)
+			c.engine.Placed(cpu, l)
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// PreemptPass runs after each event: as long as a queued LWP may preempt
+// a running one on an eligible CPU (per the policy), evict the victim
+// with the lowest priority and re-dispatch. Preemption happens only at
+// event boundaries, never in the middle of an operation.
+func (c *Core[T, L, C]) PreemptPass() {
+	if c.noPreempt {
+		return
+	}
+	var zeroL L
+	var zeroC C
+	for {
+		preempted := false
+		for _, l := range c.kernelQ {
+			victim := zeroC
+			for _, cpu := range c.cpus {
+				rl := cpu.SchedLWP()
+				if !c.eligible(cpu, l) || rl == zeroL {
+					continue
+				}
+				if c.policy.ShouldPreempt(l.Node().Prio, rl.Node().Prio) &&
+					(victim == zeroC || rl.Node().Prio < victim.SchedLWP().Node().Prio) {
+					victim = cpu
+				}
+			}
+			if victim != zeroC {
+				c.Undispatch(victim)
+				c.DispatchAll()
+				preempted = true
+				break
+			}
+		}
+		if !preempted {
+			return
+		}
+	}
+}
+
+// NextThread hands a pool LWP — still linked to cpu — its next queued
+// unbound thread via the engine's Switched hook, or unlinks and idles
+// it. This is the fast run-to-next-thread path that skips the kernel
+// queue.
+func (c *Core[T, L, C]) NextThread(cpu C, l L) {
+	next := c.PopUserRunQ()
+	var zeroT T
+	if next == zeroT {
+		// No cpu-epoch bump here: the caller already invalidated the
+		// burst stream when it detached the previous thread.
+		l.Node().SliceEpoch++
+		var zeroL L
+		var zeroC C
+		l.SetSchedCPU(zeroC)
+		cpu.SetSchedLWP(zeroL)
+		c.idleLWPs = append(c.idleLWPs, l)
+		return
+	}
+	l.SetSchedThread(next)
+	next.SetSchedLWP(l)
+	c.engine.Switched(cpu, l, next)
+}
+
+// ReassignOrIdle gives a free, unqueued pool LWP its next queued unbound
+// thread (requeuing the LWP on the kernel queue) or parks it on the idle
+// list.
+func (c *Core[T, L, C]) ReassignOrIdle(l L) {
+	next := c.PopUserRunQ()
+	var zeroT T
+	if next == zeroT {
+		c.idleLWPs = append(c.idleLWPs, l)
+		return
+	}
+	l.SetSchedThread(next)
+	next.SetSchedLWP(l)
+	c.PushKernelQ(l)
+}
+
+// ArmSlice advances the LWP's slice epoch (invalidating any pending
+// slice event), refills an exhausted quantum from the policy, and
+// returns the delay and epoch for the engine's timer event. ok is false
+// when the policy disables time slicing — then no event is armed and the
+// LWP runs to block.
+func (c *Core[T, L, C]) ArmSlice(l L) (delay vtime.Duration, epoch uint64, ok bool) {
+	n := l.Node()
+	n.SliceEpoch++
+	if n.QuantumLeft <= 0 {
+		n.QuantumLeft = c.policy.Quantum(n.Prio)
+	}
+	if n.QuantumLeft <= 0 {
+		return 0, n.SliceEpoch, false
+	}
+	return n.QuantumLeft, n.SliceEpoch, true
+}
+
+// SliceExpired applies the policy's quantum-expiry rules to a running
+// LWP. It returns true when the LWP yielded the CPU (the engine must not
+// re-arm its slice event) and false when it keeps running (the engine
+// re-arms via ArmSlice).
+func (c *Core[T, L, C]) SliceExpired(l L) bool {
+	cpu := l.SchedCPU()
+	c.engine.Account(cpu)
+	waiting, has := c.peekKernelQ(cpu)
+	n := l.Node()
+	newPrio, yield := c.policy.OnSliceExpiry(n.Prio, waiting, has)
+	n.Prio = newPrio
+	n.QuantumLeft = c.policy.Quantum(newPrio)
+	if yield {
+		c.Undispatch(cpu)
+		return true
+	}
+	return false
+}

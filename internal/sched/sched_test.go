@@ -1,0 +1,492 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"vppb/internal/dispatch"
+	"vppb/internal/vtime"
+)
+
+// ---- fake engine -----------------------------------------------------------
+
+type fakeThread struct {
+	id       int
+	prio     int
+	bound    bool
+	boundCPU int
+	lwp      *fakeLWP
+}
+
+func (t *fakeThread) SchedPrio() int         { return t.prio }
+func (t *fakeThread) SchedBound() bool       { return t.bound }
+func (t *fakeThread) SchedBoundCPU() int     { return t.boundCPU }
+func (t *fakeThread) SchedLWP() *fakeLWP     { return t.lwp }
+func (t *fakeThread) SetSchedLWP(l *fakeLWP) { t.lwp = l }
+
+type fakeLWP struct {
+	LWPNode
+	thread *fakeThread
+	cpu    *fakeCPU
+}
+
+func (l *fakeLWP) Node() *LWPNode               { return &l.LWPNode }
+func (l *fakeLWP) SchedThread() *fakeThread     { return l.thread }
+func (l *fakeLWP) SetSchedThread(t *fakeThread) { l.thread = t }
+func (l *fakeLWP) SchedCPU() *fakeCPU           { return l.cpu }
+func (l *fakeLWP) SetSchedCPU(c *fakeCPU)       { l.cpu = c }
+
+type fakeCPU struct {
+	CPUNode
+	lwp *fakeLWP
+}
+
+func (c *fakeCPU) Node() *CPUNode         { return &c.CPUNode }
+func (c *fakeCPU) SchedLWP() *fakeLWP     { return c.lwp }
+func (c *fakeCPU) SetSchedLWP(l *fakeLWP) { c.lwp = l }
+
+// fakeEngine records the callback sequence the Core drives.
+type fakeEngine struct {
+	placed   []int // LWP IDs, in Placed order
+	switched []int // thread IDs, in Switched order
+	runnable []int // thread IDs
+	parked   []int // thread IDs
+	accounts int
+}
+
+func (e *fakeEngine) Account(*fakeCPU) { e.accounts++ }
+func (e *fakeEngine) Placed(_ *fakeCPU, l *fakeLWP) {
+	e.placed = append(e.placed, l.ID)
+}
+func (e *fakeEngine) Switched(_ *fakeCPU, _ *fakeLWP, t *fakeThread) {
+	e.switched = append(e.switched, t.id)
+}
+func (e *fakeEngine) Runnable(t *fakeThread, _ *fakeLWP) {
+	e.runnable = append(e.runnable, t.id)
+}
+func (e *fakeEngine) Parked(t *fakeThread) { e.parked = append(e.parked, t.id) }
+
+func newFakeCore(t *testing.T, policy string, nCPUs int, noPreempt bool) (*Core[*fakeThread, *fakeLWP, *fakeCPU], *fakeEngine, []*fakeCPU) {
+	t.Helper()
+	pol, err := New(policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpus := make([]*fakeCPU, nCPUs)
+	for i := range cpus {
+		cpus[i] = &fakeCPU{CPUNode: CPUNode{ID: i}}
+	}
+	eng := &fakeEngine{}
+	return NewCore[*fakeThread, *fakeLWP, *fakeCPU](pol, eng, cpus, noPreempt, 0), eng, cpus
+}
+
+func newLWP(id, prio int) *fakeLWP {
+	t := &fakeThread{id: id, prio: prio, boundCPU: -1}
+	l := &fakeLWP{LWPNode: LWPNode{ID: id, Prio: prio}, thread: t}
+	t.lwp = l
+	return l
+}
+
+// ---- registry --------------------------------------------------------------
+
+func TestRegistry(t *testing.T) {
+	want := []string{"fifo", "rr", "ts"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v (sorted)", got, want)
+		}
+	}
+	for _, name := range want {
+		p, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, p.Name())
+		}
+	}
+	// The empty name resolves to the default.
+	p, err := New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != Default {
+		t.Errorf(`New("").Name() = %q, want %q`, p.Name(), Default)
+	}
+	// An unknown name errors and the message lists every valid choice.
+	if _, err := New("lottery"); err == nil {
+		t.Fatal("unknown policy accepted")
+	} else if msg := err.Error(); !strings.Contains(msg, "lottery") || !strings.Contains(msg, "fifo, rr, ts") {
+		t.Errorf("error does not name the input and the valid policies: %v", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register("ts", func() Policy { return fifo{} })
+}
+
+// ---- policies --------------------------------------------------------------
+
+func TestSolarisTSPolicy(t *testing.T) {
+	p, _ := New("ts")
+	table := dispatch.NewTable()
+	for _, prio := range []int{0, 10, dispatch.DefaultPriority, 59} {
+		if got, want := p.Quantum(prio), vtime.Duration(table.Quantum(prio)); got != want {
+			t.Errorf("Quantum(%d) = %v, want table's %v", prio, got, want)
+		}
+		if got, want := p.OnWake(prio), table.AfterSleepReturn(prio); got != want {
+			t.Errorf("OnWake(%d) = %d, want slpret %d", prio, got, want)
+		}
+	}
+	// tqexp demotion, and yield only against a matching-or-better waiter.
+	np, yield := p.OnSliceExpiry(dispatch.DefaultPriority, 0, false)
+	if np != table.AfterQuantumExpiry(dispatch.DefaultPriority) || yield {
+		t.Errorf("OnSliceExpiry(29, none) = (%d, %v), want (%d, false)",
+			np, yield, table.AfterQuantumExpiry(dispatch.DefaultPriority))
+	}
+	if _, yield := p.OnSliceExpiry(29, 19, true); !yield {
+		t.Error("waiter at the demoted priority should trigger a yield")
+	}
+	if _, yield := p.OnSliceExpiry(29, 18, true); yield {
+		t.Error("waiter below the demoted priority should not trigger a yield")
+	}
+	if !p.ShouldPreempt(30, 29) || p.ShouldPreempt(29, 29) {
+		t.Error("ts preempts strictly lower-priority runners only")
+	}
+	if !p.Precedes(30, 29) || p.Precedes(29, 29) {
+		t.Error("ts orders by priority, FIFO within a priority")
+	}
+}
+
+func TestFIFOPolicy(t *testing.T) {
+	p, _ := New("fifo")
+	if q := p.Quantum(29); q != 0 {
+		t.Errorf("fifo Quantum = %v, want 0 (run-to-block)", q)
+	}
+	if p.ShouldPreempt(59, 0) {
+		t.Error("fifo must never preempt")
+	}
+	if np, yield := p.OnSliceExpiry(29, 59, true); np != 29 || yield {
+		t.Errorf("fifo OnSliceExpiry = (%d, %v), want (29, false)", np, yield)
+	}
+	if p.OnWake(29) != 29 {
+		t.Error("fifo has no wake boost")
+	}
+}
+
+func TestRRPolicy(t *testing.T) {
+	p, _ := New("rr")
+	for _, prio := range []int{0, 29, 59} {
+		if q := p.Quantum(prio); q != RRQuantum {
+			t.Errorf("rr Quantum(%d) = %v, want %v", prio, q, RRQuantum)
+		}
+	}
+	if np, yield := p.OnSliceExpiry(29, 0, true); np != 29 || !yield {
+		t.Errorf("rr with a waiter = (%d, %v), want (29, true): cycle to the back", np, yield)
+	}
+	if _, yield := p.OnSliceExpiry(29, 0, false); yield {
+		t.Error("rr with an empty queue must keep running")
+	}
+	if p.ShouldPreempt(59, 0) {
+		t.Error("rr must never preempt")
+	}
+	if p.OnWake(29) != 29 {
+		t.Error("rr has no wake boost")
+	}
+}
+
+// ---- core queues -----------------------------------------------------------
+
+// TestKernelQueueOrder pins the two ordering rules every policy shares:
+// higher priority first, FIFO among equals.
+func TestKernelQueueOrder(t *testing.T) {
+	c, _, _ := newFakeCore(t, "ts", 1, false)
+	a, b, hi, lo := newLWP(1, 20), newLWP(2, 20), newLWP(3, 40), newLWP(4, 10)
+	for _, l := range []*fakeLWP{a, b, hi, lo} {
+		c.PushKernelQ(l)
+	}
+	var ids []int
+	for _, l := range c.KernelQ() {
+		ids = append(ids, l.ID)
+	}
+	want := []int{3, 1, 2, 4} // hi, then a before b (FIFO at 20), then lo
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("kernel queue order = %v, want %v", ids, want)
+		}
+	}
+	if !c.RemoveKernelQ(b) || c.RemoveKernelQ(b) {
+		t.Fatal("RemoveKernelQ must remove exactly once")
+	}
+}
+
+func TestUserRunQueueOrder(t *testing.T) {
+	c, _, _ := newFakeCore(t, "ts", 1, false)
+	t1 := &fakeThread{id: 1, prio: 20, boundCPU: -1}
+	t2 := &fakeThread{id: 2, prio: 20, boundCPU: -1}
+	t3 := &fakeThread{id: 3, prio: 50, boundCPU: -1}
+	for _, th := range []*fakeThread{t1, t2, t3} {
+		c.PushUserRunQ(th)
+	}
+	if got := c.PopUserRunQ(); got != t3 {
+		t.Fatalf("PopUserRunQ = T%d, want the high-priority T3", got.id)
+	}
+	if got := c.PopUserRunQ(); got != t1 {
+		t.Fatalf("PopUserRunQ = T%d, want T1 (FIFO within priority)", got.id)
+	}
+	if c.PopUserRunQ() != t2 || c.PopUserRunQ() != nil {
+		t.Fatal("queue should drain to nil")
+	}
+}
+
+// TestWakePaths covers the three Wake outcomes: a bound thread requeues
+// its dedicated LWP, an unbound thread grabs the OLDEST idle pool LWP
+// (the pool is a queue, not a stack), and with no idle LWP the thread
+// parks on the user run queue.
+func TestWakePaths(t *testing.T) {
+	c, eng, _ := newFakeCore(t, "ts", 1, false)
+
+	bound := newLWP(1, 29)
+	bound.thread.bound = true
+	c.Wake(bound.thread, false)
+	if len(c.KernelQ()) != 1 || c.KernelQ()[0] != bound {
+		t.Fatal("bound wake must requeue the dedicated LWP")
+	}
+	c.RemoveKernelQ(bound)
+
+	idleA := &fakeLWP{LWPNode: LWPNode{ID: 10, Prio: 29}}
+	idleB := &fakeLWP{LWPNode: LWPNode{ID: 11, Prio: 29}}
+	c.AddIdleLWP(idleA)
+	c.AddIdleLWP(idleB)
+	u := &fakeThread{id: 2, prio: 29, boundCPU: -1}
+	c.Wake(u, false)
+	if u.lwp != idleA {
+		t.Fatal("unbound wake must pop the front of the idle pool")
+	}
+	if len(c.IdleLWPs()) != 1 || c.IdleLWPs()[0] != idleB {
+		t.Fatal("idle pool should retain the younger LWP")
+	}
+
+	p := &fakeThread{id: 3, prio: 29, boundCPU: -1}
+	c.Wake(p, false) // idleB is still idle... but taken below
+	c.Wake(&fakeThread{id: 4, prio: 29, boundCPU: -1}, false)
+	if len(c.UserRunQ()) != 1 || c.UserRunQ()[0].id != 4 {
+		t.Fatalf("with the pool empty the thread must park on the user run queue (runq=%v parked=%v)",
+			c.UserRunQ(), eng.parked)
+	}
+	if len(eng.parked) != 1 || eng.parked[0] != 4 {
+		t.Fatalf("engine.Parked calls = %v, want [4]", eng.parked)
+	}
+}
+
+// TestWakeBoost: the policy's sleep-return lift applies only when boost is
+// set, and a woken LWP always gets a fresh quantum.
+func TestWakeBoost(t *testing.T) {
+	c, _, _ := newFakeCore(t, "ts", 1, false)
+	table := dispatch.NewTable()
+
+	l := newLWP(1, 20)
+	l.thread.bound = true
+	l.QuantumLeft = 1 // nearly exhausted
+	c.Wake(l.thread, true)
+	if l.Prio != table.AfterSleepReturn(20) {
+		t.Errorf("boosted wake Prio = %d, want slpret %d", l.Prio, table.AfterSleepReturn(20))
+	}
+	if l.QuantumLeft != c.Quantum(l.Prio) {
+		t.Errorf("woken LWP QuantumLeft = %v, want a fresh %v", l.QuantumLeft, c.Quantum(l.Prio))
+	}
+
+	l2 := newLWP(2, 20)
+	l2.thread.bound = true
+	c.Wake(l2.thread, false)
+	if l2.Prio != 20 {
+		t.Errorf("unboosted wake changed Prio to %d", l2.Prio)
+	}
+}
+
+// TestDispatchAndPreempt: a low-priority runner is evicted by a
+// higher-priority arrival under ts, but never under fifo or with
+// NoPreemption.
+func TestDispatchAndPreempt(t *testing.T) {
+	for _, tc := range []struct {
+		policy    string
+		noPreempt bool
+		evicted   bool
+	}{
+		{"ts", false, true},
+		{"ts", true, false},
+		{"fifo", false, false},
+		{"rr", false, false},
+	} {
+		c, _, cpus := newFakeCore(t, tc.policy, 1, tc.noPreempt)
+		lo := newLWP(1, 10)
+		c.PushKernelQ(lo)
+		c.DispatchAll()
+		if cpus[0].lwp != lo {
+			t.Fatalf("%s: DispatchAll did not place the only LWP", tc.policy)
+		}
+		hi := newLWP(2, 50)
+		c.PushKernelQ(hi)
+		c.PreemptPass()
+		if got := cpus[0].lwp == hi; got != tc.evicted {
+			t.Errorf("%s noPreempt=%v: eviction = %v, want %v",
+				tc.policy, tc.noPreempt, got, tc.evicted)
+		}
+	}
+}
+
+// TestPreemptPicksLowestVictim: with several preemptable runners the pass
+// must evict the lowest-priority one.
+func TestPreemptPicksLowestVictim(t *testing.T) {
+	c, _, cpus := newFakeCore(t, "ts", 2, false)
+	a, b := newLWP(1, 10), newLWP(2, 20)
+	c.PushKernelQ(a)
+	c.PushKernelQ(b)
+	c.DispatchAll()
+	hi := newLWP(3, 50)
+	c.PushKernelQ(hi)
+	c.PreemptPass()
+	running := map[int]bool{}
+	for _, cpu := range cpus {
+		if cpu.lwp != nil {
+			running[cpu.lwp.ID] = true
+		}
+	}
+	if !running[3] || !running[2] || running[1] {
+		t.Errorf("running after preemption = %v, want the prio-10 LWP evicted", running)
+	}
+}
+
+// TestBoundCPUAffinity: an LWP whose thread is pinned to CPU 1 must not be
+// dispatched to CPU 0, even when CPU 0 idles.
+func TestBoundCPUAffinity(t *testing.T) {
+	c, _, cpus := newFakeCore(t, "ts", 2, false)
+	pinned := newLWP(1, 29)
+	pinned.thread.boundCPU = 1
+	c.PushKernelQ(pinned)
+	c.DispatchAll()
+	if cpus[0].lwp != nil {
+		t.Fatal("CPU-0 ran an LWP pinned to CPU 1")
+	}
+	if cpus[1].lwp != pinned {
+		t.Fatal("pinned LWP not dispatched to its CPU")
+	}
+}
+
+// TestArmSlice: ts arms a table-quantum timer, fifo arms nothing
+// (run-to-block), and each call invalidates the previous epoch.
+func TestArmSlice(t *testing.T) {
+	c, _, _ := newFakeCore(t, "ts", 1, false)
+	l := newLWP(1, dispatch.DefaultPriority)
+	l.QuantumLeft = c.Quantum(l.Prio)
+	delay, epoch1, ok := c.ArmSlice(l)
+	if !ok || delay != c.Quantum(dispatch.DefaultPriority) {
+		t.Fatalf("ts ArmSlice = (%v, ok=%v), want the table quantum", delay, ok)
+	}
+	_, epoch2, _ := c.ArmSlice(l)
+	if epoch2 != epoch1+1 {
+		t.Fatalf("ArmSlice epochs %d -> %d, want an increment", epoch1, epoch2)
+	}
+
+	cf, _, _ := newFakeCore(t, "fifo", 1, false)
+	lf := newLWP(1, 29)
+	if _, _, ok := cf.ArmSlice(lf); ok {
+		t.Fatal("fifo ArmSlice must not arm a timer")
+	}
+}
+
+// TestSliceExpiredDemotesAndYields drives the full expiry path on the
+// core: the ts policy demotes the runner and yields to an equal-priority
+// waiter, re-dispatching the waiter onto the CPU.
+func TestSliceExpiredDemotesAndYields(t *testing.T) {
+	c, eng, cpus := newFakeCore(t, "ts", 1, false)
+	runner := newLWP(1, 29)
+	c.PushKernelQ(runner)
+	c.DispatchAll()
+	waiter := newLWP(2, 19) // matches 29's post-expiry priority
+	c.PushKernelQ(waiter)
+
+	if !c.SliceExpired(runner) {
+		t.Fatal("expiry with an equal-priority waiter must yield")
+	}
+	if runner.Prio != 19 {
+		t.Errorf("runner Prio = %d, want the tqexp demotion to 19", runner.Prio)
+	}
+	c.DispatchAll()
+	if cpus[0].lwp != waiter {
+		t.Error("waiter should take over the CPU after the yield")
+	}
+	if eng.accounts == 0 {
+		t.Error("expiry must account CPU time before rescheduling")
+	}
+
+	// Without a waiter the runner is demoted but keeps the CPU.
+	c2, _, cpus2 := newFakeCore(t, "ts", 1, false)
+	solo := newLWP(1, 29)
+	c2.PushKernelQ(solo)
+	c2.DispatchAll()
+	if c2.SliceExpired(solo) {
+		t.Fatal("expiry without a waiter must not yield")
+	}
+	if cpus2[0].lwp != solo || solo.Prio != 19 {
+		t.Errorf("solo runner: lwp=%v prio=%d, want kept CPU at prio 19", cpus2[0].lwp, solo.Prio)
+	}
+}
+
+// TestNextThreadFastPath: a pool LWP whose thread blocked takes the next
+// queued thread without a trip through the kernel queue, and idles when
+// none waits.
+func TestNextThreadFastPath(t *testing.T) {
+	c, eng, cpus := newFakeCore(t, "ts", 1, false)
+	l := newLWP(1, 29)
+	c.PushKernelQ(l)
+	c.DispatchAll()
+
+	next := &fakeThread{id: 7, prio: 29, boundCPU: -1}
+	c.PushUserRunQ(next)
+	l.thread = nil
+	c.NextThread(cpus[0], l)
+	if l.thread != next || next.lwp != l {
+		t.Fatal("NextThread did not attach the queued thread")
+	}
+	if len(eng.switched) != 1 || eng.switched[0] != 7 {
+		t.Fatalf("engine.Switched calls = %v, want [7]", eng.switched)
+	}
+
+	// Queue empty: the LWP unlinks and idles.
+	l.thread = nil
+	c.NextThread(cpus[0], l)
+	if cpus[0].lwp != nil || l.cpu != nil {
+		t.Fatal("NextThread with an empty queue must unlink the LWP")
+	}
+	if len(c.IdleLWPs()) != 1 {
+		t.Fatal("LWP should join the idle pool")
+	}
+}
+
+// TestUnlinkInvalidatesEpochs: Unlink is the single requeue helper both
+// engines funnel through; it must bump both event-invalidation epochs.
+func TestUnlinkInvalidatesEpochs(t *testing.T) {
+	c, _, cpus := newFakeCore(t, "ts", 1, false)
+	l := newLWP(1, 29)
+	c.PushKernelQ(l)
+	c.DispatchAll()
+	ce, le := cpus[0].Epoch, l.SliceEpoch
+	c.Unlink(cpus[0], l)
+	if cpus[0].Epoch != ce+1 || l.SliceEpoch != le+1 {
+		t.Errorf("Unlink epochs: cpu %d->%d lwp %d->%d, want both incremented",
+			ce, cpus[0].Epoch, le, l.SliceEpoch)
+	}
+	if cpus[0].lwp != nil || l.cpu != nil {
+		t.Error("Unlink must clear both links")
+	}
+}

@@ -140,6 +140,10 @@ type Config struct {
 	LWPs int
 	// NoPreemption disables priority preemption of running LWPs.
 	NoPreemption bool
+	// Policy selects the scheduling discipline by its internal/sched
+	// registry name. Empty means the default Solaris TS class ("ts").
+	// An unknown name surfaces as an error from Run.
+	Policy string
 	// Costs is the cost model; the zero value means DefaultCosts.
 	Costs *CostModel
 	// Hook, when set, receives the probe stream and enables probe-cost

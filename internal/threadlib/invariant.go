@@ -5,25 +5,27 @@ import "fmt"
 // debugChecks enables exhaustive internal invariant checking in tests.
 var debugChecks = false
 
+// checkPushKernelQ is installed as the scheduler core's OnPushKernelQ
+// hook: it validates an LWP just before the core queues it.
 func (p *Process) checkPushKernelQ(l *klwp) {
 	if !debugChecks {
 		return
 	}
 	if l.thread == nil {
-		panic(fmt.Sprintf("pushKernelQ: LWP %d has no thread", l.id))
+		panic(fmt.Sprintf("pushKernelQ: LWP %d has no thread", l.ID))
 	}
-	for _, q := range p.kernelQ {
+	for _, q := range p.sc.KernelQ() {
 		if q == l {
-			panic(fmt.Sprintf("pushKernelQ: LWP %d already queued (thread T%d)", l.id, l.thread.id))
+			panic(fmt.Sprintf("pushKernelQ: LWP %d already queued (thread T%d)", l.ID, l.thread.id))
 		}
 	}
-	for _, q := range p.idleLWPs {
+	for _, q := range p.sc.IdleLWPs() {
 		if q == l {
-			panic(fmt.Sprintf("pushKernelQ: LWP %d is in idle list", l.id))
+			panic(fmt.Sprintf("pushKernelQ: LWP %d is in idle list", l.ID))
 		}
 	}
 	if l.cpu != nil {
-		panic(fmt.Sprintf("pushKernelQ: LWP %d still on cpu %d", l.id, l.cpu.id))
+		panic(fmt.Sprintf("pushKernelQ: LWP %d still on cpu %d", l.ID, l.cpu.ID))
 	}
 }
 
@@ -42,35 +44,35 @@ func (p *Process) checkInvariants(where string) {
 			continue
 		}
 		if prev, dup := seen[c.lwp]; dup {
-			die("LWP %d both %s and on cpu %d", c.lwp.id, prev, c.id)
+			die("LWP %d both %s and on cpu %d", c.lwp.ID, prev, c.ID)
 		}
-		seen[c.lwp] = fmt.Sprintf("on cpu %d", c.id)
+		seen[c.lwp] = fmt.Sprintf("on cpu %d", c.ID)
 		if c.lwp.cpu != c {
-			die("cpu %d runs LWP %d but LWP points elsewhere", c.id, c.lwp.id)
+			die("cpu %d runs LWP %d but LWP points elsewhere", c.ID, c.lwp.ID)
 		}
 		if c.lwp.thread == nil {
-			die("cpu %d runs threadless LWP %d", c.id, c.lwp.id)
+			die("cpu %d runs threadless LWP %d", c.ID, c.lwp.ID)
 		}
 	}
-	for _, l := range p.kernelQ {
+	for _, l := range p.sc.KernelQ() {
 		if prev, dup := seen[l]; dup {
-			die("LWP %d both %s and in kernelQ", l.id, prev)
+			die("LWP %d both %s and in kernelQ", l.ID, prev)
 		}
 		seen[l] = "in kernelQ"
 		if l.thread == nil {
-			die("threadless LWP %d in kernelQ", l.id)
+			die("threadless LWP %d in kernelQ", l.ID)
 		}
 		if l.cpu != nil {
-			die("queued LWP %d claims cpu %d", l.id, l.cpu.id)
+			die("queued LWP %d claims cpu %d", l.ID, l.cpu.ID)
 		}
 	}
-	for _, l := range p.idleLWPs {
+	for _, l := range p.sc.IdleLWPs() {
 		if prev, dup := seen[l]; dup {
-			die("LWP %d both %s and idle", l.id, prev)
+			die("LWP %d both %s and idle", l.ID, prev)
 		}
 		seen[l] = "idle"
 		if l.thread != nil {
-			die("idle LWP %d has thread T%d", l.id, l.thread.id)
+			die("idle LWP %d has thread T%d", l.ID, l.thread.id)
 		}
 	}
 	for _, kt := range p.threads {
@@ -78,7 +80,7 @@ func (p *Process) checkInvariants(where string) {
 			continue
 		}
 		if kt.lwp != nil && kt.lwp.thread != kt {
-			die("T%d points to LWP %d which runs another thread", kt.id, kt.lwp.id)
+			die("T%d points to LWP %d which runs another thread", kt.id, kt.lwp.ID)
 		}
 		if kt.state == tRunning {
 			if kt.lwp == nil || kt.lwp.cpu == nil {
@@ -86,12 +88,12 @@ func (p *Process) checkInvariants(where string) {
 			}
 		}
 	}
-	for _, kt := range p.userRunQ {
+	for _, kt := range p.sc.UserRunQ() {
 		if kt.lwp != nil {
-			die("T%d in userRunQ but attached to LWP %d", kt.id, kt.lwp.id)
+			die("T%d in userRunQ but attached to LWP %d", kt.id, kt.lwp.ID)
 		}
 		if kt.state != tRunnable {
-			die("T%d in userRunQ in wrong state")
+			die("T%d in userRunQ in wrong state", kt.id)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"vppb/internal/dispatch"
+	"vppb/internal/sched"
 	"vppb/internal/trace"
 	"vppb/internal/vtime"
 )
@@ -82,27 +83,43 @@ type kthread struct {
 	inTL      bool
 }
 
-// klwp is a lightweight process: the schedulable kernel entity.
+// klwp is a lightweight process: the schedulable kernel entity. The
+// embedded sched.LWPNode (identity, kernel priority, quantum, slice
+// epoch) is owned by the shared scheduler core.
 type klwp struct {
-	id          int
-	prio        int // kernel (TS) priority
-	quantumLeft vtime.Duration
-	thread      *kthread
-	cpu         *kcpu
-	dedicated   bool // created for (and owned by) one bound thread
-	sliceEpoch  uint64
-	dead        bool
+	sched.LWPNode
+	thread    *kthread
+	cpu       *kcpu
+	dedicated bool // created for (and owned by) one bound thread
+	dead      bool
 }
 
-// kcpu is one simulated processor.
+func (l *klwp) Node() *sched.LWPNode       { return &l.LWPNode }
+func (l *klwp) SchedThread() *kthread      { return l.thread }
+func (l *klwp) SetSchedThread(kt *kthread) { l.thread = kt }
+func (l *klwp) SchedCPU() *kcpu            { return l.cpu }
+func (l *klwp) SetSchedCPU(c *kcpu)        { l.cpu = c }
+
+// kcpu is one simulated processor. The embedded sched.CPUNode (identity,
+// burst epoch) is owned by the shared scheduler core.
 type kcpu struct {
-	id            int
+	sched.CPUNode
 	lwp           *klwp
-	epoch         uint64
 	overheadLeft  vtime.Duration
 	lastAccounted vtime.Time
 	lastLWP       *klwp
 }
+
+func (c *kcpu) Node() *sched.CPUNode { return &c.CPUNode }
+func (c *kcpu) SchedLWP() *klwp      { return c.lwp }
+func (c *kcpu) SetSchedLWP(l *klwp)  { c.lwp = l }
+
+// kthread's scheduler view: user priority, binding, carrying LWP.
+func (kt *kthread) SchedPrio() int      { return kt.prio }
+func (kt *kthread) SchedBound() bool    { return kt.bound }
+func (kt *kthread) SchedBoundCPU() int  { return kt.boundCPU }
+func (kt *kthread) SchedLWP() *klwp     { return kt.lwp }
+func (kt *kthread) SetSchedLWP(l *klwp) { kt.lwp = l }
 
 type kevKind uint8
 
@@ -124,9 +141,9 @@ type kevent struct {
 
 // Process is one run of a multithreaded program on the virtual machine.
 type Process struct {
-	cfg   Config
-	table *dispatch.Table
-	rng   *vtime.Rand
+	cfg Config
+	sc  *sched.Core[*kthread, *klwp, *kcpu]
+	rng *vtime.Rand
 
 	now    vtime.Time
 	events vtime.EventQueue[kevent]
@@ -140,9 +157,6 @@ type Process struct {
 	cpus       []*kcpu
 	lwps       []*klwp
 	nextLWP    int
-	userRunQ   []*kthread // runnable unbound threads awaiting an LWP
-	kernelQ    []*klwp    // runnable LWPs awaiting a CPU
-	idleLWPs   []*klwp    // pool LWPs with no thread
 	zombies    []*kthread // exited, unreaped threads
 	anyJoiners []*kthread // threads blocked in wildcard thr_join
 
@@ -161,7 +175,6 @@ func NewProcess(cfg Config) *Process {
 	c := cfg.withDefaults()
 	p := &Process{
 		cfg:     c,
-		table:   dispatch.NewTable(),
 		rng:     vtime.NewRand(c.Seed),
 		reqCh:   make(chan reqEnvelope),
 		byID:    make(map[trace.ThreadID]*kthread),
@@ -169,8 +182,17 @@ func NewProcess(cfg Config) *Process {
 		nextOID: 1,
 	}
 	for i := 0; i < c.CPUs; i++ {
-		p.cpus = append(p.cpus, &kcpu{id: i})
+		p.cpus = append(p.cpus, &kcpu{CPUNode: sched.CPUNode{ID: i}})
 	}
+	pol, err := sched.New(c.Policy)
+	if err != nil {
+		// Surface the bad policy at Run; fall back to the default so the
+		// process stays usable for object creation until then.
+		p.err = fmt.Errorf("threadlib: %w", err)
+		pol, _ = sched.New(sched.Default)
+	}
+	p.sc = sched.NewCore[*kthread, *klwp, *kcpu](pol, (*kengine)(p), p.cpus, c.NoPreemption, 0)
+	p.sc.OnPushKernelQ = p.checkPushKernelQ
 	// A fixed LWP count is honoured exactly; the dynamic default starts
 	// with one LWP per CPU, standing in for Solaris's automatic pool
 	// growth on SIGWAITING.
@@ -179,7 +201,7 @@ func NewProcess(cfg Config) *Process {
 		pool = c.CPUs
 	}
 	for i := 0; i < pool; i++ {
-		p.idleLWPs = append(p.idleLWPs, p.newLWP(false))
+		p.sc.AddIdleLWP(p.newLWP(false))
 	}
 	if c.CollectTimeline {
 		p.tb = trace.NewTimelineBuilder()
@@ -195,11 +217,10 @@ func (p *Process) Err() error { return p.err }
 
 func (p *Process) newLWP(dedicated bool) *klwp {
 	l := &klwp{
-		id:        p.nextLWP,
-		prio:      dispatch.DefaultPriority,
+		LWPNode:   sched.LWPNode{ID: p.nextLWP, Prio: dispatch.DefaultPriority},
 		dedicated: dedicated,
 	}
-	l.quantumLeft = vtime.Duration(p.table.Quantum(l.prio))
+	l.QuantumLeft = p.sc.Quantum(l.Prio)
 	p.nextLWP++
 	p.lwps = append(p.lwps, l)
 	return l
@@ -224,6 +245,9 @@ type Result struct {
 // error if the program deadlocked, livelocked, panicked or misused the
 // thread API.
 func (p *Process) Run(main func(*Thread)) (*Result, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
 	if p.started {
 		return nil, fmt.Errorf("threadlib: process already run")
 	}
@@ -237,8 +261,8 @@ func (p *Process) Run(main func(*Thread)) (*Result, error) {
 	p.spawn(mt, main)
 	p.fetchInto(mt)
 	p.wakeThread(mt, false)
-	p.dispatchAll()
-	p.preemptPass()
+	p.sc.DispatchAll()
+	p.sc.PreemptPass()
 
 	for p.liveThreads > 0 && p.err == nil {
 		if p.events.Len() == 0 {
@@ -258,8 +282,8 @@ func (p *Process) Run(main func(*Thread)) (*Result, error) {
 		}
 		p.handle(ev)
 		p.checkInvariants("post-handle")
-		p.dispatchAll()
-		p.preemptPass()
+		p.sc.DispatchAll()
+		p.sc.PreemptPass()
 		p.checkInvariants("post-dispatch")
 	}
 	p.finished = true
@@ -588,79 +612,78 @@ func (p *Process) endTimeline(kt *kthread) {
 
 // pushUserRunQ inserts an unbound runnable thread by descending user
 // priority, FIFO within a priority.
-func (p *Process) pushUserRunQ(kt *kthread) {
-	i := len(p.userRunQ)
-	for i > 0 && p.userRunQ[i-1].prio < kt.prio {
-		i--
-	}
-	p.userRunQ = append(p.userRunQ, nil)
-	copy(p.userRunQ[i+1:], p.userRunQ[i:])
-	p.userRunQ[i] = kt
-}
-
-func (p *Process) popUserRunQ() *kthread {
-	if len(p.userRunQ) == 0 {
-		return nil
-	}
-	kt := p.userRunQ[0]
-	p.userRunQ = p.userRunQ[1:]
-	return kt
-}
-
-func (p *Process) removeUserRunQ(kt *kthread) bool {
-	for i, c := range p.userRunQ {
-		if c == kt {
-			p.userRunQ = append(p.userRunQ[:i], p.userRunQ[i+1:]...)
-			return true
-		}
-	}
-	return false
-}
-
-// pushKernelQ inserts a runnable LWP by descending kernel priority, FIFO
-// within a priority.
-func (p *Process) pushKernelQ(l *klwp) {
-	p.checkPushKernelQ(l)
-	i := len(p.kernelQ)
-	for i > 0 && p.kernelQ[i-1].prio < l.prio {
-		i--
-	}
-	p.kernelQ = append(p.kernelQ, nil)
-	copy(p.kernelQ[i+1:], p.kernelQ[i:])
-	p.kernelQ[i] = l
-}
-
-func (p *Process) lwpEligible(cpu *kcpu, l *klwp) bool {
-	kt := l.thread
-	return kt == nil || kt.boundCPU < 0 || kt.boundCPU == cpu.id
-}
-
-// takeKernelQ removes and returns the best LWP runnable on cpu.
-func (p *Process) takeKernelQ(cpu *kcpu) *klwp {
-	for i, l := range p.kernelQ {
-		if p.lwpEligible(cpu, l) {
-			p.kernelQ = append(p.kernelQ[:i], p.kernelQ[i+1:]...)
-			return l
-		}
-	}
-	return nil
-}
-
-// peekKernelQ reports the priority of the best LWP runnable on cpu, or
-// math.MinInt-ish if none.
-func (p *Process) peekKernelQ(cpu *kcpu) (int, bool) {
-	for _, l := range p.kernelQ {
-		if p.lwpEligible(cpu, l) {
-			return l.prio, true
-		}
-	}
-	return 0, false
-}
-
 // ---- scheduling -----------------------------------------------------------
+//
+// The queueing, dispatch, preemption and time-slice machinery lives in
+// internal/sched — the same core the Simulator drives, so the recorder
+// and the replay engine cannot drift apart. The kengine adapter below
+// receives the core's decisions and applies this engine's specifics:
+// dispatch overheads, probes, grants and timeline spans.
+
+// kengine adapts Process to sched.Engine.
+type kengine Process
+
+func (e *kengine) Account(cpu *kcpu) { (*Process)(e).account(cpu) }
+
+// Placed: the core linked l to a previously idle cpu (the kernel-queue
+// dispatch path).
+func (e *kengine) Placed(cpu *kcpu, l *klwp) {
+	p := (*Process)(e)
+	kt := l.thread
+	cpu.lastAccounted = p.now
+	cpu.overheadLeft = 0
+	if cpu.lastLWP != l {
+		cpu.overheadLeft += p.cfg.Costs.ContextSwitch
+	}
+	cpu.lastLWP = l
+	if kt.lastCPU >= 0 && kt.lastCPU != cpu.ID {
+		cpu.overheadLeft += p.cfg.Costs.Migration
+	}
+	kt.lastCPU = cpu.ID
+	kt.state = tRunning
+	p.setTState(kt, trace.StateRunning, int32(cpu.ID), int32(l.ID))
+
+	if kt.stage == stWaiting {
+		// The thread's call completed while it was off-CPU; finish it now
+		// that it is running again: After probe, grant, next request.
+		p.completeOp(kt)
+	}
+	p.scheduleBurst(cpu)
+	p.scheduleSlice(l)
+}
+
+// Switched: the core handed a still-linked pool LWP its next thread (the
+// run-to-next-thread path that skips the kernel queue).
+func (e *kengine) Switched(cpu *kcpu, l *klwp, next *kthread) {
+	p := (*Process)(e)
+	cpu.overheadLeft += p.cfg.Costs.ContextSwitch
+	if next.lastCPU >= 0 && next.lastCPU != cpu.ID {
+		cpu.overheadLeft += p.cfg.Costs.Migration
+	}
+	next.lastCPU = cpu.ID
+	next.state = tRunning
+	p.setTState(next, trace.StateRunning, int32(cpu.ID), int32(l.ID))
+	if next.stage == stWaiting {
+		p.completeOp(next)
+	}
+	p.scheduleBurst(cpu)
+	p.scheduleSlice(l)
+}
+
+func (e *kengine) Runnable(kt *kthread, l *klwp) {
+	p := (*Process)(e)
+	kt.state = tRunnable
+	p.setTState(kt, trace.StateRunnable, -1, int32(l.ID))
+}
+
+func (e *kengine) Parked(kt *kthread) {
+	p := (*Process)(e)
+	kt.state = tRunnable
+	p.setTState(kt, trace.StateRunnable, -1, -1)
+}
 
 // wakeThread makes a sleeping (or brand new) thread runnable. boost applies
-// the dispatch table's sleep-return priority lift to the carrying LWP.
+// the policy's sleep-return priority lift to the carrying LWP.
 func (p *Process) wakeThread(kt *kthread, boost bool) {
 	if kt.suspended {
 		// The grant arrived while the thread is thr_suspend'ed: deliver
@@ -670,134 +693,7 @@ func (p *Process) wakeThread(kt *kthread, boost bool) {
 	}
 	kt.state = tRunnable
 	kt.waitObj = nil
-	if kt.bound {
-		l := kt.lwp
-		if boost {
-			l.prio = p.table.AfterSleepReturn(l.prio)
-		}
-		l.quantumLeft = vtime.Duration(p.table.Quantum(l.prio))
-		p.setTState(kt, trace.StateRunnable, -1, int32(l.id))
-		p.pushKernelQ(l)
-		return
-	}
-	if n := len(p.idleLWPs); n > 0 {
-		l := p.idleLWPs[0]
-		p.idleLWPs = p.idleLWPs[1:]
-		l.thread = kt
-		kt.lwp = l
-		if boost {
-			l.prio = p.table.AfterSleepReturn(l.prio)
-		}
-		l.quantumLeft = vtime.Duration(p.table.Quantum(l.prio))
-		p.setTState(kt, trace.StateRunnable, -1, int32(l.id))
-		p.pushKernelQ(l)
-		return
-	}
-	p.setTState(kt, trace.StateRunnable, -1, -1)
-	p.pushUserRunQ(kt)
-}
-
-// preemptPass runs after each event: as long as a queued LWP outranks a
-// running one on an eligible CPU, evict the victim and re-dispatch.
-// Preemption happens only at event boundaries, never in the middle of an
-// operation, so an exiting or blocking thread cannot be preempted while
-// the kernel is still mutating its state.
-func (p *Process) preemptPass() {
-	if p.cfg.NoPreemption {
-		return
-	}
-	for {
-		preempted := false
-		for _, l := range p.kernelQ {
-			var victim *kcpu
-			for _, c := range p.cpus {
-				if !p.lwpEligible(c, l) || c.lwp == nil {
-					continue
-				}
-				if c.lwp.prio < l.prio && (victim == nil || c.lwp.prio < victim.lwp.prio) {
-					victim = c
-				}
-			}
-			if victim != nil {
-				p.undispatch(victim)
-				p.dispatchAll()
-				preempted = true
-				break
-			}
-		}
-		if !preempted {
-			return
-		}
-	}
-}
-
-// undispatch removes the running LWP from a CPU, preserving its thread's
-// progress, and requeues it.
-func (p *Process) undispatch(cpu *kcpu) {
-	p.account(cpu)
-	l := cpu.lwp
-	if l == nil {
-		return
-	}
-	kt := l.thread
-	cpu.lwp = nil
-	cpu.epoch++
-	l.sliceEpoch++
-	l.cpu = nil
-	if kt != nil {
-		kt.state = tRunnable
-		p.setTState(kt, trace.StateRunnable, -1, int32(l.id))
-	}
-	p.pushKernelQ(l)
-}
-
-// dispatchAll assigns runnable LWPs to idle CPUs until no assignment is
-// possible.
-func (p *Process) dispatchAll() {
-	for {
-		progress := false
-		for _, cpu := range p.cpus {
-			if cpu.lwp != nil {
-				continue
-			}
-			l := p.takeKernelQ(cpu)
-			if l == nil {
-				continue
-			}
-			p.runOn(cpu, l)
-			progress = true
-		}
-		if !progress {
-			return
-		}
-	}
-}
-
-// runOn places an LWP (and its thread) on a CPU and schedules its work.
-func (p *Process) runOn(cpu *kcpu, l *klwp) {
-	kt := l.thread
-	cpu.lwp = l
-	l.cpu = cpu
-	cpu.lastAccounted = p.now
-	cpu.overheadLeft = 0
-	if cpu.lastLWP != l {
-		cpu.overheadLeft += p.cfg.Costs.ContextSwitch
-	}
-	cpu.lastLWP = l
-	if kt.lastCPU >= 0 && kt.lastCPU != cpu.id {
-		cpu.overheadLeft += p.cfg.Costs.Migration
-	}
-	kt.lastCPU = cpu.id
-	kt.state = tRunning
-	p.setTState(kt, trace.StateRunning, int32(cpu.id), int32(l.id))
-
-	if kt.stage == stWaiting {
-		// The thread's call completed while it was off-CPU; finish it now
-		// that it is running again: After probe, grant, next request.
-		p.completeOp(kt)
-	}
-	p.scheduleBurst(cpu)
-	p.scheduleSlice(l)
+	p.sc.Wake(kt, boost)
 }
 
 // completeOp fires the After probe for the thread's suspended call, grants
@@ -809,21 +705,22 @@ func (p *Process) completeOp(kt *kthread) {
 }
 
 func (p *Process) scheduleBurst(cpu *kcpu) {
-	cpu.epoch++
+	cpu.Epoch++
 	l := cpu.lwp
 	if l == nil || l.thread == nil {
 		return
 	}
 	at := p.now.Add(cpu.overheadLeft + l.thread.workLeft)
-	p.events.Push(at, kevent{kind: evBurst, cpu: cpu, epoch: cpu.epoch})
+	p.events.Push(at, kevent{kind: evBurst, cpu: cpu, epoch: cpu.Epoch})
 }
 
 func (p *Process) scheduleSlice(l *klwp) {
-	l.sliceEpoch++
-	if l.quantumLeft <= 0 {
-		l.quantumLeft = vtime.Duration(p.table.Quantum(l.prio))
+	delay, epoch, ok := p.sc.ArmSlice(l)
+	if !ok {
+		// The policy runs threads to block: no slice event.
+		return
 	}
-	p.events.Push(p.now.Add(l.quantumLeft), kevent{kind: evSlice, lwp: l, epoch: l.sliceEpoch})
+	p.events.Push(p.now.Add(delay), kevent{kind: evSlice, lwp: l, epoch: epoch})
 }
 
 // account charges elapsed time on a CPU to its current overhead, thread
@@ -835,7 +732,7 @@ func (p *Process) account(cpu *kcpu) {
 	if l == nil || dt <= 0 {
 		return
 	}
-	l.quantumLeft -= dt
+	l.QuantumLeft -= dt
 	if cpu.overheadLeft > 0 {
 		if dt <= cpu.overheadLeft {
 			cpu.overheadLeft -= dt
@@ -860,17 +757,20 @@ func (p *Process) handle(ev kevent) {
 	switch ev.kind {
 	case evBurst:
 		cpu := ev.cpu
-		if cpu.epoch != ev.epoch || cpu.lwp == nil {
+		if cpu.Epoch != ev.epoch || cpu.lwp == nil {
 			return
 		}
 		p.account(cpu)
 		p.advanceThread(cpu)
 	case evSlice:
 		l := ev.lwp
-		if l.sliceEpoch != ev.epoch || l.cpu == nil || l.dead {
+		if l.SliceEpoch != ev.epoch || l.cpu == nil || l.dead {
 			return
 		}
-		p.sliceExpired(l)
+		if !p.sc.SliceExpired(l) {
+			// The LWP keeps its CPU; re-arm the next slice.
+			p.scheduleSlice(l)
+		}
 	case evTimer:
 		kt := ev.kt
 		if kt.timerEpoch != ev.epoch {
@@ -880,20 +780,6 @@ func (p *Process) handle(ev kevent) {
 	case evIODone:
 		p.ioDone(ev.obj, ev.epoch)
 	}
-}
-
-// sliceExpired applies the TS-table quantum-expiry rules to a running LWP
-// and round-robins it if an equal-or-higher-priority LWP is waiting.
-func (p *Process) sliceExpired(l *klwp) {
-	cpu := l.cpu
-	p.account(cpu)
-	l.prio = p.table.AfterQuantumExpiry(l.prio)
-	l.quantumLeft = vtime.Duration(p.table.Quantum(l.prio))
-	if prio, ok := p.peekKernelQ(cpu); ok && prio >= l.prio {
-		p.undispatch(cpu)
-		return
-	}
-	p.scheduleSlice(l)
 }
 
 // advanceThread drives a running thread through its request phases until it
@@ -977,43 +863,15 @@ func (p *Process) blockThread(cpu *kcpu, kt *kthread, obj *object) {
 // the LWP pick up further work when possible.
 func (p *Process) detachFromCPU(cpu *kcpu, kt *kthread) {
 	l := kt.lwp
-	cpu.epoch++
 	if kt.bound {
 		// The dedicated LWP sleeps with its thread.
-		l.sliceEpoch++
-		l.cpu = nil
-		cpu.lwp = nil
+		p.sc.Unlink(cpu, l)
 		return
 	}
+	cpu.Epoch++
 	l.thread = nil
 	kt.lwp = nil
-	p.lwpNext(cpu, l)
-}
-
-// lwpNext gives a pool LWP its next unbound thread, or idles it.
-func (p *Process) lwpNext(cpu *kcpu, l *klwp) {
-	next := p.popUserRunQ()
-	if next == nil {
-		l.sliceEpoch++
-		l.cpu = nil
-		cpu.lwp = nil
-		p.idleLWPs = append(p.idleLWPs, l)
-		return
-	}
-	l.thread = next
-	next.lwp = l
-	cpu.overheadLeft += p.cfg.Costs.ContextSwitch
-	if next.lastCPU >= 0 && next.lastCPU != cpu.id {
-		cpu.overheadLeft += p.cfg.Costs.Migration
-	}
-	next.lastCPU = cpu.id
-	next.state = tRunning
-	p.setTState(next, trace.StateRunning, int32(cpu.id), int32(l.id))
-	if next.stage == stWaiting {
-		p.completeOp(next)
-	}
-	p.scheduleBurst(cpu)
-	p.scheduleSlice(l)
+	p.sc.NextThread(cpu, l)
 }
 
 // exitThread finalizes a terminating thread: wake joiners, free the LWP,
@@ -1045,16 +903,14 @@ func (p *Process) exitThread(cpu *kcpu, kt *kthread) {
 
 	l := kt.lwp
 	kt.lwp = nil
-	cpu.epoch++
+	cpu.Epoch++
 	if l != nil {
 		if l.dedicated {
 			l.dead = true
-			l.sliceEpoch++
-			l.cpu = nil
-			cpu.lwp = nil
+			p.sc.Unlink(cpu, l)
 		} else {
 			l.thread = nil
-			p.lwpNext(cpu, l)
+			p.sc.NextThread(cpu, l)
 		}
 	}
 	if req.exitErr != nil {

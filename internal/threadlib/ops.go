@@ -191,19 +191,16 @@ func (p *Process) opYield(cpu *kcpu, kt *kthread) bool {
 	l := kt.lwp
 	kt.stage = stWaiting
 	kt.state = tRunnable
-	p.setTState(kt, trace.StateRunnable, -1, int32(l.id))
-	cpu.epoch++
-	l.sliceEpoch++
-	l.cpu = nil
-	cpu.lwp = nil
-	p.pushKernelQ(l)
+	p.setTState(kt, trace.StateRunnable, -1, int32(l.ID))
+	p.sc.Unlink(cpu, l)
+	p.sc.PushKernelQ(l)
 	return true
 }
 
 func (p *Process) opSetPrio(kt *kthread) bool {
 	kt.prio = dispatch.Clamp(kt.req.prio)
-	if p.removeUserRunQ(kt) {
-		p.pushUserRunQ(kt)
+	if p.sc.RemoveUserRunQ(kt) {
+		p.sc.PushUserRunQ(kt)
 	}
 	return false
 }
@@ -221,14 +218,7 @@ func (p *Process) opSetConcurrency(kt *kthread) bool {
 		}
 	}
 	for ; have < kt.req.n; have++ {
-		nl := p.newLWP(false)
-		if next := p.popUserRunQ(); next != nil {
-			nl.thread = next
-			next.lwp = nl
-			p.pushKernelQ(nl)
-		} else {
-			p.idleLWPs = append(p.idleLWPs, nl)
-		}
+		p.sc.ReassignOrIdle(p.newLWP(false))
 	}
 	return false
 }
@@ -553,43 +543,29 @@ func (p *Process) parkOffCPU(cpu *kcpu, kt *kthread) {
 	kt.state = tSleeping
 	p.setTState(kt, trace.StateBlocked, -1, -1)
 	l := kt.lwp
-	cpu.epoch++
-	l.sliceEpoch++
-	l.cpu = nil
-	cpu.lwp = nil
+	p.sc.Unlink(cpu, l)
 	if !kt.bound {
 		// The LWP moves on to other work; the thread reattaches at
 		// thr_continue.
 		l.thread = nil
 		kt.lwp = nil
-		p.lwpNext(cpu, l)
+		p.sc.NextThread(cpu, l)
 	}
 }
 
 // unqueueRunnable removes a runnable thread from whichever queue holds it.
 func (p *Process) unqueueRunnable(kt *kthread) {
 	if kt.lwp == nil {
-		p.removeUserRunQ(kt)
+		p.sc.RemoveUserRunQ(kt)
 		return
 	}
 	l := kt.lwp
-	for i, q := range p.kernelQ {
-		if q == l {
-			p.kernelQ = append(p.kernelQ[:i], p.kernelQ[i+1:]...)
-			break
-		}
-	}
+	p.sc.RemoveKernelQ(l)
 	if !kt.bound {
 		// Free the pool LWP while its thread is suspended.
 		l.thread = nil
 		kt.lwp = nil
-		if next := p.popUserRunQ(); next != nil {
-			l.thread = next
-			next.lwp = l
-			p.pushKernelQ(l)
-		} else {
-			p.idleLWPs = append(p.idleLWPs, l)
-		}
+		p.sc.ReassignOrIdle(l)
 	}
 }
 

@@ -47,6 +47,7 @@ import (
 	"vppb/internal/hb"
 	"vppb/internal/metrics"
 	"vppb/internal/recorder"
+	"vppb/internal/sched"
 	"vppb/internal/threadlib"
 	"vppb/internal/trace"
 	"vppb/internal/viz"
@@ -247,6 +248,22 @@ func SimulateMany(prof *TraceProfile, machines []Machine) ([]*SimResult, error) 
 	return core.SimulateMany(prof, machines)
 }
 
+// DefaultPolicy is the scheduling discipline both engines use when none is
+// named: the Solaris TS class driven by the dispatch table.
+const DefaultPolicy = sched.Default
+
+// SchedulingPolicies lists the registered scheduling policy names in
+// sorted order — valid values for Machine.Policy, ProcessConfig.Policy and
+// RecordOptions.Policy.
+func SchedulingPolicies() []string { return sched.Names() }
+
+// CheckPolicy reports whether name selects a registered scheduling policy
+// (empty selects the default). The error message lists the valid names.
+func CheckPolicy(name string) error {
+	_, err := sched.New(name)
+	return err
+}
+
 // Speedup is T1/TP.
 func Speedup(t1, tp Duration) float64 { return metrics.Speedup(t1, tp) }
 
@@ -398,17 +415,18 @@ type (
 
 // Experiment drivers; each regenerates one table or figure of the paper.
 var (
-	ExperimentTable1   = experiments.Table1
-	ExperimentFig2     = experiments.Fig2
-	ExperimentFig4     = experiments.Fig4
-	ExperimentFig5     = experiments.Fig5
-	ExperimentCase5    = experiments.Case5
-	ExperimentOverhead = experiments.Overhead
-	ExperimentLogStats = experiments.LogStats
-	ExperimentIO       = experiments.IOExtension
-	ExperimentFaults   = experiments.Faults
-	ExperimentBounds   = experiments.Bounds
-	AblationBound      = experiments.AblationBound
-	AblationCommDelay  = experiments.AblationCommDelay
-	AblationLWPs       = experiments.AblationLWPs
+	ExperimentTable1      = experiments.Table1
+	ExperimentFig2        = experiments.Fig2
+	ExperimentFig4        = experiments.Fig4
+	ExperimentFig5        = experiments.Fig5
+	ExperimentCase5       = experiments.Case5
+	ExperimentOverhead    = experiments.Overhead
+	ExperimentLogStats    = experiments.LogStats
+	ExperimentIO          = experiments.IOExtension
+	ExperimentFaults      = experiments.Faults
+	ExperimentBounds      = experiments.Bounds
+	ExperimentPolicySweep = experiments.PolicySweep
+	AblationBound         = experiments.AblationBound
+	AblationCommDelay     = experiments.AblationCommDelay
+	AblationLWPs          = experiments.AblationLWPs
 )
