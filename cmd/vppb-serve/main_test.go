@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"vppb"
+)
+
+func traceBytes(t *testing.T) []byte {
+	t.Helper()
+	log, err := vppb.RecordWorkload("example", vppb.WorkloadParams{Scale: 0.2, Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vppb.MarshalLogText(log)
+}
+
+// TestServeEndToEnd boots the daemon on an ephemeral port, runs the
+// repeat-POST cache proof over real TCP, and exercises the graceful
+// shutdown path via SIGTERM.
+func TestServeEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	var stderr bytes.Buffer
+	var mu sync.Mutex // stderr is written by the server goroutine
+	lockedStderr := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return stderr.Write(p)
+	})
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-drain", "5s"}, io.Discard, lockedStderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	// Readiness probe.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	// The cache proof over real TCP: identical bodies, miss then hit.
+	raw := traceBytes(t)
+	post := func() (*http.Response, []byte) {
+		resp, err := http.Post(base+"/v1/predict?cpus=1,2,4", "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+	resp1, body1 := post()
+	resp2, body2 := post()
+	if resp1.StatusCode != 200 || resp2.StatusCode != 200 {
+		t.Fatalf("status %d / %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	if resp1.Header.Get("X-Vppb-Cache") != "miss" || resp2.Header.Get("X-Vppb-Cache") != "hit" {
+		t.Fatalf("cache headers = %q, %q; want miss, hit",
+			resp1.Header.Get("X-Vppb-Cache"), resp2.Header.Get("X-Vppb-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("bodies differ:\n--- first\n%s--- second\n%s", body1, body2)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"vppb_profile_cache_hits_total 1", "vppb_profile_cache_misses_total 1"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, mbody)
+		}
+	}
+
+	// Graceful shutdown: SIGTERM to ourselves reaches the daemon's
+	// NotifyContext; run must drain and return nil.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown never completed")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !strings.Contains(stderr.String(), "drained") {
+		t.Fatalf("stderr lacks the drain confirmation:\n%s", stderr.String())
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
+func TestUsageErrorsExitStatusTwo(t *testing.T) {
+	for _, args := range [][]string{
+		{"-cache-entries", "0"},
+		{"-max-body", "0"},
+		{"-timeout", "-5s"},
+		{"-no-such-flag"},
+		{"stray-arg"},
+	} {
+		err := run(args, io.Discard, io.Discard, nil)
+		if err == nil {
+			t.Errorf("args %v accepted", args)
+			continue
+		}
+		if code := exitCode(err); code != 2 {
+			t.Errorf("args %v: exitCode = %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRuntimeErrorExitStatusOne(t *testing.T) {
+	// A busy/unbindable address is a runtime failure, not a usage error.
+	err := run([]string{"-addr", "256.256.256.256:1"}, io.Discard, io.Discard, nil)
+	if err == nil {
+		t.Fatal("impossible address accepted")
+	}
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("exitCode = %d, want 1", code)
+	}
+}
+
+// TestMainExitCodeUsageError re-executes the binary with a bad flag to
+// assert the process-level contract: exit status 2.
+func TestMainExitCodeUsageError(t *testing.T) {
+	if os.Getenv("VPPB_SERVE_USAGE_TEST") == "1" {
+		os.Args = []string{"vppb-serve", "-cache-entries", "0"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestMainExitCodeUsageError")
+	cmd.Env = append(os.Environ(), "VPPB_SERVE_USAGE_TEST=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want non-zero exit, got err=%v output=%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(string(out), "vppb-serve:") {
+		t.Fatalf("diagnostic missing:\n%s", out)
+	}
+}

@@ -10,9 +10,17 @@
 //	vppb-view -timeline app.tl -svg out.svg -html out.html
 //	vppb-view -log app.log -cpus 8 -window 0.5,0.6 -compress -lanes
 //	vppb-view -log app.log -cpus 8 -inspect 4 -at 0.25 -source
+//	vppb-view -log damaged.log -repair       # print every applied fix
+//	vppb-view -log damaged.log -strict       # refuse corrupt input
+//
+// Like vppb-sim, a structurally invalid log is repaired automatically
+// before simulation (a one-line note goes to stderr); -repair prints the
+// full repair report and -strict turns any corruption into a hard
+// failure.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,8 +34,25 @@ import (
 func main() {
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "vppb-view:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// usageError marks an invocation mistake (as opposed to a runtime
+// failure): the process exits with status 2, the conventional
+// bad-command-line code.
+type usageError struct{ err error }
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+// exitCode maps an error from run to a process exit status.
+func exitCode(err error) int {
+	var ue usageError
+	if errors.As(err, &ue) {
+		return 2
+	}
+	return 1
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -50,9 +75,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		inspect  = fs.Int("inspect", 0, "describe the event of thread TID nearest -at")
 		at       = fs.Float64("at", 0, "time (seconds) for -inspect")
 		showSrc  = fs.Bool("source", false, "with -inspect, print the highlighted source excerpt")
+		repair   = fs.Bool("repair", false, "print the full repair report when the log needs recovery")
+		strict   = fs.Bool("strict", false, "fail on a corrupt log instead of repairing it")
 	)
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
+	}
+	if fs.NArg() > 0 {
+		return usageError{fmt.Errorf("unexpected argument %q", fs.Arg(0))}
+	}
+	if *strict && *repair {
+		return usageError{fmt.Errorf("-strict and -repair are mutually exclusive")}
 	}
 
 	var timeline *vppb.Timeline
@@ -73,6 +106,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if verr := log.Validate(); verr != nil {
+			if *strict {
+				return fmt.Errorf("%s: corrupt log: %w", *logPath, verr)
+			}
+			repaired, rep, rerr := vppb.RepairLog(log)
+			if rerr != nil {
+				return fmt.Errorf("%s: %w", *logPath, rerr)
+			}
+			if *repair {
+				fmt.Fprintf(stderr, "vppb-view: %s: corrupt log (%v)\n", *logPath, verr)
+				fmt.Fprint(stderr, rep.String())
+			} else {
+				fmt.Fprintf(stderr, "vppb-view: %s: corrupt log repaired: %s (-repair for details, -strict to fail)\n",
+					*logPath, rep.Summary())
+			}
+			log = repaired
+		}
 		res, err := vppb.Simulate(log, vppb.Machine{CPUs: *cpus, LWPs: *lwps})
 		if err != nil {
 			return err
@@ -80,7 +130,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		timeline = res.Timeline
 		program = log.Header.Program
 	default:
-		return fmt.Errorf("need -log or -timeline")
+		return usageError{fmt.Errorf("need -log or -timeline")}
 	}
 	view, err := vppb.NewView(timeline)
 	if err != nil {
@@ -90,12 +140,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *window != "" {
 		lo, hi, ok := strings.Cut(*window, ",")
 		if !ok {
-			return fmt.Errorf("-window wants start,end")
+			return usageError{fmt.Errorf("-window wants start,end")}
 		}
 		start, err1 := strconv.ParseFloat(lo, 64)
 		end, err2 := strconv.ParseFloat(hi, 64)
 		if err1 != nil || err2 != nil {
-			return fmt.Errorf("-window wants numbers, got %q", *window)
+			return usageError{fmt.Errorf("-window wants numbers, got %q", *window)}
 		}
 		if err := view.SetWindow(
 			vppb.Time(start*float64(vppb.Second)),
@@ -112,7 +162,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for _, part := range strings.Split(*threads, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil {
-				return fmt.Errorf("-threads: %v", err)
+				return usageError{fmt.Errorf("-threads: %v", err)}
 			}
 			ids = append(ids, vppb.ThreadID(n))
 		}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -140,5 +141,139 @@ func TestTimelineInput(t *testing.T) {
 	}
 	if !strings.Contains(out, "execution flow") {
 		t.Fatalf("timeline view failed:\n%s", out)
+	}
+}
+
+func corruptLog(t *testing.T) string {
+	t.Helper()
+	log, err := vppb.RecordWorkload("example", vppb.WorkloadParams{Scale: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _, err := vppb.CorruptLog(log, "truncate", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "truncated.log")
+	if err := vppb.WriteLog(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCorruptLogRepairedByDefault(t *testing.T) {
+	path := corruptLog(t)
+	out, errOut, err := runCmd(t, "-log", path, "-cpus", "2")
+	if err != nil {
+		t.Fatalf("graceful degradation failed: %v", err)
+	}
+	if !strings.Contains(errOut, "corrupt log repaired") {
+		t.Fatalf("stderr lacks the repair note:\n%s", errOut)
+	}
+	if !strings.Contains(out, "execution flow") {
+		t.Fatalf("no graphs rendered:\n%s", out)
+	}
+}
+
+func TestRepairFlagPrintsReport(t *testing.T) {
+	path := corruptLog(t)
+	_, errOut, err := runCmd(t, "-log", path, "-cpus", "2", "-repair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "repair:") || !strings.Contains(errOut, "[synthesize-afters]") {
+		t.Fatalf("stderr lacks the full repair report:\n%s", errOut)
+	}
+}
+
+func TestStrictRejectsCorrupt(t *testing.T) {
+	path := corruptLog(t)
+	_, _, err := runCmd(t, "-log", path, "-cpus", "2", "-strict")
+	if err == nil || !strings.Contains(err.Error(), "corrupt log") || !strings.Contains(err.Error(), path) {
+		t.Fatalf("err = %v", err)
+	}
+	if code := exitCode(err); code != 1 {
+		t.Fatalf("a corrupt log is a runtime failure: exitCode = %d, want 1", code)
+	}
+}
+
+func TestStrictAcceptsClean(t *testing.T) {
+	path := fixtureLog(t)
+	if _, _, err := runCmd(t, "-log", path, "-cpus", "2", "-strict"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsageErrorsExitStatusTwo(t *testing.T) {
+	path := fixtureLog(t)
+	for _, args := range [][]string{
+		{},
+		{"-log", path, "-strict", "-repair"},
+		{"-log", path, "-window", "zzz"},
+		{"-log", path, "-window", "a,b"},
+		{"-log", path, "-threads", "4,x"},
+		{"-no-such-flag"},
+		{"-log", path, "stray-arg"},
+	} {
+		_, _, err := runCmd(t, args...)
+		if err == nil {
+			t.Errorf("args %v accepted", args)
+			continue
+		}
+		if code := exitCode(err); code != 2 {
+			t.Errorf("args %v: exitCode = %d, want 2", args, code)
+		}
+	}
+	// Runtime failures still exit 1.
+	_, _, err := runCmd(t, "-log", "/no/such/file.log")
+	if err == nil || exitCode(err) != 1 {
+		t.Fatalf("missing file: err = %v, exitCode = %d; want exit 1", err, exitCode(err))
+	}
+}
+
+// TestMainExitCode re-executes the test binary as the real command to
+// assert the process-level contract: exit status 1 for runtime failures
+// and a one-line diagnostic naming the offending file.
+func TestMainExitCode(t *testing.T) {
+	if os.Getenv("VPPB_VIEW_MAIN_TEST") == "1" {
+		os.Args = []string{"vppb-view", "-log", "/no/such/file.log"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestMainExitCode")
+	cmd.Env = append(os.Environ(), "VPPB_VIEW_MAIN_TEST=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want non-zero exit, got err=%v output=%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(string(out), "vppb-view:") {
+		t.Fatalf("diagnostic missing:\n%s", out)
+	}
+}
+
+// TestMainExitCodeUsageError re-executes the binary with no input flags
+// to assert the process-level contract: exit status 2 for usage errors.
+func TestMainExitCodeUsageError(t *testing.T) {
+	if os.Getenv("VPPB_VIEW_USAGE_TEST") == "1" {
+		os.Args = []string{"vppb-view"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestMainExitCodeUsageError")
+	cmd.Env = append(os.Environ(), "VPPB_VIEW_USAGE_TEST=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want non-zero exit, got err=%v output=%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for a usage error", code)
+	}
+	if !strings.Contains(string(out), "need -log or -timeline") {
+		t.Fatalf("diagnostic missing:\n%s", out)
 	}
 }

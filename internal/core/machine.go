@@ -25,6 +25,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"vppb/internal/par"
@@ -177,8 +178,17 @@ func SimulateProfile(prof *trace.Profile, m Machine) (*Result, error) {
 // returned error is the lowest-index failure, so output is byte-for-byte
 // what a sequential loop would produce.
 func SimulateMany(prof *trace.Profile, machines []Machine) ([]*Result, error) {
+	return SimulateManyCtx(context.Background(), prof, machines)
+}
+
+// SimulateManyCtx is SimulateMany under a context: when ctx is cancelled
+// (for example a serving deadline), machines not yet started are skipped
+// and ctx's error is returned. A simulation already running completes —
+// bound its worst case with Machine.MaxSimEvents / MaxVirtualTime, which
+// cap simulated work independently of wall-clock time.
+func SimulateManyCtx(ctx context.Context, prof *trace.Profile, machines []Machine) ([]*Result, error) {
 	results := make([]*Result, len(machines))
-	err := par.ForEach(len(machines), 0, func(i int) error {
+	err := par.ForEachCtx(ctx, len(machines), 0, func(i int) error {
 		res, err := SimulateProfile(prof, machines[i])
 		if err != nil {
 			return err

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sync"
 	"testing"
@@ -102,6 +104,38 @@ func TestSimulateManyMatchesSequential(t *testing.T) {
 		if many[i].Duration != seq.Duration || many[i].Events != seq.Events {
 			t.Fatalf("machine %d: parallel %v/%d, sequential %v/%d",
 				i, many[i].Duration, many[i].Events, seq.Duration, seq.Events)
+		}
+	}
+}
+
+// TestSimulateManyCtxCancelled: a cancelled context skips the remaining
+// machines and surfaces the cancellation.
+func TestSimulateManyCtxCancelled(t *testing.T) {
+	log := record(t, concProg)
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = SimulateManyCtx(ctx, prof, []Machine{{CPUs: 2}, {CPUs: 4}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// An undisturbed context matches SimulateMany exactly.
+	many, err := SimulateManyCtx(context.Background(), prof, []Machine{{CPUs: 2}, {CPUs: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := SimulateMany(prof, []Machine{{CPUs: 2}, {CPUs: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range many {
+		if many[i].Duration != plain[i].Duration || many[i].Events != plain[i].Events {
+			t.Fatalf("machine %d: ctx %v/%d, plain %v/%d",
+				i, many[i].Duration, many[i].Events, plain[i].Duration, plain[i].Events)
 		}
 	}
 }

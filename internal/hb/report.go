@@ -198,6 +198,60 @@ func (a *Analysis) FormatJSON(topN int) ([]byte, error) {
 	return json.MarshalIndent(a.JSONReport(topN), "", "  ")
 }
 
+// JSONBoundsReport is the critical-path half of JSONReport: the
+// machine-independent speed-up bound and what it is attributed to, without
+// the lock-order graph. Serving endpoints that answer only "how fast could
+// this get?" use it to keep responses small and focused.
+type JSONBoundsReport struct {
+	Program  string      `json:"program"`
+	Events   int         `json:"events"`
+	Threads  int         `json:"threads"`
+	WorkUS   int64       `json:"work_us"`
+	ChainUS  int64       `json:"dependency_chain_us"`
+	CritUS   int64       `json:"critical_path_us"`
+	Bound    float64     `json:"speedup_bound"`
+	Dominant string      `json:"dominant_object,omitempty"`
+	Sites    []JSONSite  `json:"critical_path_sites,omitempty"`
+	Scores   []JSONScore `json:"serialization_scores,omitempty"`
+}
+
+// JSONBounds builds the critical-path half of the machine-readable report.
+func (a *Analysis) JSONBounds(topN int) JSONBoundsReport {
+	r := a.JSONReport(topN)
+	return JSONBoundsReport{
+		Program:  r.Program,
+		Events:   r.Events,
+		Threads:  r.Threads,
+		WorkUS:   r.WorkUS,
+		ChainUS:  r.ChainUS,
+		CritUS:   r.CritUS,
+		Bound:    r.Bound,
+		Dominant: r.Dominant,
+		Sites:    r.Sites,
+		Scores:   r.Scores,
+	}
+}
+
+// JSONLockOrderReport is the deadlock half of JSONReport: the lock-order
+// graph, its cycle verdicts, and the overall potential-deadlock flag.
+type JSONLockOrderReport struct {
+	Program  string         `json:"program"`
+	Edges    []JSONLockEdge `json:"lock_order_edges,omitempty"`
+	Cycles   []JSONCycle    `json:"lock_order_cycles,omitempty"`
+	Deadlock bool           `json:"potential_deadlock"`
+}
+
+// JSONLockOrder builds the deadlock half of the machine-readable report.
+func (a *Analysis) JSONLockOrder() JSONLockOrderReport {
+	r := a.JSONReport(0)
+	return JSONLockOrderReport{
+		Program:  r.Program,
+		Edges:    r.Edges,
+		Cycles:   r.Cycles,
+		Deadlock: r.Deadlock,
+	}
+}
+
 // TopObject returns the object with the largest serialization score, or
 // false when no critical-path time is attributed to any object.
 func (a *Analysis) TopObject() (ObjectScore, bool) {

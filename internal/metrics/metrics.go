@@ -5,25 +5,31 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"vppb/internal/vtime"
 )
 
-// Speedup is T1/TP.
+// Speedup is T1/TP. A non-positive predicted time has no defined
+// speed-up, so the result is NaN — not 0, which would silently read as
+// "infinitely slow" in comparisons and averages. Table formatting
+// renders NaN cells as "n/a".
 func Speedup(t1, tp vtime.Duration) float64 {
 	if tp <= 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(t1) / float64(tp)
 }
 
 // PredictionError is the paper's error definition:
 // ((real speed-up) - (predicted speed-up)) / (real speed-up).
+// A zero real speed-up makes the ratio undefined, so the result is NaN —
+// a 0 here would masquerade as a perfect prediction.
 func PredictionError(real, predicted float64) float64 {
 	if real == 0 {
-		return 0
+		return math.NaN()
 	}
 	return (real - predicted) / real
 }
@@ -151,8 +157,10 @@ func (t *Table) Format() string {
 		b.WriteByte('\n')
 		fmt.Fprintf(&b, "%-14s %-6s", "", "Pred")
 		for _, cpu := range cpus {
-			if c := cellFor(cpu); c != nil {
+			if c := cellFor(cpu); c != nil && !math.IsNaN(c.Predicted) {
 				fmt.Fprintf(&b, " %16.2f", c.Predicted)
+			} else if c != nil {
+				fmt.Fprintf(&b, " %16s", "n/a")
 			} else {
 				fmt.Fprintf(&b, " %16s", "-")
 			}
@@ -160,8 +168,10 @@ func (t *Table) Format() string {
 		b.WriteByte('\n')
 		fmt.Fprintf(&b, "%-14s %-6s", "", "Error")
 		for _, cpu := range cpus {
-			if c := cellFor(cpu); c != nil {
+			if c := cellFor(cpu); c != nil && !math.IsNaN(c.Error()) {
 				fmt.Fprintf(&b, " %15.1f%%", 100*abs(c.Error()))
+			} else if c != nil {
+				fmt.Fprintf(&b, " %16s", "n/a")
 			} else {
 				fmt.Fprintf(&b, " %16s", "-")
 			}
@@ -199,7 +209,9 @@ func abs(v float64) float64 {
 	return v
 }
 
-// MaxAbsError returns the largest absolute prediction error in the table.
+// MaxAbsError returns the largest absolute prediction error in the
+// table. Cells with an undefined error (NaN) are skipped: every NaN
+// comparison is false, so they never become the maximum.
 func (t *Table) MaxAbsError() float64 {
 	max := 0.0
 	for _, r := range t.Rows {

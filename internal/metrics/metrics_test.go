@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -11,8 +12,13 @@ func TestSpeedup(t *testing.T) {
 	if s := Speedup(100*vtime.Second, 25*vtime.Second); s != 4.0 {
 		t.Fatalf("Speedup = %v", s)
 	}
-	if s := Speedup(100, 0); s != 0 {
-		t.Fatalf("Speedup with zero TP = %v", s)
+	// A zero or negative predicted time has no defined speed-up. 0 would
+	// read as "no speed-up at all" downstream; NaN is unmistakable.
+	if s := Speedup(100, 0); !math.IsNaN(s) {
+		t.Fatalf("Speedup with zero TP = %v, want NaN", s)
+	}
+	if s := Speedup(100, -5); !math.IsNaN(s) {
+		t.Fatalf("Speedup with negative TP = %v, want NaN", s)
 	}
 }
 
@@ -22,8 +28,10 @@ func TestPredictionError(t *testing.T) {
 	if e < 0.061 || e > 0.063 {
 		t.Fatalf("error = %v, want ~0.062", e)
 	}
-	if PredictionError(0, 5) != 0 {
-		t.Fatal("zero real must give zero error")
+	// Dividing by a zero real speed-up is undefined; a 0 result would
+	// look like a perfect prediction.
+	if e := PredictionError(0, 5); !math.IsNaN(e) {
+		t.Fatalf("zero real gave %v, want NaN", e)
 	}
 	// Over-prediction gives a negative error.
 	if PredictionError(2.0, 2.2) >= 0 {
@@ -100,5 +108,37 @@ func TestCellError(t *testing.T) {
 	c.Real.Add(4.0)
 	if e := c.Error(); e != 0.25 {
 		t.Fatalf("cell error = %v", e)
+	}
+}
+
+func TestTableFormatDegenerateCells(t *testing.T) {
+	// A cell with no real measurements (median 0) has an undefined error,
+	// and a NaN prediction has no printable value: both render as n/a.
+	tb := &Table{Rows: []Row{
+		{Application: "broken", Cells: []Cell{
+			{CPUs: 2, Predicted: math.NaN()},
+		}},
+	}}
+	out := tb.Format()
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("degenerate cells not rendered as n/a:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("raw NaN leaked into the table:\n%s", out)
+	}
+}
+
+func TestMaxAbsErrorSkipsNaN(t *testing.T) {
+	tb := buildTable()
+	// Add a row whose error is undefined; it must not poison the maximum.
+	tb.Rows = append(tb.Rows, Row{Application: "broken", Cells: []Cell{
+		{CPUs: 2, Predicted: 1.5}, // no real runs: median 0, error NaN
+	}})
+	e := tb.MaxAbsError()
+	if math.IsNaN(e) {
+		t.Fatal("NaN cell poisoned MaxAbsError")
+	}
+	if e < 0.061 || e > 0.063 {
+		t.Fatalf("MaxAbsError = %v, want ~0.062", e)
 	}
 }

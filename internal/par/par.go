@@ -11,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,8 +27,20 @@ func Workers() int { return runtime.GOMAXPROCS(0) }
 // returned error is the lowest-index failure, so error reporting is as
 // deterministic as the results; later jobs still run to completion.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach under a context: once ctx is done, no further jobs
+// are claimed (jobs already running finish — fn itself is not interrupted)
+// and the context's error is reported unless some job failed first. The
+// error contract stays deterministic: the lowest-index fn failure wins
+// over the cancellation error, so a caller always sees the same error for
+// the same inputs regardless of when the deadline fired relative to the
+// scheduler. Jobs skipped by cancellation leave their result slots
+// untouched.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
-		return nil
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = Workers()
@@ -35,35 +48,40 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	errs := make([]error, n)
 	if workers == 1 {
+		// Degenerate to a plain sequential loop: stop at the first failure,
+		// exactly like a caller iterating by hand.
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
+			if ctx.Err() != nil {
+				break
+			}
+			if errs[i] = fn(i); errs[i] != nil {
+				break
 			}
 		}
-		return nil
-	}
-	errs := make([]error, n)
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					errs[i] = fn(i)
 				}
-				errs[i] = fn(i)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }

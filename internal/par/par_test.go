@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -118,5 +119,79 @@ func TestForEachIndexDiscipline(t *testing.T) {
 func TestWorkersPositive(t *testing.T) {
 	if Workers() < 1 {
 		t.Fatalf("Workers() = %d", Workers())
+	}
+}
+
+func TestForEachCtxCancelSkipsRemainingJobs(t *testing.T) {
+	// Cancel after the first few jobs: no new jobs may be claimed, and the
+	// cancellation is reported.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, 10_000, workers, func(i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// At most one extra job per worker may already have been claimed
+		// when cancel fired.
+		if got := ran.Load(); got >= 10_000 {
+			t.Fatalf("workers=%d: cancellation did not stop the pool (%d jobs ran)", workers, got)
+		}
+	}
+}
+
+func TestForEachCtxJobErrorBeatsCancellation(t *testing.T) {
+	// Deterministic error contract: a job failure wins over ctx.Err(), so
+	// the caller sees the same error whether or not the deadline also
+	// fired.
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 8, 2, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	cancel()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom to win over cancellation", err)
+	}
+}
+
+func TestForEachCtxPreCancelledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEachCtx(ctx, 5, 4, func(int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// The multi-worker path may claim at most nothing after the pre-check;
+	// the sequential path checks before every job.
+	if ran {
+		t.Fatal("job ran under a pre-cancelled context")
+	}
+}
+
+func TestForEachCtxBackgroundMatchesForEach(t *testing.T) {
+	n := 100
+	got := make([]int, n)
+	if err := ForEachCtx(context.Background(), n, 8, func(i int) error {
+		got[i] = i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("slot %d = %d", i, got[i])
+		}
 	}
 }

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDigestStableAndDistinct(t *testing.T) {
+	a := Digest([]byte("hello"))
+	if a != Digest([]byte("hello")) {
+		t.Fatal("digest of identical bytes differs")
+	}
+	if a == Digest([]byte("hello!")) {
+		t.Fatal("digest of different bytes collides")
+	}
+	if len(a) != 64 {
+		t.Fatalf("digest length = %d, want 64 hex chars", len(a))
+	}
+}
+
+func TestCacheHitMissAndLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	e1 := &Entry{Digest: "d1"}
+	e2 := &Entry{Digest: "d2"}
+	e3 := &Entry{Digest: "d3"}
+
+	if _, ok := c.Get("d1"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Add(e1)
+	c.Add(e2)
+	if got, ok := c.Get("d1"); !ok || got != e1 {
+		t.Fatal("d1 not cached")
+	}
+	// d1 was just used, so adding d3 must evict d2.
+	c.Add(e3)
+	if _, ok := c.Get("d2"); ok {
+		t.Fatal("d2 should have been the LRU eviction victim")
+	}
+	if _, ok := c.Get("d1"); !ok {
+		t.Fatal("recently used d1 evicted")
+	}
+	if _, ok := c.Get("d3"); !ok {
+		t.Fatal("d3 missing")
+	}
+	hits, misses, evicted := c.Stats()
+	// Gets: d1 miss, d1 hit, d2 miss, d1 hit, d3 hit.
+	if hits != 3 || misses != 2 || evicted != 1 {
+		t.Fatalf("stats = %d hits, %d misses, %d evicted; want 3/2/1", hits, misses, evicted)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestCacheAddKeepsFirstPublishedEntry(t *testing.T) {
+	// Two concurrent ingests of the same bytes: the first published entry
+	// wins so every requester shares one profile.
+	c := NewCache(4)
+	first := &Entry{Digest: "same"}
+	second := &Entry{Digest: "same"}
+	if got := c.Add(first); got != first {
+		t.Fatal("first add did not return its own entry")
+	}
+	if got := c.Add(second); got != first {
+		t.Fatal("duplicate add replaced the published entry")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDefaultCapacity(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < DefaultCacheEntries+10; i++ {
+		c.Add(&Entry{Digest: fmt.Sprintf("d%d", i)})
+	}
+	if c.Len() != DefaultCacheEntries {
+		t.Fatalf("len = %d, want %d", c.Len(), DefaultCacheEntries)
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the daemon's hand-rolled Prometheus registry (text
+// exposition format 0.0.4; no client library dependency). It tracks the
+// quantities an operator needs to size and debug the service: per-route
+// request counts by status code, the profile-cache hit rate, the number of
+// requests in flight, the simulation queue depth, and a request latency
+// histogram.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]int64
+	buckets  []float64 // upper bounds, seconds, ascending; +Inf implied
+	counts   []int64   // one per bucket plus the +Inf bucket
+	sum      float64
+	count    int64
+
+	inflight atomic.Int64
+	simQueue atomic.Int64
+}
+
+type requestKey struct {
+	route string
+	code  int
+}
+
+// defaultBuckets spans sub-millisecond cache hits to multi-second
+// cold simulations.
+var defaultBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[requestKey]int64),
+		buckets:  defaultBuckets,
+		counts:   make([]int64, len(defaultBuckets)+1),
+	}
+}
+
+// ObserveRequest records one finished request: its route, response status
+// code, and wall-clock latency in seconds.
+func (m *Metrics) ObserveRequest(route string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[requestKey{route, code}]++
+	m.sum += seconds
+	m.count++
+	for i, ub := range m.buckets {
+		if seconds <= ub {
+			m.counts[i]++
+		}
+	}
+	m.counts[len(m.buckets)]++
+}
+
+// Inflight is the gauge of requests currently being served.
+func (m *Metrics) Inflight() *atomic.Int64 { return &m.inflight }
+
+// SimQueue is the gauge of machine simulations submitted to the worker
+// pool and not yet finished (queued plus running).
+func (m *Metrics) SimQueue() *atomic.Int64 { return &m.simQueue }
+
+// WritePrometheus renders the registry (and the cache counters) in the
+// Prometheus text exposition format. Output is deterministic: series are
+// sorted by route and code.
+func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache) {
+	m.mu.Lock()
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	counts := append([]int64(nil), m.counts...)
+	sum, count := m.sum, m.count
+	reqs := make([]int64, len(keys))
+	for i, k := range keys {
+		reqs[i] = m.requests[k]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP vppb_requests_total Requests served, by route and status code.")
+	fmt.Fprintln(w, "# TYPE vppb_requests_total counter")
+	for i, k := range keys {
+		fmt.Fprintf(w, "vppb_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, reqs[i])
+	}
+
+	hits, misses, evicted := cache.Stats()
+	fmt.Fprintln(w, "# HELP vppb_profile_cache_hits_total Content-addressed profile cache hits.")
+	fmt.Fprintln(w, "# TYPE vppb_profile_cache_hits_total counter")
+	fmt.Fprintf(w, "vppb_profile_cache_hits_total %d\n", hits)
+	fmt.Fprintln(w, "# HELP vppb_profile_cache_misses_total Content-addressed profile cache misses.")
+	fmt.Fprintln(w, "# TYPE vppb_profile_cache_misses_total counter")
+	fmt.Fprintf(w, "vppb_profile_cache_misses_total %d\n", misses)
+	fmt.Fprintln(w, "# HELP vppb_profile_cache_evictions_total Entries evicted from the profile cache.")
+	fmt.Fprintln(w, "# TYPE vppb_profile_cache_evictions_total counter")
+	fmt.Fprintf(w, "vppb_profile_cache_evictions_total %d\n", evicted)
+	fmt.Fprintln(w, "# HELP vppb_profile_cache_entries Entries currently cached.")
+	fmt.Fprintln(w, "# TYPE vppb_profile_cache_entries gauge")
+	fmt.Fprintf(w, "vppb_profile_cache_entries %d\n", cache.Len())
+
+	fmt.Fprintln(w, "# HELP vppb_inflight_requests Requests currently being served.")
+	fmt.Fprintln(w, "# TYPE vppb_inflight_requests gauge")
+	fmt.Fprintf(w, "vppb_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintln(w, "# HELP vppb_sim_queue_depth Machine simulations queued or running in the worker pool.")
+	fmt.Fprintln(w, "# TYPE vppb_sim_queue_depth gauge")
+	fmt.Fprintf(w, "vppb_sim_queue_depth %d\n", m.simQueue.Load())
+
+	fmt.Fprintln(w, "# HELP vppb_request_duration_seconds Request latency.")
+	fmt.Fprintln(w, "# TYPE vppb_request_duration_seconds histogram")
+	for i, ub := range m.buckets {
+		fmt.Fprintf(w, "vppb_request_duration_seconds_bucket{le=%q} %d\n",
+			strconv.FormatFloat(ub, 'g', -1, 64), counts[i])
+	}
+	fmt.Fprintf(w, "vppb_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", counts[len(counts)-1])
+	fmt.Fprintf(w, "vppb_request_duration_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "vppb_request_duration_seconds_count %d\n", count)
+}

@@ -1,0 +1,562 @@
+// Package serve turns the VPPB pipeline — repair, profile, simulate,
+// bounds, visualize — into a long-lived prediction service. Where the CLIs
+// re-read, re-repair and re-profile a trace on every invocation, the
+// daemon ingests a trace once, addresses it by the SHA-256 of its bytes,
+// and keeps the immutable behaviour profile in an LRU cache so a repeated
+// trace goes straight to simulation.
+//
+// Endpoints:
+//
+//	POST /v1/predict      trace upload -> per-machine-size predictions
+//	                      (?cpus=1,2,4,8 ?policy=ts ?strict=true),
+//	                      or ?trace=<digest> to reuse an uploaded trace
+//	GET  /v1/bounds       critical-path speed-up bound  (?trace= or POST body)
+//	GET  /v1/lockorder    lock-order cycles / potential deadlocks
+//	GET  /v1/view.svg     predicted-execution rendering (?cpus=N ?width=)
+//	GET  /v1/view.html    self-contained HTML report
+//	GET  /metrics         Prometheus text format
+//	GET  /healthz         readiness probe
+//	     /debug/pprof/*   Go profiling
+//
+// The ingestion path applies the shared repair policy: a structurally
+// corrupt upload is repaired automatically (the response carries the
+// repair summary) unless ?strict=true, which rejects it with 422. Request
+// bodies are size-limited, every request runs under a deadline, and the
+// remaining deadline is translated into the simulator's event budget so a
+// runaway replay of a pathological trace cannot pin a worker forever.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"time"
+
+	"vppb/internal/core"
+	"vppb/internal/metrics"
+	"vppb/internal/recorder"
+	"vppb/internal/sched"
+	"vppb/internal/trace"
+	"vppb/internal/viz"
+	"vppb/internal/vtime"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// CacheEntries caps the profile cache (0 = DefaultCacheEntries).
+	CacheEntries int
+	// MaxBodyBytes limits uploaded trace size (0 = 32 MiB).
+	MaxBodyBytes int64
+	// RequestTimeout is the per-request deadline (0 = 30s; negative =
+	// none). Clients cannot extend it, only the operator can.
+	RequestTimeout time.Duration
+	// MaxSimEvents bounds every simulation run for a request, exactly like
+	// vppb-sim -max-events (0 = derive from the deadline only).
+	MaxSimEvents int64
+	// MaxVirtualTime bounds simulated time, like vppb-sim -max-vtime
+	// (0 = unlimited).
+	MaxVirtualTime vtime.Duration
+	// SimEventsPerSecond calibrates the deadline-to-budget mapping: with a
+	// deadline D remaining, a simulation may place at most
+	// D * SimEventsPerSecond events before it is aborted. 0 selects
+	// DefaultSimEventsPerSecond; negative disables the mapping.
+	SimEventsPerSecond int64
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxBodyBytes       = 32 << 20
+	DefaultRequestTimeout     = 30 * time.Second
+	DefaultSimEventsPerSecond = 2_000_000
+)
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = DefaultCacheEntries
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	switch {
+	case c.RequestTimeout == 0:
+		c.RequestTimeout = DefaultRequestTimeout
+	case c.RequestTimeout < 0:
+		c.RequestTimeout = 0
+	}
+	switch {
+	case c.SimEventsPerSecond == 0:
+		c.SimEventsPerSecond = DefaultSimEventsPerSecond
+	case c.SimEventsPerSecond < 0:
+		c.SimEventsPerSecond = 0
+	}
+	return c
+}
+
+// Server is the prediction service: a profile cache, a metrics registry,
+// and the HTTP handlers. Create one with New and mount Handler on an
+// http.Server.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		cache:   NewCache(cfg.CacheEntries),
+		metrics: NewMetrics(),
+	}
+	s.mux = http.NewServeMux()
+	s.route("/v1/predict", s.handlePredict)
+	s.route("/v1/bounds", s.handleBounds)
+	s.route("/v1/lockorder", s.handleLockOrder)
+	s.route("/v1/view.svg", s.handleViewSVG)
+	s.route("/v1/view.html", s.handleViewHTML)
+	s.route("/metrics", s.handleMetrics)
+	s.route("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the profile cache (for tests and operational tooling).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// route mounts a handler behind the instrumentation middleware: inflight
+// gauge, latency histogram, and the per-route request counter labelled
+// with the route pattern (not the raw URL, which would explode the label
+// cardinality).
+func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request) int) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.Inflight().Add(1)
+		defer s.metrics.Inflight().Add(-1)
+		start := time.Now()
+		ctx := r.Context()
+		if s.cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+		}
+		code := h(w, r.WithContext(ctx))
+		s.metrics.ObserveRequest(pattern, code, time.Since(start).Seconds())
+	})
+}
+
+// httpError is a handler failure with its HTTP status.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) *httpError {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError emits the {"error": ...} body and returns the status code for
+// the request counter.
+func writeError(w http.ResponseWriter, e *httpError) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(e.code)
+	body, _ := json.Marshal(map[string]string{"error": e.msg})
+	w.Write(append(body, '\n'))
+	return e.code
+}
+
+// simError maps a simulation or analysis failure to an HTTP status: a
+// blown deadline is 504, everything else (deadlocked replay, exhausted
+// budget, unprofilable recording) is the client's trace and gets 422.
+func simError(err error) *httpError {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return errf(http.StatusGatewayTimeout, "deadline exceeded before all simulations finished")
+	}
+	return errf(http.StatusUnprocessableEntity, "%v", err)
+}
+
+// resolveEntry produces the cached entry for a request: via ?trace=digest
+// for a previously ingested recording, or by ingesting the request body.
+// The boolean reports whether the profile came from the cache.
+func (s *Server) resolveEntry(w http.ResponseWriter, r *http.Request, strict bool) (*Entry, bool, *httpError) {
+	if digest := r.URL.Query().Get("trace"); digest != "" {
+		e, ok := s.cache.Get(digest)
+		if !ok {
+			return nil, false, errf(http.StatusNotFound, "unknown trace digest %s (upload it first)", digest)
+		}
+		if strict && e.Repaired {
+			return nil, false, errf(http.StatusUnprocessableEntity, "trace %s required repair (%s) and strict=true refuses repaired input", digest, e.RepairSummary)
+		}
+		return e, true, nil
+	}
+
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, false, errf(http.StatusRequestEntityTooLarge, "trace exceeds the %d-byte upload limit", tooBig.Limit)
+		}
+		return nil, false, errf(http.StatusBadRequest, "reading request body: %v", err)
+	}
+	if len(raw) == 0 {
+		return nil, false, errf(http.StatusBadRequest, "upload a recorded log in the request body or pass ?trace=<digest>")
+	}
+
+	digest := Digest(raw)
+	if e, ok := s.cache.Get(digest); ok {
+		if strict && e.Repaired {
+			return nil, false, errf(http.StatusUnprocessableEntity, "corrupt log rejected by strict=true (would be repaired: %s)", e.RepairSummary)
+		}
+		return e, true, nil
+	}
+
+	log, err := recorder.Read(bytes.NewReader(raw))
+	if err != nil {
+		return nil, false, errf(http.StatusBadRequest, "not a vppb log: %v", err)
+	}
+	e := &Entry{Digest: digest, Size: len(raw)}
+	if verr := log.Validate(); verr != nil {
+		if strict {
+			return nil, false, errf(http.StatusUnprocessableEntity, "corrupt log rejected by strict=true: %v", verr)
+		}
+		repaired, rep, rerr := trace.Repair(log)
+		if rerr != nil {
+			return nil, false, errf(http.StatusUnprocessableEntity, "unrecoverable log: %v", rerr)
+		}
+		log = repaired
+		e.Repaired = true
+		e.RepairSummary = rep.Summary()
+	}
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		return nil, false, errf(http.StatusUnprocessableEntity, "%v", err)
+	}
+	e.Log = log
+	e.Profile = prof
+	return s.cache.Add(e), false, nil
+}
+
+// machineFor builds the base machine of a request: the policy, the
+// operator-configured budgets, and the remaining request deadline mapped
+// to an event budget (remaining seconds x SimEventsPerSecond). Simulated
+// virtual time is decoupled from wall time, so the event budget — not a
+// wall-clock check — is what actually stops a runaway replay.
+func (s *Server) machineFor(ctx context.Context, policy string) core.Machine {
+	m := core.Machine{
+		Policy:         policy,
+		MaxSimEvents:   s.cfg.MaxSimEvents,
+		MaxVirtualTime: s.cfg.MaxVirtualTime,
+	}
+	if deadline, ok := ctx.Deadline(); ok && s.cfg.SimEventsPerSecond > 0 {
+		remaining := time.Until(deadline).Seconds()
+		if remaining < 0 {
+			remaining = 0
+		}
+		derived := int64(remaining*float64(s.cfg.SimEventsPerSecond)) + 1
+		if m.MaxSimEvents == 0 || derived < m.MaxSimEvents {
+			m.MaxSimEvents = derived
+		}
+	}
+	return m
+}
+
+// simulateAll fans the machines out over the bounded worker pool, keeping
+// the simulation queue-depth gauge current.
+func (s *Server) simulateAll(ctx context.Context, e *Entry, machines []core.Machine) ([]*core.Result, *httpError) {
+	s.metrics.SimQueue().Add(int64(len(machines)))
+	defer s.metrics.SimQueue().Add(-int64(len(machines)))
+	results, err := core.SimulateManyCtx(ctx, e.Profile, machines)
+	if err != nil {
+		return nil, simError(err)
+	}
+	return results, nil
+}
+
+// Query-parameter parsing, mirroring the CLI contract.
+
+func parseStrict(r *http.Request) (bool, *httpError) {
+	v := r.URL.Query().Get("strict")
+	if v == "" {
+		return false, nil
+	}
+	strict, err := strconv.ParseBool(v)
+	if err != nil {
+		return false, errf(http.StatusBadRequest, "strict wants a boolean, got %q", v)
+	}
+	return strict, nil
+}
+
+func parsePolicy(r *http.Request) (string, *httpError) {
+	policy := r.URL.Query().Get("policy")
+	if _, err := sched.New(policy); err != nil {
+		return "", errf(http.StatusBadRequest, "policy: %v", err)
+	}
+	return policy, nil
+}
+
+func parseCPUList(r *http.Request) ([]int, *httpError) {
+	spec := r.URL.Query().Get("cpus")
+	if spec == "" {
+		spec = "1,2,4,8"
+	}
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, errf(http.StatusBadRequest, "cpus wants positive CPU counts, got %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func parseInt(r *http.Request, name string, def, min int) (int, *httpError) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < min {
+		return 0, errf(http.StatusBadRequest, "%s wants an integer >= %d, got %q", name, min, v)
+	}
+	return n, nil
+}
+
+// entryHeaders stamps the content address and cache verdict on a
+// response. The verdict lives in a header, not the body, so repeated
+// requests stay byte-identical.
+func entryHeaders(w http.ResponseWriter, e *Entry, cached bool) {
+	w.Header().Set("X-Vppb-Trace", e.Digest)
+	if cached {
+		w.Header().Set("X-Vppb-Cache", "hit")
+	} else {
+		w.Header().Set("X-Vppb-Cache", "miss")
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) int {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return writeError(w, errf(http.StatusInternalServerError, "encoding response: %v", err))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+	return http.StatusOK
+}
+
+// jsonFloat marshals NaN (a degenerate speed-up, see metrics.Speedup) as
+// null instead of failing the whole encode.
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return []byte(strconv.FormatFloat(v, 'g', -1, 64)), nil
+}
+
+// predictResponse is the deterministic JSON body of /v1/predict.
+type predictResponse struct {
+	Trace         string       `json:"trace"`
+	Program       string       `json:"program"`
+	RecordedUS    int64        `json:"recorded_us"`
+	Policy        string       `json:"policy"`
+	Repaired      bool         `json:"repaired"`
+	RepairSummary string       `json:"repair_summary,omitempty"`
+	Predictions   []prediction `json:"predictions"`
+}
+
+type prediction struct {
+	CPUs        int       `json:"cpus"`
+	PredictedUS int64     `json:"predicted_us"`
+	Speedup     jsonFloat `json:"speedup"`
+	Events      int64     `json:"events"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
+	if r.Method != http.MethodPost {
+		return writeError(w, errf(http.StatusMethodNotAllowed, "POST a recorded log (or POST with ?trace=<digest>)"))
+	}
+	strict, herr := parseStrict(r)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	policy, herr := parsePolicy(r)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	sizes, herr := parseCPUList(r)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	e, cached, herr := s.resolveEntry(w, r, strict)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+
+	// Machine 0 is the uniprocessor baseline every speed-up divides by;
+	// the requested sizes follow in input order.
+	base := s.machineFor(r.Context(), policy)
+	machines := make([]core.Machine, 0, len(sizes)+1)
+	machines = append(machines, base.Uniprocessor())
+	for _, cpus := range sizes {
+		m := base
+		m.CPUs = cpus
+		machines = append(machines, m)
+	}
+	results, herr := s.simulateAll(r.Context(), e, machines)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	uni := results[0]
+
+	resolved := policy
+	if resolved == "" {
+		resolved = sched.Default
+	}
+	resp := predictResponse{
+		Trace:         e.Digest,
+		Program:       e.Log.Header.Program,
+		RecordedUS:    int64(e.Log.Duration()),
+		Policy:        resolved,
+		Repaired:      e.Repaired,
+		RepairSummary: e.RepairSummary,
+		Predictions:   make([]prediction, 0, len(sizes)),
+	}
+	for i, cpus := range sizes {
+		res := results[i+1]
+		resp.Predictions = append(resp.Predictions, prediction{
+			CPUs:        cpus,
+			PredictedUS: int64(res.Duration),
+			Speedup:     jsonFloat(metrics.Speedup(uni.Duration, res.Duration)),
+			Events:      res.Events,
+		})
+	}
+	entryHeaders(w, e, cached)
+	return writeJSON(w, resp)
+}
+
+func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) int {
+	return s.handleHB(w, r, func(e *Entry, topN int) (any, error) {
+		a, err := e.HB()
+		if err != nil {
+			return nil, err
+		}
+		return a.JSONBounds(topN), nil
+	})
+}
+
+func (s *Server) handleLockOrder(w http.ResponseWriter, r *http.Request) int {
+	return s.handleHB(w, r, func(e *Entry, topN int) (any, error) {
+		a, err := e.HB()
+		if err != nil {
+			return nil, err
+		}
+		return a.JSONLockOrder(), nil
+	})
+}
+
+func (s *Server) handleHB(w http.ResponseWriter, r *http.Request, report func(*Entry, int) (any, error)) int {
+	strict, herr := parseStrict(r)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	topN, herr := parseInt(r, "top", 10, 1)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	e, cached, herr := s.resolveEntry(w, r, strict)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	body, err := report(e, topN)
+	if err != nil {
+		return writeError(w, simError(err))
+	}
+	entryHeaders(w, e, cached)
+	return writeJSON(w, body)
+}
+
+func (s *Server) handleViewSVG(w http.ResponseWriter, r *http.Request) int {
+	return s.handleView(w, r, "image/svg+xml", func(v *viz.View, title string, width int) (string, error) {
+		return viz.RenderSVG(v, viz.SVGOptions{Title: title, Width: width}), nil
+	})
+}
+
+func (s *Server) handleViewHTML(w http.ResponseWriter, r *http.Request) int {
+	return s.handleView(w, r, "text/html; charset=utf-8", func(v *viz.View, title string, _ int) (string, error) {
+		return viz.RenderHTML(v, viz.HTMLOptions{Title: title})
+	})
+}
+
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request, contentType string, render func(*viz.View, string, int) (string, error)) int {
+	strict, herr := parseStrict(r)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	policy, herr := parsePolicy(r)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	cpus, herr := parseInt(r, "cpus", 2, 1)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	width, herr := parseInt(r, "width", 0, 1)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	e, cached, herr := s.resolveEntry(w, r, strict)
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	m := s.machineFor(r.Context(), policy)
+	m.CPUs = cpus
+	results, herr := s.simulateAll(r.Context(), e, []core.Machine{m})
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	view, err := viz.NewView(results[0].Timeline)
+	if err != nil {
+		return writeError(w, errf(http.StatusInternalServerError, "%v", err))
+	}
+	title := fmt.Sprintf("%s on %d simulated CPUs", e.Log.Header.Program, cpus)
+	doc, err := render(view, title, width)
+	if err != nil {
+		return writeError(w, errf(http.StatusInternalServerError, "%v", err))
+	}
+	entryHeaders(w, e, cached)
+	w.Header().Set("Content-Type", contentType)
+	io.WriteString(w, doc)
+	return http.StatusOK
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WritePrometheus(w, s.cache)
+	return http.StatusOK
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) int {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+	return http.StatusOK
+}

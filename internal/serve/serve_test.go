@@ -1,0 +1,460 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vppb/internal/faultinject"
+	"vppb/internal/recorder"
+	"vppb/internal/sched"
+	"vppb/internal/trace"
+	"vppb/internal/workloads"
+)
+
+// traceBytes records a workload and returns its text encoding — what a
+// client would POST.
+func traceBytes(t *testing.T, workload string, scale float64) []byte {
+	t.Helper()
+	w, err := workloads.Get(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := recorder.Record(w.Bind(workloads.Params{Scale: scale, Threads: 4}), recorder.Options{Program: workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.AppendText(nil, log)
+}
+
+// corruptBytes records a workload and damages the log before encoding.
+func corruptBytes(t *testing.T) []byte {
+	t.Helper()
+	w, err := workloads.Get("example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := recorder.Record(w.Bind(workloads.Params{Scale: 0.2, Threads: 4}), recorder.Options{Program: "example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _, err := faultinject.Inject(log, "truncate", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.AppendText(nil, bad)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestPredictSecondPostServedFromCache is the end-to-end service proof of
+// the PR: the second POST of the same trace is a profile-cache hit,
+// returns a byte-identical body, and the hit shows up in /metrics.
+func TestPredictSecondPostServedFromCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	raw := traceBytes(t, "example", 0.2)
+
+	resp1, body1 := post(t, ts.URL+"/v1/predict?cpus=1,2,4", raw)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("first POST: %d %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Vppb-Cache"); got != "miss" {
+		t.Fatalf("first POST cache header = %q, want miss", got)
+	}
+	resp2, body2 := post(t, ts.URL+"/v1/predict?cpus=1,2,4", raw)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("second POST: %d %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Vppb-Cache"); got != "hit" {
+		t.Fatalf("second POST cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("bodies differ:\n--- first\n%s--- second\n%s", body1, body2)
+	}
+	if resp1.Header.Get("X-Vppb-Trace") != resp2.Header.Get("X-Vppb-Trace") {
+		t.Fatal("trace digests differ between identical uploads")
+	}
+
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"vppb_profile_cache_hits_total 1",
+		"vppb_profile_cache_misses_total 1",
+		"vppb_profile_cache_entries 1",
+		`vppb_requests_total{route="/v1/predict",code="200"} 2`,
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+}
+
+func TestPredictResponseShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	raw := traceBytes(t, "example", 0.2)
+	resp, body := post(t, ts.URL+"/v1/predict?cpus=2,8&policy=rr", raw)
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	var pr struct {
+		Trace       string `json:"trace"`
+		Program     string `json:"program"`
+		RecordedUS  int64  `json:"recorded_us"`
+		Policy      string `json:"policy"`
+		Predictions []struct {
+			CPUs        int     `json:"cpus"`
+			PredictedUS int64   `json:"predicted_us"`
+			Speedup     float64 `json:"speedup"`
+			Events      int64   `json:"events"`
+		} `json:"predictions"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, body)
+	}
+	if pr.Program != "example" || pr.Policy != "rr" || pr.RecordedUS <= 0 {
+		t.Fatalf("header fields wrong: %+v", pr)
+	}
+	if len(pr.Predictions) != 2 || pr.Predictions[0].CPUs != 2 || pr.Predictions[1].CPUs != 8 {
+		t.Fatalf("predictions wrong: %+v", pr.Predictions)
+	}
+	for _, p := range pr.Predictions {
+		if p.PredictedUS <= 0 || p.Speedup <= 0 || p.Events <= 0 {
+			t.Fatalf("degenerate prediction: %+v", p)
+		}
+	}
+	if pr.Trace != Digest(raw) {
+		t.Fatalf("trace digest = %s, want content address of the upload", pr.Trace)
+	}
+	// The default policy resolves to its registry name in the response.
+	resp, body = post(t, ts.URL+"/v1/predict", raw)
+	if resp.StatusCode != 200 {
+		t.Fatalf("POST: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), fmt.Sprintf("%q: %q", "policy", sched.Default)) {
+		t.Fatalf("default policy not named:\n%s", body)
+	}
+}
+
+// TestPredictConcurrentClients hammers one server with concurrent clients
+// mixing two traces — the -race proof for the shared cache, the shared
+// profiles, and the metrics registry.
+func TestPredictConcurrentClients(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	rawA := traceBytes(t, "example", 0.2)
+	rawB := traceBytes(t, "prodcons", 0.2)
+
+	// Prime both so every concurrent body can be compared to a reference.
+	_, wantA := post(t, ts.URL+"/v1/predict?cpus=1,2,4", rawA)
+	_, wantB := post(t, ts.URL+"/v1/predict?cpus=1,2,4", rawB)
+
+	const clients = 12
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			raw, want := rawA, wantA
+			if c%2 == 1 {
+				raw, want = rawB, wantB
+			}
+			resp, err := http.Post(ts.URL+"/v1/predict?cpus=1,2,4", "application/octet-stream", bytes.NewReader(raw))
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs[c] = err
+				return
+			}
+			if resp.StatusCode != 200 {
+				errs[c] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			if !bytes.Equal(body, want) {
+				errs[c] = fmt.Errorf("client %d body diverged from reference", c)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", c, err)
+		}
+	}
+}
+
+func TestRepairOnIngestAndStrict(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	raw := corruptBytes(t)
+
+	// strict=true refuses the corrupt upload.
+	resp, body := post(t, ts.URL+"/v1/predict?strict=true", raw)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("strict POST of corrupt log: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "strict") {
+		t.Fatalf("error does not mention strict: %s", body)
+	}
+
+	// The default policy repairs and predicts, reporting the repair.
+	resp, body = post(t, ts.URL+"/v1/predict", raw)
+	if resp.StatusCode != 200 {
+		t.Fatalf("lenient POST of corrupt log: %d %s", resp.StatusCode, body)
+	}
+	var pr struct {
+		Repaired      bool   `json:"repaired"`
+		RepairSummary string `json:"repair_summary"`
+	}
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Repaired || pr.RepairSummary == "" {
+		t.Fatalf("repair not reported: %s", body)
+	}
+
+	// strict must keep refusing even now that the repaired entry is
+	// cached.
+	resp, body = post(t, ts.URL+"/v1/predict?strict=true", raw)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("strict POST after caching: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestBoundsAndLockOrderByDigest(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	raw := traceBytes(t, "lockorder", 0.2)
+	resp, body := post(t, ts.URL+"/v1/predict?cpus=2", raw)
+	if resp.StatusCode != 200 {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body)
+	}
+	digest := resp.Header.Get("X-Vppb-Trace")
+
+	resp, body = get(t, ts.URL+"/v1/bounds?trace="+digest)
+	if resp.StatusCode != 200 {
+		t.Fatalf("bounds: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Vppb-Cache"); got != "hit" {
+		t.Fatalf("bounds by digest should be a cache hit, got %q", got)
+	}
+	var br struct {
+		Bound  float64 `json:"speedup_bound"`
+		WorkUS int64   `json:"work_us"`
+	}
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("bad bounds JSON: %v\n%s", err, body)
+	}
+	if br.Bound < 1 || br.WorkUS <= 0 {
+		t.Fatalf("degenerate bounds: %s", body)
+	}
+	if strings.Contains(string(body), "lock_order_edges") {
+		t.Fatalf("bounds response leaks the lock-order graph:\n%s", body)
+	}
+
+	resp, body = get(t, ts.URL+"/v1/lockorder?trace="+digest)
+	if resp.StatusCode != 200 {
+		t.Fatalf("lockorder: %d %s", resp.StatusCode, body)
+	}
+	var lr struct {
+		Deadlock bool `json:"potential_deadlock"`
+		Edges    []struct {
+			From string `json:"from"`
+			To   string `json:"to"`
+		} `json:"lock_order_edges"`
+	}
+	if err := json.Unmarshal(body, &lr); err != nil {
+		t.Fatalf("bad lockorder JSON: %v\n%s", err, body)
+	}
+	// The lockorder workload takes two locks in both orders — the whole
+	// point of the endpoint is to flag it.
+	if !lr.Deadlock || len(lr.Edges) == 0 {
+		t.Fatalf("lock-order analysis missed the inversion: %s", body)
+	}
+
+	// An unknown digest is a 404, not an empty analysis.
+	resp, _ = get(t, ts.URL+"/v1/bounds?trace=deadbeef")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown digest: %d", resp.StatusCode)
+	}
+}
+
+func TestViewEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	raw := traceBytes(t, "example", 0.2)
+	resp, body := post(t, ts.URL+"/v1/view.svg?cpus=4", raw)
+	if resp.StatusCode != 200 {
+		t.Fatalf("view.svg: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+		t.Fatalf("svg content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "<svg") || !strings.Contains(string(body), "4 simulated CPUs") {
+		t.Fatalf("svg body wrong:\n%.300s", body)
+	}
+
+	digest := resp.Header.Get("X-Vppb-Trace")
+	resp, body = get(t, ts.URL+"/v1/view.html?trace="+digest+"&cpus=2")
+	if resp.StatusCode != 200 {
+		t.Fatalf("view.html: %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "<!DOCTYPE html>") {
+		t.Fatalf("html body wrong:\n%.300s", body)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	raw := traceBytes(t, "example", 0.2)
+
+	for _, tc := range []struct {
+		name, query string
+		wantInBody  string
+	}{
+		{"bad cpus", "?cpus=0", "cpus"},
+		{"garbage cpus", "?cpus=two", "cpus"},
+		{"bad strict", "?strict=perhaps", "strict"},
+	} {
+		resp, body := post(t, ts.URL+"/v1/predict"+tc.query, raw)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), tc.wantInBody) {
+			t.Errorf("%s: body %s does not mention %q", tc.name, body, tc.wantInBody)
+		}
+	}
+
+	// An unknown policy is rejected with the valid-value listing, exactly
+	// like the CLI contract.
+	resp, body := post(t, ts.URL+"/v1/predict?policy=lottery", raw)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad policy: %d", resp.StatusCode)
+	}
+	for _, want := range append([]string{"lottery"}, sched.Names()...) {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("policy error %s does not mention %q", body, want)
+		}
+	}
+
+	// Empty body with no digest.
+	resp, body = post(t, ts.URL+"/v1/predict", nil)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "trace") {
+		t.Fatalf("empty body: %d %s", resp.StatusCode, body)
+	}
+
+	// Garbage body.
+	resp, _ = post(t, ts.URL+"/v1/predict", []byte("not a log\n"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d", resp.StatusCode)
+	}
+
+	// GET on the upload-only endpoint.
+	resp, _ = get(t, ts.URL+"/v1/predict")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET predict: %d", resp.StatusCode)
+	}
+}
+
+func TestBodySizeLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 64})
+	raw := traceBytes(t, "example", 0.2)
+	resp, body := post(t, ts.URL+"/v1/predict", raw)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestRequestDeadlineAbortsSimulation(t *testing.T) {
+	// A deadline too short for any work maps to 504 — the ingestion may
+	// still succeed, but the fan-out must refuse to start.
+	s := New(Config{RequestTimeout: time.Nanosecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	raw := traceBytes(t, "example", 0.2)
+	resp, body := post(t, ts.URL+"/v1/predict", raw)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d %s, want 504", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "deadline") {
+		t.Fatalf("body does not mention the deadline: %s", body)
+	}
+}
+
+func TestHealthzAndPprof(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != 200 || string(body) != "ok\n" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, ts.URL+"/debug/pprof/")
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: %d", resp.StatusCode)
+	}
+}
+
+// TestHBAnalysisCachedPerEntry: the happens-before analysis is computed
+// once per entry and shared, so a second bounds request reuses it.
+func TestHBAnalysisCachedPerEntry(t *testing.T) {
+	e := &Entry{}
+	w, err := workloads.Get("example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, _, err := recorder.Record(w.Bind(workloads.Params{Scale: 0.2, Threads: 4}), recorder.Options{Program: "example"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Log = log
+	a1, err := e.HB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.HB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("HB analysis recomputed instead of cached")
+	}
+}

@@ -40,6 +40,8 @@
 package vppb
 
 import (
+	"context"
+
 	"vppb/internal/analysis"
 	"vppb/internal/core"
 	"vppb/internal/experiments"
@@ -246,6 +248,14 @@ func SimulateProfile(prof *TraceProfile, m Machine) (*SimResult, error) {
 // a bounded worker pool, with results in machine order.
 func SimulateMany(prof *TraceProfile, machines []Machine) ([]*SimResult, error) {
 	return core.SimulateMany(prof, machines)
+}
+
+// SimulateManyCtx is SimulateMany under a context: when ctx is cancelled,
+// machines not yet started are skipped and ctx's error is returned. Bound
+// an individual simulation's worst case with Machine.MaxSimEvents /
+// MaxVirtualTime — a replay already running is not interrupted.
+func SimulateManyCtx(ctx context.Context, prof *TraceProfile, machines []Machine) ([]*SimResult, error) {
+	return core.SimulateManyCtx(ctx, prof, machines)
 }
 
 // DefaultPolicy is the scheduling discipline both engines use when none is
