@@ -8,6 +8,14 @@
 //	vppb-serve -addr :8077
 //	vppb-serve -addr 127.0.0.1:8077 -cache-entries 256 -timeout 10s
 //	vppb-serve -max-body 8388608 -max-events 50000000
+//	vppb-serve -store-dir /var/lib/vppb -max-inflight 32
+//
+// With -store-dir every accepted upload is persisted (temp file + fsync +
+// atomic rename, keyed by SHA-256) and re-verified on read, so
+// ?trace=<digest> replay survives daemon restarts; corrupt store files
+// are quarantined, never served. -max-inflight bounds concurrent
+// simulation requests — beyond it requests queue briefly, then are shed
+// with 503 + Retry-After.
 //
 // Endpoints (see the serve package for details):
 //
@@ -77,6 +85,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		maxEvents    = fs.Int64("max-events", 0, "per-simulation event budget, like vppb-sim -max-events (0 = deadline-derived only)")
 		maxVtime     = fs.Int64("max-vtime", 0, "per-simulation virtual-time budget in microseconds (0 = unlimited)")
 		eventsPerSec = fs.Int64("sim-events-per-sec", serve.DefaultSimEventsPerSecond, "deadline-to-budget calibration: events a worker is assumed to simulate per wall-clock second (<= 0 disables)")
+		storeDir     = fs.String("store-dir", "", "durable content-addressed store directory; uploads survive restarts (empty = memory only)")
+		maxInflight  = fs.Int("max-inflight", serve.DefaultMaxInflight, "concurrent simulation requests admitted before shedding with 503 (0 = unlimited)")
+		admWait      = fs.Duration("admission-wait", serve.DefaultAdmissionWait, "how long an over-capacity request may queue for a slot before being shed (0 = shed immediately)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
@@ -93,6 +104,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	if *timeout < 0 || *drain < 0 {
 		return usageError{fmt.Errorf("-timeout and -drain must not be negative")}
 	}
+	if *maxInflight < 0 {
+		return usageError{fmt.Errorf("-max-inflight must not be negative, got %d", *maxInflight)}
+	}
+	if *admWait < 0 {
+		return usageError{fmt.Errorf("-admission-wait must not be negative, got %s", *admWait)}
+	}
 
 	cfg := serve.Config{
 		CacheEntries:       *cacheEntries,
@@ -101,6 +118,9 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		MaxSimEvents:       *maxEvents,
 		MaxVirtualTime:     vppb.Duration(*maxVtime),
 		SimEventsPerSecond: *eventsPerSec,
+		StoreDir:           *storeDir,
+		MaxInflight:        *maxInflight,
+		AdmissionWait:      *admWait,
 	}
 	if *timeout == 0 {
 		cfg.RequestTimeout = -1 // Config treats 0 as "default"; -1 disables.
@@ -108,7 +128,16 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	if *eventsPerSec == 0 {
 		cfg.SimEventsPerSecond = -1
 	}
-	srv := serve.New(cfg)
+	if *maxInflight == 0 {
+		cfg.MaxInflight = -1
+	}
+	if *admWait == 0 {
+		cfg.AdmissionWait = -1
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err // e.g. an unwritable -store-dir: refuse to start, exit 1
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -119,8 +148,12 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Fprintf(stderr, "vppb-serve: listening on %s (cache %d entries, timeout %s)\n",
-		ln.Addr(), *cacheEntries, *timeout)
+	durability := "memory-only"
+	if *storeDir != "" {
+		durability = fmt.Sprintf("store %s (%d entries recovered)", *storeDir, srv.Store().Len())
+	}
+	fmt.Fprintf(stderr, "vppb-serve: listening on %s (cache %d entries, timeout %s, %s)\n",
+		ln.Addr(), *cacheEntries, *timeout, durability)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}

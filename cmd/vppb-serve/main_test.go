@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"io"
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"vppb"
+	"vppb/internal/serveclient"
 )
 
 func traceBytes(t *testing.T) []byte {
@@ -149,6 +152,143 @@ func TestRuntimeErrorExitStatusOne(t *testing.T) {
 	}
 	if code := exitCode(err); code != 1 {
 		t.Fatalf("exitCode = %d, want 1", code)
+	}
+}
+
+// startDaemon re-executes the test binary as a real vppb-serve process
+// (child mode below) and returns the command plus the bound address
+// parsed from its startup banner.
+func startDaemon(t *testing.T, storeDir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestKillAndRestartReplaysFromStore")
+	cmd.Env = append(os.Environ(), "VPPB_SERVE_CHILD=1", "VPPB_SERVE_STORE_DIR="+storeDir)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	// The banner is "vppb-serve: listening on 127.0.0.1:PORT (...)".
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				rest := line[i+len("listening on "):]
+				if j := strings.IndexByte(rest, ' '); j > 0 {
+					addrCh <- rest[:j]
+					break
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, addr
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon never announced its address")
+		return nil, ""
+	}
+}
+
+// terminate SIGTERMs a daemon child and requires a clean (drained) exit.
+func terminate(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon did not exit cleanly after SIGTERM: %v", err)
+	}
+}
+
+// TestKillAndRestartReplaysFromStore is the durability proof at the
+// process level: upload a trace to a real vppb-serve process, SIGTERM it,
+// start a fresh process on the same -store-dir, and demand the digest
+// reference replay byte-identically — served as a cache hit, without the
+// client ever re-uploading the bytes.
+func TestKillAndRestartReplaysFromStore(t *testing.T) {
+	if os.Getenv("VPPB_SERVE_CHILD") == "1" {
+		os.Args = []string{"vppb-serve",
+			"-addr", "127.0.0.1:0",
+			"-store-dir", os.Getenv("VPPB_SERVE_STORE_DIR"),
+			"-drain", "10s"}
+		main()
+		return
+	}
+	storeDir := t.TempDir()
+	raw := traceBytes(t)
+	digest := serveclient.Digest(raw)
+
+	cmd1, addr1 := startDaemon(t, storeDir)
+	resp1, err := http.Post("http://"+addr1+"/v1/predict?cpus=1,2", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body1, _ := io.ReadAll(resp1.Body)
+	resp1.Body.Close()
+	if resp1.StatusCode != 200 {
+		t.Fatalf("upload: %d %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Vppb-Cache"); got != "miss" {
+		t.Fatalf("upload cache header = %q, want miss", got)
+	}
+	terminate(t, cmd1)
+
+	cmd2, addr2 := startDaemon(t, storeDir)
+	resp2, err := http.Post("http://"+addr2+"/v1/predict?cpus=1,2&trace="+digest, "application/octet-stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("replay after restart: %d %s", resp2.StatusCode, body2)
+	}
+	// The restarted daemon already has the trace: a hit, not a re-upload.
+	if got := resp2.Header.Get("X-Vppb-Cache"); got != "hit" {
+		t.Fatalf("replay cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("prediction changed across restart:\n--- before\n%s--- after\n%s", body1, body2)
+	}
+	terminate(t, cmd2)
+}
+
+// TestUnwritableStoreDirExitsOne: a -store-dir the daemon cannot create
+// (here: a path through a plain file, which fails even for root, unlike
+// permission bits) must refuse startup with a clean runtime error — exit
+// status 1, no panic, no listener.
+func TestUnwritableStoreDirExitsOne(t *testing.T) {
+	if os.Getenv("VPPB_SERVE_BADSTORE") == "1" {
+		os.Args = []string{"vppb-serve", "-store-dir", os.Getenv("VPPB_SERVE_STORE_DIR")}
+		main()
+		return
+	}
+	plain := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestUnwritableStoreDirExitsOne")
+	cmd.Env = append(os.Environ(),
+		"VPPB_SERVE_BADSTORE=1",
+		"VPPB_SERVE_STORE_DIR="+filepath.Join(plain, "store"))
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want non-zero exit, got err=%v output=%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code = %d, want 1 (runtime error)\n%s", code, out)
+	}
+	if strings.Contains(string(out), "panic") {
+		t.Fatalf("daemon panicked instead of failing cleanly:\n%s", out)
+	}
+	if !strings.Contains(string(out), "vppb-serve:") {
+		t.Fatalf("diagnostic missing:\n%s", out)
 	}
 }
 

@@ -1,0 +1,224 @@
+// Package chaoshttp deterministically breaks an HTTP serving stack, the
+// way internal/faultinject deterministically breaks trace bytes: each
+// fault class models one production failure mode, and the same (config,
+// seed) always draws the same fault sequence, so a chaos run that finds a
+// bug reproduces it. The injector wraps a server at two levels:
+//
+//   - Outer wraps the whole handler (outside the daemon's own recovery
+//     and instrumentation) with transport-level faults: injected latency,
+//     connections dropped before any response, and torn writes that
+//     truncate a response mid-body.
+//   - Inner is mounted inside the daemon (serve.Config.Middleware), where
+//     a forced panic exercises the daemon's per-request panic recovery
+//     exactly as a real handler bug would.
+//
+// FlipBit corrupts a file in place — the on-disk analogue, used to prove
+// the durable store quarantines silently rotten entries.
+package chaoshttp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Class names one serving fault class.
+type Class string
+
+// Fault classes.
+const (
+	// Latency stalls the request for Config.LatencyAmount before serving
+	// it normally, as a saturated disk or a GC pause would.
+	Latency Class = "latency"
+	// Drop closes the connection before any response bytes, as a crashed
+	// proxy or a flaky network would.
+	Drop Class = "drop"
+	// Torn sends the response status and headers but truncates the body
+	// halfway and closes, as a mid-write process kill would.
+	Torn Class = "torn"
+	// Panic makes the wrapped handler panic (Inner only), as a handler
+	// bug would.
+	Panic Class = "panic"
+	// Clean is the absence of a fault.
+	Clean Class = "clean"
+)
+
+// Config sets the per-request fault probabilities (each in [0, 1]; at
+// most one Outer fault fires per request, drawn in the order drop, torn,
+// latency) and the seed that makes the sequence reproducible.
+type Config struct {
+	Seed          int64
+	DropProb      float64
+	TornProb      float64
+	LatencyProb   float64
+	LatencyAmount time.Duration // 0 = 10ms
+	PanicProb     float64
+}
+
+// Injector draws faults from a seeded stream and counts what it injected.
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts map[Class]int64
+}
+
+// New creates an Injector. Seed 0 selects 1.
+func New(cfg Config) *Injector {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.LatencyAmount <= 0 {
+		cfg.LatencyAmount = 10 * time.Millisecond
+	}
+	return &Injector{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		counts: make(map[Class]int64),
+	}
+}
+
+// draw picks this request's Outer fault.
+func (in *Injector) draw() Class {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	f := in.rng.Float64()
+	switch {
+	case f < in.cfg.DropProb:
+		return Drop
+	case f < in.cfg.DropProb+in.cfg.TornProb:
+		return Torn
+	case f < in.cfg.DropProb+in.cfg.TornProb+in.cfg.LatencyProb:
+		return Latency
+	}
+	return Clean
+}
+
+// drawPanic decides whether Inner panics this request (an independent
+// draw, so connection faults and handler bugs can coincide across a run).
+func (in *Injector) drawPanic() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < in.cfg.PanicProb
+}
+
+func (in *Injector) note(c Class) {
+	in.mu.Lock()
+	in.counts[c]++
+	in.mu.Unlock()
+}
+
+// Counts returns how often each fault class fired (including Clean).
+func (in *Injector) Counts() map[Class]int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Class]int64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Outer wraps h with transport-level faults. Mount it outside the whole
+// daemon handler: the daemon must survive these without ever seeing them.
+func (in *Injector) Outer(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch class := in.draw(); class {
+		case Drop:
+			in.note(Drop)
+			// ErrAbortHandler is net/http's sanctioned "kill this
+			// connection": no response bytes, no log spam, process lives.
+			panic(http.ErrAbortHandler)
+		case Torn:
+			in.note(Torn)
+			rec := &captureWriter{header: make(http.Header)}
+			h.ServeHTTP(rec, r)
+			tearResponse(w, rec)
+		case Latency:
+			in.note(Latency)
+			time.Sleep(in.cfg.LatencyAmount)
+			h.ServeHTTP(w, r)
+		default:
+			in.note(Clean)
+			h.ServeHTTP(w, r)
+		}
+	})
+}
+
+// Inner wraps h with forced handler panics. Mount it inside the daemon
+// (serve.Config.Middleware) so the daemon's own recovery is what is
+// being tested.
+func (in *Injector) Inner(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if in.drawPanic() {
+			in.note(Panic)
+			panic("chaoshttp: injected handler panic")
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// captureWriter buffers a full response so Torn can replay a prefix.
+type captureWriter struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (c *captureWriter) Header() http.Header { return c.header }
+func (c *captureWriter) WriteHeader(s int)   { c.status = s }
+func (c *captureWriter) Write(p []byte) (int, error) {
+	if c.status == 0 {
+		c.status = http.StatusOK
+	}
+	return c.body.Write(p)
+}
+
+// tearResponse replays the captured response but stops halfway through
+// the body and kills the connection, advertising the full Content-Length
+// so the client sees an unexpected EOF rather than a short-but-valid
+// body.
+func tearResponse(w http.ResponseWriter, rec *captureWriter) {
+	for k, vs := range rec.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set("Content-Length", fmt.Sprint(rec.body.Len()))
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	w.WriteHeader(status)
+	w.Write(rec.body.Bytes()[:rec.body.Len()/2])
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// FlipBit flips one pseudo-random bit of the file at path, in place, with
+// no atomic-rename hygiene — exactly the silent corruption a durable
+// store must detect. The flipped (offset, bit) is deterministic in
+// (file length, seed). Returns the byte offset touched.
+func FlipBit(path string, seed int64) (int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) == 0 {
+		return 0, fmt.Errorf("chaoshttp: %s is empty, nothing to corrupt", path)
+	}
+	r := rand.New(rand.NewSource(seed))
+	off := int64(r.Intn(len(data)))
+	data[off] ^= 1 << uint(r.Intn(8))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, err
+	}
+	return off, nil
+}

@@ -1,0 +1,192 @@
+package chaoshttp
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func okHandler(body string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Test", "yes")
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, body)
+	})
+}
+
+func TestSeededDrawIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, DropProb: 0.2, TornProb: 0.2, LatencyProb: 0.2}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 200; i++ {
+		if ca, cb := a.draw(), b.draw(); ca != cb {
+			t.Fatalf("draw %d diverged: %s vs %s", i, ca, cb)
+		}
+	}
+	other := New(Config{Seed: 43, DropProb: 0.2, TornProb: 0.2, LatencyProb: 0.2})
+	same := true
+	c := New(cfg)
+	for i := 0; i < 200; i++ {
+		if c.draw() != other.draw() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds drew identical fault sequences")
+	}
+}
+
+func TestDropKillsConnectionWithoutResponse(t *testing.T) {
+	in := New(Config{Seed: 1, DropProb: 1})
+	ts := httptest.NewServer(in.Outer(okHandler("never sent")))
+	defer ts.Close()
+	_, err := http.Get(ts.URL)
+	if err == nil {
+		t.Fatal("dropped connection yielded a response")
+	}
+	if got := in.Counts()[Drop]; got != 1 {
+		t.Fatalf("drop count = %d, want 1", got)
+	}
+}
+
+func TestTornWriteTruncatesBody(t *testing.T) {
+	in := New(Config{Seed: 1, TornProb: 1})
+	body := "0123456789abcdef0123456789abcdef"
+	ts := httptest.NewServer(in.Outer(okHandler(body)))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("torn response must still deliver status+headers: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Test") != "yes" {
+		t.Fatalf("status %d, X-Test %q", resp.StatusCode, resp.Header.Get("X-Test"))
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read the full body (%d bytes) without an error; want unexpected EOF", len(data))
+	}
+	if len(data) >= len(body) {
+		t.Fatalf("read %d bytes, want fewer than %d", len(data), len(body))
+	}
+	if string(data) != body[:len(data)] {
+		t.Fatal("truncated body is not a prefix of the real one")
+	}
+	if got := in.Counts()[Torn]; got != 1 {
+		t.Fatalf("torn count = %d, want 1", got)
+	}
+}
+
+func TestLatencyDelaysButServesCorrectly(t *testing.T) {
+	in := New(Config{Seed: 1, LatencyProb: 1, LatencyAmount: 30 * time.Millisecond})
+	ts := httptest.NewServer(in.Outer(okHandler("slow but intact")))
+	defer ts.Close()
+	start := time.Now()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if string(data) != "slow but intact" {
+		t.Fatalf("body = %q", data)
+	}
+	if el := time.Since(start); el < 30*time.Millisecond {
+		t.Fatalf("request finished in %v, faster than the injected latency", el)
+	}
+}
+
+func TestInnerInjectsHandlerPanic(t *testing.T) {
+	in := New(Config{Seed: 1, PanicProb: 1})
+	h := in.Inner(okHandler("unreachable"))
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Inner did not panic")
+		}
+		if s, ok := r.(string); !ok || s != "chaoshttp: injected handler panic" {
+			t.Fatalf("panic value = %v", r)
+		}
+		if got := in.Counts()[Panic]; got != 1 {
+			t.Fatalf("panic count = %d, want 1", got)
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	in := New(Config{Seed: 1}) // all probabilities zero
+	ts := httptest.NewServer(in.Outer(in.Inner(okHandler("pristine"))))
+	defer ts.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if string(data) != "pristine" {
+			t.Fatalf("body = %q", data)
+		}
+	}
+	counts := in.Counts()
+	if counts[Clean] != 5 || counts[Drop]+counts[Torn]+counts[Latency]+counts[Panic] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestFlipBitChangesExactlyOneBit(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "object")
+	orig := []byte("the durable store must catch this corruption")
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	off, err := FlipBit(path, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mutated) != len(orig) {
+		t.Fatalf("length changed: %d -> %d", len(orig), len(mutated))
+	}
+	diffBits := 0
+	for i := range orig {
+		x := orig[i] ^ mutated[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+		if x := orig[i] ^ mutated[i]; x != 0 && int64(i) != off {
+			t.Fatalf("byte %d changed but FlipBit reported offset %d", i, off)
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("%d bits differ, want exactly 1", diffBits)
+	}
+	// Same (length, seed) flips the same bit back: corruption round-trips.
+	if _, err := FlipBit(path, 99); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := os.ReadFile(path)
+	if string(restored) != string(orig) {
+		t.Fatal("double flip with one seed did not restore the file")
+	}
+	// Empty files are an error, not a crash.
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FlipBit(empty, 1); err == nil {
+		t.Fatal("FlipBit on an empty file succeeded")
+	}
+	if _, err := FlipBit(filepath.Join(dir, "missing"), 1); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file error = %v", err)
+	}
+}

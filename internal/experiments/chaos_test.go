@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChaosSoakStaysAvailable(t *testing.T) {
+	res, err := Chaos(Options{Scale: 0.2, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := chaosClients * 2 * chaosTraces; res.Requests != want {
+		t.Fatalf("requests = %d, want %d", res.Requests, want)
+	}
+	// The retrying client must absorb the injected faults: the soak's
+	// availability floor is the CI gate's (99%), held with margin here.
+	if res.Availability < 0.99 {
+		t.Fatalf("availability = %.3f under injected faults", res.Availability)
+	}
+	// The fault injector actually fired: every request drew from it at
+	// least once (retries draw again).
+	var total int64
+	for _, n := range res.Faults {
+		total += n
+	}
+	if total < int64(res.Requests) {
+		t.Fatalf("only %d fault draws for %d requests", total, res.Requests)
+	}
+	// Shedding happened (8 clients versus 3 slots) and was absorbed.
+	if res.Shed == 0 || res.ShedByServer == 0 {
+		t.Fatalf("no shedding: client saw %d, server counted %d", res.Shed, res.ShedByServer)
+	}
+	// The bit-flipped store object was caught, not served.
+	if res.Quarantined == 0 {
+		t.Fatal("the corrupted store object was never quarantined")
+	}
+	if res.FaultedFromDisk == 0 {
+		t.Fatal("cache churn never faulted an entry back in from the store")
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P50Ms {
+		t.Fatalf("latency percentiles p50=%.1f p99=%.1f", res.P50Ms, res.P99Ms)
+	}
+	for _, want := range []string{"availability", "quarantined", "p95"} {
+		if !strings.Contains(res.Report, want) {
+			t.Fatalf("report lacks %q:\n%s", want, res.Report)
+		}
+	}
+}

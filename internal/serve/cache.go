@@ -66,6 +66,13 @@ type Cache struct {
 	hits    int64
 	misses  int64
 	evicted int64
+	faulted int64
+
+	// store is the optional durable tier beneath the LRU; ingest rebuilds
+	// an Entry from the raw stored bytes on a fault-in. Both are set once
+	// by AttachStore before the cache is shared.
+	store  *Store
+	ingest func(raw []byte) (*Entry, error)
 }
 
 // DefaultCacheEntries is the cache capacity when the configuration leaves
@@ -100,10 +107,48 @@ func (c *Cache) Get(digest string) (*Entry, bool) {
 	return el.Value.(*Entry), true
 }
 
+// AttachStore wires the durable tier under the LRU: Load falls back to
+// reading (and re-verifying) store bytes and rebuilding the entry via
+// ingest. Must be called before the cache is shared.
+func (c *Cache) AttachStore(store *Store, ingest func(raw []byte) (*Entry, error)) {
+	c.store = store
+	c.ingest = ingest
+}
+
+// Load returns the entry for digest, faulting it back in from the
+// attached durable store on a memory miss. Eviction only ever removes the
+// in-memory entry (see Add), so an evicted digest stays loadable for as
+// long as its bytes verify on disk. The boolean reports whether the entry
+// was produced — from either tier.
+func (c *Cache) Load(digest string) (*Entry, bool) {
+	if e, ok := c.Get(digest); ok {
+		return e, true
+	}
+	if c.store == nil {
+		return nil, false
+	}
+	raw, err := c.store.Get(digest) // quarantines + counts corrupt entries
+	if err != nil {
+		return nil, false
+	}
+	e, err := c.ingest(raw)
+	if err != nil {
+		// Stored bytes that hash correctly but no longer ingest (e.g. a
+		// strict format change across versions) are unusable, not corrupt.
+		return nil, false
+	}
+	c.mu.Lock()
+	c.faulted++
+	c.mu.Unlock()
+	return c.Add(e), true
+}
+
 // Add publishes an entry, evicting least-recently-used entries beyond the
-// capacity. If the digest is already present (two concurrent uploads of
-// the same bytes), the already published entry wins and is returned, so
-// every requester shares one copy.
+// capacity. Eviction is memory-only by design: the durable store keeps
+// the entry's bytes, so a later Load faults it back in instead of forcing
+// the client to re-upload. If the digest is already present (two
+// concurrent uploads of the same bytes), the already published entry wins
+// and is returned, so every requester shares one copy.
 func (c *Cache) Add(e *Entry) *Entry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -133,4 +178,12 @@ func (c *Cache) Stats() (hits, misses, evicted int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evicted
+}
+
+// Faulted returns how many entries were rebuilt from the durable store
+// after a memory miss.
+func (c *Cache) Faulted() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faulted
 }

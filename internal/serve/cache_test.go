@@ -70,6 +70,61 @@ func TestCacheAddKeepsFirstPublishedEntry(t *testing.T) {
 	}
 }
 
+// TestCacheLoadFaultsEvictedEntryFromStore pins the eviction/store
+// contract at the cache layer: evicting an entry drops only the memory
+// copy, and a later Load rebuilds it from the durable store's bytes.
+func TestCacheLoadFaultsEvictedEntryFromStore(t *testing.T) {
+	store, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(1)
+	ingested := 0
+	c.AttachStore(store, func(raw []byte) (*Entry, error) {
+		ingested++
+		return &Entry{Digest: Digest(raw), Size: len(raw)}, nil
+	})
+
+	rawA, rawB := []byte("trace a"), []byte("trace b")
+	dA, dB := Digest(rawA), Digest(rawB)
+	for d, raw := range map[string][]byte{dA: rawA, dB: rawB} {
+		if err := store.Put(d, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Add(&Entry{Digest: dA, Size: len(rawA)})
+	c.Add(&Entry{Digest: dB, Size: len(rawB)}) // evicts A from memory
+
+	if _, ok := c.Get(dA); ok {
+		t.Fatal("A still in memory after eviction")
+	}
+	if !store.Has(dA) {
+		t.Fatal("eviction deleted the on-disk entry")
+	}
+	e, ok := c.Load(dA)
+	if !ok || e.Digest != dA {
+		t.Fatalf("Load after eviction = %+v, %v", e, ok)
+	}
+	if ingested != 1 {
+		t.Fatalf("ingest ran %d times, want 1", ingested)
+	}
+	if c.Faulted() != 1 {
+		t.Fatalf("Faulted = %d, want 1", c.Faulted())
+	}
+	// The faulted-in entry is published: a second Load is a memory hit.
+	if e2, ok := c.Load(dA); !ok || e2 != e {
+		t.Fatal("faulted-in entry not published to the memory tier")
+	}
+	if ingested != 1 {
+		t.Fatalf("second Load re-ingested (%d times)", ingested)
+	}
+	// Without a store, Load is just Get.
+	plain := NewCache(1)
+	if _, ok := plain.Load(dA); ok {
+		t.Fatal("storeless cache resolved a digest from nowhere")
+	}
+}
+
 func TestCacheDefaultCapacity(t *testing.T) {
 	c := NewCache(0)
 	for i := 0; i < DefaultCacheEntries+10; i++ {

@@ -25,6 +25,8 @@ type Metrics struct {
 
 	inflight atomic.Int64
 	simQueue atomic.Int64
+	shed     atomic.Int64
+	panics   atomic.Int64
 }
 
 type requestKey struct {
@@ -68,10 +70,18 @@ func (m *Metrics) Inflight() *atomic.Int64 { return &m.inflight }
 // pool and not yet finished (queued plus running).
 func (m *Metrics) SimQueue() *atomic.Int64 { return &m.simQueue }
 
-// WritePrometheus renders the registry (and the cache counters) in the
-// Prometheus text exposition format. Output is deterministic: series are
-// sorted by route and code.
-func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache) {
+// Shed counts requests rejected by admission control (503 + Retry-After).
+func (m *Metrics) Shed() *atomic.Int64 { return &m.shed }
+
+// Panics counts handler panics converted into 500 responses.
+func (m *Metrics) Panics() *atomic.Int64 { return &m.panics }
+
+// WritePrometheus renders the registry (and the cache, store and breaker
+// counters) in the Prometheus text exposition format. Output is
+// deterministic: series are sorted by route and code. store may be nil
+// (memory-only daemon); its series are emitted anyway, pinned at zero, so
+// dashboards don't break when durability is off.
+func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, store *Store, breakerTrips int64) {
 	m.mu.Lock()
 	keys := make([]requestKey, 0, len(m.requests))
 	for k := range m.requests {
@@ -111,9 +121,34 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache) {
 	fmt.Fprintln(w, "# TYPE vppb_profile_cache_entries gauge")
 	fmt.Fprintf(w, "vppb_profile_cache_entries %d\n", cache.Len())
 
-	fmt.Fprintln(w, "# HELP vppb_inflight_requests Requests currently being served.")
-	fmt.Fprintln(w, "# TYPE vppb_inflight_requests gauge")
-	fmt.Fprintf(w, "vppb_inflight_requests %d\n", m.inflight.Load())
+	var corrupt, putErrs, stored int64
+	if store != nil {
+		corrupt = store.CorruptTotal()
+		putErrs = store.PutErrorsTotal()
+		stored = int64(store.Len())
+	}
+	fmt.Fprintln(w, "# HELP vppb_store_corrupt_total Durable-store entries that failed digest verification and were quarantined.")
+	fmt.Fprintln(w, "# TYPE vppb_store_corrupt_total counter")
+	fmt.Fprintf(w, "vppb_store_corrupt_total %d\n", corrupt)
+	fmt.Fprintln(w, "# HELP vppb_store_put_errors_total Durability writes that failed (entry served from memory only).")
+	fmt.Fprintln(w, "# TYPE vppb_store_put_errors_total counter")
+	fmt.Fprintf(w, "vppb_store_put_errors_total %d\n", putErrs)
+	fmt.Fprintln(w, "# HELP vppb_store_entries Entries currently in the durable store.")
+	fmt.Fprintln(w, "# TYPE vppb_store_entries gauge")
+	fmt.Fprintf(w, "vppb_store_entries %d\n", stored)
+
+	fmt.Fprintln(w, "# HELP vppb_inflight Requests currently being served.")
+	fmt.Fprintln(w, "# TYPE vppb_inflight gauge")
+	fmt.Fprintf(w, "vppb_inflight %d\n", m.inflight.Load())
+	fmt.Fprintln(w, "# HELP vppb_shed_total Requests shed by admission control (503).")
+	fmt.Fprintln(w, "# TYPE vppb_shed_total counter")
+	fmt.Fprintf(w, "vppb_shed_total %d\n", m.shed.Load())
+	fmt.Fprintln(w, "# HELP vppb_panics_total Handler panics recovered and converted into 500 responses.")
+	fmt.Fprintln(w, "# TYPE vppb_panics_total counter")
+	fmt.Fprintf(w, "vppb_panics_total %d\n", m.panics.Load())
+	fmt.Fprintln(w, "# HELP vppb_breaker_trips_total Per-digest circuit-breaker trips after repeated simulation failures.")
+	fmt.Fprintln(w, "# TYPE vppb_breaker_trips_total counter")
+	fmt.Fprintf(w, "vppb_breaker_trips_total %d\n", breakerTrips)
 	fmt.Fprintln(w, "# HELP vppb_sim_queue_depth Machine simulations queued or running in the worker pool.")
 	fmt.Fprintln(w, "# TYPE vppb_sim_queue_depth gauge")
 	fmt.Fprintf(w, "vppb_sim_queue_depth %d\n", m.simQueue.Load())

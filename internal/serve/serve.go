@@ -69,6 +69,29 @@ type Config struct {
 	// D * SimEventsPerSecond events before it is aborted. 0 selects
 	// DefaultSimEventsPerSecond; negative disables the mapping.
 	SimEventsPerSecond int64
+	// StoreDir roots the durable content-addressed store. Empty keeps the
+	// daemon memory-only: a restart forgets every uploaded trace.
+	StoreDir string
+	// MaxInflight caps simulation-heavy requests running at once
+	// (0 = DefaultMaxInflight; negative = unlimited). Requests beyond the
+	// cap wait briefly, then are shed with 503 + Retry-After.
+	MaxInflight int
+	// AdmissionWait bounds how long an over-cap request queues for a slot
+	// before being shed (0 = DefaultAdmissionWait; negative = shed
+	// immediately). The request deadline bounds the wait further.
+	AdmissionWait time.Duration
+	// BreakerFailures trips the per-digest circuit breaker after this many
+	// consecutive simulation failures (0 = DefaultBreakerFailures;
+	// negative = breaker disabled).
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped breaker fast-fails requests
+	// for its digest before admitting a probe (0 = DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+	// Middleware, when set, wraps every instrumented handler inside the
+	// admission and panic-recovery layers. The chaos harness injects
+	// handler faults here; a panicking middleware is recovered, counted in
+	// vppb_panics_total and answered with 500 like any handler panic.
+	Middleware func(http.Handler) http.Handler
 }
 
 // Defaults for the zero Config.
@@ -76,6 +99,10 @@ const (
 	DefaultMaxBodyBytes       = 32 << 20
 	DefaultRequestTimeout     = 30 * time.Second
 	DefaultSimEventsPerSecond = 2_000_000
+	DefaultMaxInflight        = 64
+	DefaultAdmissionWait      = 100 * time.Millisecond
+	DefaultBreakerFailures    = 3
+	DefaultBreakerCooldown    = 10 * time.Second
 )
 
 func (c Config) withDefaults() Config {
@@ -97,40 +124,90 @@ func (c Config) withDefaults() Config {
 	case c.SimEventsPerSecond < 0:
 		c.SimEventsPerSecond = 0
 	}
+	switch {
+	case c.MaxInflight == 0:
+		c.MaxInflight = DefaultMaxInflight
+	case c.MaxInflight < 0:
+		c.MaxInflight = 0
+	}
+	switch {
+	case c.AdmissionWait == 0:
+		c.AdmissionWait = DefaultAdmissionWait
+	case c.AdmissionWait < 0:
+		c.AdmissionWait = 0
+	}
+	switch {
+	case c.BreakerFailures == 0:
+		c.BreakerFailures = DefaultBreakerFailures
+	case c.BreakerFailures < 0:
+		c.BreakerFailures = 0
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
 	return c
 }
 
-// Server is the prediction service: a profile cache, a metrics registry,
-// and the HTTP handlers. Create one with New and mount Handler on an
-// http.Server.
+// Server is the prediction service: a profile cache over an optional
+// durable store, admission control, a metrics registry, and the HTTP
+// handlers. Create one with New and mount Handler on an http.Server.
 type Server struct {
-	cfg     Config
-	cache   *Cache
-	metrics *Metrics
-	mux     *http.ServeMux
+	cfg      Config
+	cache    *Cache
+	store    *Store // nil when Config.StoreDir is empty
+	metrics  *Metrics
+	adm      *admission  // nil when inflight is unlimited
+	breakers *breakerSet // nil when the breaker is disabled
+	mux      *http.ServeMux
 }
 
-// New creates a Server.
-func New(cfg Config) *Server {
+// New creates a Server. With a StoreDir configured it opens the durable
+// store and runs the startup recovery scan (re-verifying every on-disk
+// entry and quarantining corrupt ones) before serving; a store root that
+// cannot be created or written is an error, because running without the
+// durability the operator asked for would be silent data loss.
+func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg.withDefaults(),
 		cache:   NewCache(cfg.CacheEntries),
 		metrics: NewMetrics(),
 	}
+	s.adm = newAdmission(s.cfg.MaxInflight, s.cfg.AdmissionWait)
+	s.breakers = newBreakerSet(s.cfg.BreakerFailures, s.cfg.BreakerCooldown)
+	if s.cfg.StoreDir != "" {
+		store, err := OpenStore(s.cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := store.Recover(); err != nil {
+			return nil, err
+		}
+		s.store = store
+		// Fault-ins re-run the lenient ingestion pipeline: the store holds
+		// the original upload bytes, so the repair verdict (and therefore
+		// strict-mode rejection) is recomputed identically after a restart.
+		s.cache.AttachStore(store, func(raw []byte) (*Entry, error) {
+			e, herr := s.ingest(raw, false)
+			if herr != nil {
+				return nil, herr
+			}
+			return e, nil
+		})
+	}
 	s.mux = http.NewServeMux()
-	s.route("/v1/predict", s.handlePredict)
-	s.route("/v1/bounds", s.handleBounds)
-	s.route("/v1/lockorder", s.handleLockOrder)
-	s.route("/v1/view.svg", s.handleViewSVG)
-	s.route("/v1/view.html", s.handleViewHTML)
-	s.route("/metrics", s.handleMetrics)
-	s.route("/healthz", s.handleHealthz)
+	s.route("/v1/predict", true, s.handlePredict)
+	s.route("/v1/bounds", true, s.handleBounds)
+	s.route("/v1/lockorder", true, s.handleLockOrder)
+	s.route("/v1/view.svg", true, s.handleViewSVG)
+	s.route("/v1/view.html", true, s.handleViewHTML)
+	s.route("/metrics", false, s.handleMetrics)
+	s.route("/healthz", false, s.handleHealthz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -139,11 +216,29 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Cache exposes the profile cache (for tests and operational tooling).
 func (s *Server) Cache() *Cache { return s.cache }
 
-// route mounts a handler behind the instrumentation middleware: inflight
-// gauge, latency histogram, and the per-route request counter labelled
-// with the route pattern (not the raw URL, which would explode the label
-// cardinality).
-func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request) int) {
+// Store exposes the durable store, or nil for a memory-only daemon.
+func (s *Server) Store() *Store { return s.store }
+
+// Metrics exposes the metrics registry (for tests and the chaos harness).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// BreakerTrips reports how often a per-digest circuit breaker has tripped
+// (0 when the breaker is disabled).
+func (s *Server) BreakerTrips() int64 {
+	if s.breakers == nil {
+		return 0
+	}
+	return s.breakers.tripsTotal()
+}
+
+// route mounts a handler behind the robustness and instrumentation
+// middleware: inflight gauge, per-request deadline, admission control on
+// simulation-heavy routes (gated), panic recovery, the optional injected
+// Config.Middleware, latency histogram, and the per-route request counter
+// labelled with the route pattern (not the raw URL, which would explode
+// the label cardinality). Ungated routes (/metrics, /healthz) skip
+// admission so the daemon stays observable under overload.
+func (s *Server) route(pattern string, gated bool, h func(http.ResponseWriter, *http.Request) int) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.Inflight().Add(1)
 		defer s.metrics.Inflight().Add(-1)
@@ -154,15 +249,48 @@ func (s *Server) route(pattern string, h func(http.ResponseWriter, *http.Request
 			ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
 			defer cancel()
 		}
-		code := h(w, r.WithContext(ctx))
+		if gated && s.adm != nil {
+			release, ok := s.adm.acquire(ctx)
+			if !ok {
+				s.metrics.Shed().Add(1)
+				code := writeError(w, errShed(http.StatusServiceUnavailable,
+					"server at capacity (%d requests in flight); retry after backoff", s.cfg.MaxInflight))
+				s.metrics.ObserveRequest(pattern, code, time.Since(start).Seconds())
+				return
+			}
+			defer release()
+		}
+		var code int
+		var inner http.Handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			code = h(w, r)
+		})
+		if s.cfg.Middleware != nil {
+			inner = s.cfg.Middleware(inner)
+		}
+		func() {
+			// A panicking handler must cost one request, not the process:
+			// convert it to a 500 and count it. If the handler already
+			// started the response the error write is best-effort, but the
+			// connection still closes instead of the daemon.
+			defer func() {
+				if p := recover(); p != nil {
+					s.metrics.Panics().Add(1)
+					code = writeError(w, errf(http.StatusInternalServerError, "internal error: handler panicked: %v", p))
+				}
+			}()
+			inner.ServeHTTP(w, r.WithContext(ctx))
+		}()
 		s.metrics.ObserveRequest(pattern, code, time.Since(start).Seconds())
 	})
 }
 
-// httpError is a handler failure with its HTTP status.
+// httpError is a handler failure with its HTTP status. retryAfterSec > 0
+// stamps a Retry-After header so well-behaved clients (internal/serveclient)
+// back off instead of hammering an overloaded daemon.
 type httpError struct {
-	code int
-	msg  string
+	code          int
+	msg           string
+	retryAfterSec int
 }
 
 func (e *httpError) Error() string { return e.msg }
@@ -171,10 +299,21 @@ func errf(code int, format string, args ...any) *httpError {
 	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
 }
 
+// errShed is errf plus a one-second Retry-After, for load-shedding and
+// breaker rejections.
+func errShed(code int, format string, args ...any) *httpError {
+	e := errf(code, format, args...)
+	e.retryAfterSec = 1
+	return e
+}
+
 // writeError emits the {"error": ...} body and returns the status code for
 // the request counter.
 func writeError(w http.ResponseWriter, e *httpError) int {
 	w.Header().Set("Content-Type", "application/json")
+	if e.retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfterSec))
+	}
 	w.WriteHeader(e.code)
 	body, _ := json.Marshal(map[string]string{"error": e.msg})
 	w.Write(append(body, '\n'))
@@ -192,11 +331,13 @@ func simError(err error) *httpError {
 }
 
 // resolveEntry produces the cached entry for a request: via ?trace=digest
-// for a previously ingested recording, or by ingesting the request body.
-// The boolean reports whether the profile came from the cache.
+// for a previously ingested recording (from memory or faulted back in
+// from the durable store), or by ingesting the request body. The boolean
+// reports whether the server already had the trace — the client did not
+// have to upload it.
 func (s *Server) resolveEntry(w http.ResponseWriter, r *http.Request, strict bool) (*Entry, bool, *httpError) {
 	if digest := r.URL.Query().Get("trace"); digest != "" {
-		e, ok := s.cache.Get(digest)
+		e, ok := s.cache.Load(digest)
 		if !ok {
 			return nil, false, errf(http.StatusNotFound, "unknown trace digest %s (upload it first)", digest)
 		}
@@ -227,18 +368,38 @@ func (s *Server) resolveEntry(w http.ResponseWriter, r *http.Request, strict boo
 		return e, true, nil
 	}
 
+	e, herr := s.ingest(raw, strict)
+	if herr != nil {
+		return nil, false, herr
+	}
+	// Persist before publishing: when the response reaches the client the
+	// upload has survived the daemon. A failed durability write degrades
+	// to memory-only service for this entry — counted, never fatal.
+	if s.store != nil {
+		if err := s.store.Put(digest, raw); err != nil {
+			s.store.notePutError()
+		}
+	}
+	return s.cache.Add(e), false, nil
+}
+
+// ingest runs the upload pipeline on raw bytes: parse, validate,
+// auto-repair (unless strict), build the immutable profile. It is shared
+// by fresh uploads and durable-store fault-ins, so an entry rebuilt after
+// a restart gets the exact same repair verdict as the original upload.
+func (s *Server) ingest(raw []byte, strict bool) (*Entry, *httpError) {
 	log, err := recorder.Read(bytes.NewReader(raw))
 	if err != nil {
-		return nil, false, errf(http.StatusBadRequest, "not a vppb log: %v", err)
+		return nil, errf(http.StatusBadRequest, "not a vppb log: %v", err)
 	}
-	e := &Entry{Digest: digest, Size: len(raw)}
+	e := &Entry{Digest: Digest(raw), Size: len(raw)}
 	if verr := log.Validate(); verr != nil {
 		if strict {
-			return nil, false, errf(http.StatusUnprocessableEntity, "corrupt log rejected by strict=true: %v", verr)
+			return nil, errf(http.StatusUnprocessableEntity, "corrupt log rejected by strict=true: %v", verr)
 		}
 		repaired, rep, rerr := trace.Repair(log)
 		if rerr != nil {
-			return nil, false, errf(http.StatusUnprocessableEntity, "unrecoverable log: %v", rerr)
+			return nil, errf(http.StatusUnprocessableEntity, "unrecoverable log: %v", rerr)
 		}
 		log = repaired
 		e.Repaired = true
@@ -246,11 +407,11 @@ func (s *Server) resolveEntry(w http.ResponseWriter, r *http.Request, strict boo
 	}
 	prof, err := trace.BuildProfile(log)
 	if err != nil {
-		return nil, false, errf(http.StatusUnprocessableEntity, "%v", err)
+		return nil, errf(http.StatusUnprocessableEntity, "%v", err)
 	}
 	e.Log = log
 	e.Profile = prof
-	return s.cache.Add(e), false, nil
+	return e, nil
 }
 
 // machineFor builds the base machine of a request: the policy, the
@@ -278,11 +439,21 @@ func (s *Server) machineFor(ctx context.Context, policy string) core.Machine {
 }
 
 // simulateAll fans the machines out over the bounded worker pool, keeping
-// the simulation queue-depth gauge current.
+// the simulation queue-depth gauge current. It consults the per-digest
+// circuit breaker first: a trace whose replays keep failing fast-fails
+// with 503 until the cooldown admits a probe, so one poisonous digest
+// cannot repeatedly burn full event budgets.
 func (s *Server) simulateAll(ctx context.Context, e *Entry, machines []core.Machine) ([]*core.Result, *httpError) {
+	if s.breakers != nil && !s.breakers.allow(e.Digest) {
+		return nil, errShed(http.StatusServiceUnavailable,
+			"circuit breaker open for trace %s after repeated simulation failures; retry later", e.Digest)
+	}
 	s.metrics.SimQueue().Add(int64(len(machines)))
 	defer s.metrics.SimQueue().Add(-int64(len(machines)))
 	results, err := core.SimulateManyCtx(ctx, e.Profile, machines)
+	if s.breakers != nil {
+		s.breakers.record(e.Digest, err == nil)
+	}
 	if err != nil {
 		return nil, simError(err)
 	}
@@ -551,7 +722,7 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request, contentType 
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) int {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WritePrometheus(w, s.cache)
+	s.metrics.WritePrometheus(w, s.cache, s.store, s.BreakerTrips())
 	return http.StatusOK
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -54,7 +55,10 @@ func corruptBytes(t *testing.T) []byte {
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -397,20 +401,312 @@ func TestUsageErrors(t *testing.T) {
 }
 
 func TestBodySizeLimit(t *testing.T) {
-	_, ts := newTestServer(t, Config{MaxBodyBytes: 64})
+	s, ts := newTestServer(t, Config{MaxBodyBytes: 64, StoreDir: t.TempDir()})
 	raw := traceBytes(t, "example", 0.2)
 	resp, body := post(t, ts.URL+"/v1/predict", raw)
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized upload: %d %s", resp.StatusCode, body)
+	}
+	// A rejected oversized body must never reach the durable store.
+	if n := s.Store().Len(); n != 0 {
+		t.Fatalf("store has %d entries after a rejected upload, want 0", n)
+	}
+}
+
+// TestDurableStoreSurvivesRestart: an upload persisted by one Server is
+// replayable by digest from a second Server over the same store root,
+// with a byte-identical body and a cache-hit verdict — the in-process
+// version of the kill-and-restart proof in cmd/vppb-serve.
+func TestDurableStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newTestServer(t, Config{StoreDir: dir})
+	raw := traceBytes(t, "example", 0.2)
+	resp1, body1 := post(t, ts1.URL+"/v1/predict?cpus=1,2,4", raw)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("upload: %d %s", resp1.StatusCode, body1)
+	}
+	digest := resp1.Header.Get("X-Vppb-Trace")
+	ts1.Close()
+
+	_, ts2 := newTestServer(t, Config{StoreDir: dir})
+	resp2, body2 := post(t, ts2.URL+"/v1/predict?cpus=1,2,4&trace="+digest, nil)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("replay after restart: %d %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Vppb-Cache"); got != "hit" {
+		t.Fatalf("replay after restart cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("bodies differ across restart:\n--- before\n%s--- after\n%s", body1, body2)
+	}
+
+	// A memory-only daemon over no store must still 404 unknown digests.
+	_, ts3 := newTestServer(t, Config{})
+	resp3, _ := post(t, ts3.URL+"/v1/predict?trace="+digest, nil)
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("memory-only daemon resolved a foreign digest: %d", resp3.StatusCode)
+	}
+}
+
+// TestEvictionFaultsBackInFromStore: LRU eviction removes only the
+// in-memory entry; a later request by digest faults it back in from disk
+// instead of 404ing.
+func TestEvictionFaultsBackInFromStore(t *testing.T) {
+	s, ts := newTestServer(t, Config{StoreDir: t.TempDir(), CacheEntries: 1})
+	rawA := traceBytes(t, "example", 0.2)
+	rawB := traceBytes(t, "prodcons", 0.2)
+
+	respA, bodyA := post(t, ts.URL+"/v1/predict?cpus=1,2", rawA)
+	if respA.StatusCode != 200 {
+		t.Fatalf("upload A: %d %s", respA.StatusCode, bodyA)
+	}
+	digestA := respA.Header.Get("X-Vppb-Trace")
+	if respB, bodyB := post(t, ts.URL+"/v1/predict?cpus=1,2", rawB); respB.StatusCode != 200 {
+		t.Fatalf("upload B: %d %s", respB.StatusCode, bodyB)
+	}
+	// B evicted A from the single-entry memory cache — but not from disk.
+	if s.Cache().Len() != 1 {
+		t.Fatalf("cache len = %d, want 1", s.Cache().Len())
+	}
+	if !s.Store().Has(digestA) {
+		t.Fatal("eviction deleted the on-disk entry")
+	}
+
+	resp, body := post(t, ts.URL+"/v1/predict?cpus=1,2&trace="+digestA, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("replay of evicted digest: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Vppb-Cache"); got != "hit" {
+		t.Fatalf("faulted-in replay cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(body, bodyA) {
+		t.Fatal("faulted-in body differs from the original upload's")
+	}
+	if got := s.Cache().Faulted(); got != 1 {
+		t.Fatalf("cache fault-ins = %d, want 1", got)
+	}
+}
+
+// TestQuarantineBitFlippedStoreFile: a store entry corrupted on disk is
+// quarantined on read (404 to the client, counted on /metrics), and a
+// re-upload of the true bytes restores service for that digest.
+func TestQuarantineBitFlippedStoreFile(t *testing.T) {
+	s, ts := newTestServer(t, Config{StoreDir: t.TempDir(), CacheEntries: 1})
+	rawA := traceBytes(t, "example", 0.2)
+	rawB := traceBytes(t, "prodcons", 0.2)
+	respA, _ := post(t, ts.URL+"/v1/predict?cpus=2", rawA)
+	digestA := respA.Header.Get("X-Vppb-Trace")
+	post(t, ts.URL+"/v1/predict?cpus=2", rawB) // evict A from memory
+
+	// Bit-flip A's bytes on disk.
+	path := s.Store().ObjectPath(digestA)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := post(t, ts.URL+"/v1/predict?trace="+digestA, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("corrupt store entry served: %d %s", resp.StatusCode, body)
+	}
+	if got := s.Store().CorruptTotal(); got != 1 {
+		t.Fatalf("CorruptTotal = %d, want 1", got)
+	}
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metricsBody), "vppb_store_corrupt_total 1") {
+		t.Fatalf("/metrics does not count the quarantine:\n%s", metricsBody)
+	}
+
+	// The client still holds the bytes: re-uploading restores the digest.
+	resp, body = post(t, ts.URL+"/v1/predict?cpus=2", rawA)
+	if resp.StatusCode != 200 {
+		t.Fatalf("re-upload after quarantine: %d %s", resp.StatusCode, body)
+	}
+	if !s.Store().Has(digestA) {
+		t.Fatal("re-upload did not restore the store entry")
+	}
+}
+
+// TestMetricsNamesExposed pins the operational metric names the ROADMAP's
+// scale-out tooling scrapes.
+func TestMetricsNamesExposed(t *testing.T) {
+	_, ts := newTestServer(t, Config{StoreDir: t.TempDir()})
+	get(t, ts.URL+"/healthz") // seed one observed request
+	_, body := get(t, ts.URL+"/metrics")
+	for _, name := range []string{
+		"vppb_inflight ",
+		"vppb_shed_total ",
+		"vppb_panics_total ",
+		"vppb_store_corrupt_total ",
+		"vppb_store_entries ",
+		"vppb_breaker_trips_total ",
+		"vppb_requests_total{",
+		"vppb_profile_cache_hits_total ",
+	} {
+		if !strings.Contains(string(body), "\n"+name) && !strings.HasPrefix(string(body), name) {
+			t.Errorf("/metrics missing series %q:\n%s", strings.TrimSpace(name), body)
+		}
+	}
+	// The store series must exist (at zero) even for a memory-only daemon.
+	_, ts2 := newTestServer(t, Config{})
+	_, body2 := get(t, ts2.URL+"/metrics")
+	if !strings.Contains(string(body2), "vppb_store_corrupt_total 0") {
+		t.Errorf("memory-only /metrics dropped the store series:\n%s", body2)
+	}
+}
+
+// TestPanicRecoveryConvertsTo500: a panicking handler costs one request
+// (500 + vppb_panics_total), never the process, and the daemon keeps
+// serving afterwards.
+func TestPanicRecoveryConvertsTo500(t *testing.T) {
+	panicky := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Header.Get("X-Test-Panic") != "" {
+				panic("injected handler panic")
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	_, ts := newTestServer(t, Config{Middleware: panicky})
+	raw := traceBytes(t, "example", 0.2)
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/predict", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Test-Panic", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: %d %s, want 500", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "panic") {
+		t.Fatalf("500 body does not mention the panic: %s", body)
+	}
+
+	// The daemon survived and still serves.
+	resp2, body2 := post(t, ts.URL+"/v1/predict?cpus=2", raw)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("request after panic: %d %s", resp2.StatusCode, body2)
+	}
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"vppb_panics_total 1",
+		`vppb_requests_total{route="/v1/predict",code="500"} 1`,
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+}
+
+// TestAdmissionShedsWith503: with one inflight slot held by a stalled
+// request, the next simulation request is shed with 503 + Retry-After
+// while /healthz and /metrics (ungated) keep answering.
+func TestAdmissionShedsWith503(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	stall := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.Header.Get("X-Test-Stall") != "" {
+				entered <- struct{}{}
+				<-block
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	s, ts := newTestServer(t, Config{MaxInflight: 1, AdmissionWait: -1, Middleware: stall})
+	raw := traceBytes(t, "example", 0.2)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/predict?cpus=2", bytes.NewReader(raw))
+		req.Header.Set("X-Test-Stall", "1")
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-entered // the slot is now held inside the handler
+
+	resp, body := post(t, ts.URL+"/v1/predict?cpus=2", raw)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity request: %d %s, want 503", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response lacks Retry-After")
+	}
+	if !strings.Contains(string(body), "capacity") {
+		t.Fatalf("shed body: %s", body)
+	}
+
+	// Observability endpoints bypass admission.
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != 200 {
+		t.Fatalf("healthz gated by admission: %d", resp.StatusCode)
+	}
+	resp, metricsBody := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics gated by admission: %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(metricsBody), "vppb_shed_total 1") {
+		t.Errorf("/metrics missing the shed count:\n%s", metricsBody)
+	}
+
+	close(block)
+	<-done
+	if got := s.Metrics().Shed().Load(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+}
+
+// TestBreakerTripsPerDigest: repeated simulation failures for one digest
+// trip its breaker; further requests fast-fail with 503 + Retry-After
+// instead of burning another event budget.
+func TestBreakerTripsPerDigest(t *testing.T) {
+	// A nanosecond deadline makes every simulation fail with 504.
+	_, ts := newTestServer(t, Config{
+		RequestTimeout:  time.Nanosecond,
+		BreakerFailures: 2,
+		BreakerCooldown: time.Hour,
+	})
+	raw := traceBytes(t, "example", 0.2)
+
+	for i := 0; i < 2; i++ {
+		resp, body := post(t, ts.URL+"/v1/predict", raw)
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("failure %d: %d %s, want 504", i, resp.StatusCode, body)
+		}
+	}
+	resp, body := post(t, ts.URL+"/v1/predict", raw)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-trip request: %d %s, want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "breaker") {
+		t.Fatalf("post-trip body does not mention the breaker: %s", body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("breaker rejection lacks Retry-After")
+	}
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metricsBody), "vppb_breaker_trips_total 1") {
+		t.Errorf("/metrics missing the breaker trip:\n%s", metricsBody)
 	}
 }
 
 func TestRequestDeadlineAbortsSimulation(t *testing.T) {
 	// A deadline too short for any work maps to 504 — the ingestion may
 	// still succeed, but the fan-out must refuse to start.
-	s := New(Config{RequestTimeout: time.Nanosecond})
-	ts := httptest.NewServer(s.Handler())
-	defer ts.Close()
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
 	raw := traceBytes(t, "example", 0.2)
 	resp, body := post(t, ts.URL+"/v1/predict", raw)
 	if resp.StatusCode != http.StatusGatewayTimeout {

@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStorePutGetRoundtrip(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte("a recorded log\n")
+	digest := Digest(raw)
+	if s.Has(digest) {
+		t.Fatal("empty store claims the entry")
+	}
+	if err := s.Put(digest, raw); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(digest) {
+		t.Fatal("entry missing after Put")
+	}
+	got, err := s.Get(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Fatalf("Get = %q, want %q", got, raw)
+	}
+	// Re-putting the same digest is a no-op, not an error.
+	if err := s.Put(digest, raw); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	// No staging debris left behind.
+	tmps, _ := os.ReadDir(filepath.Join(s.root, "tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("tmp dir not clean after Put: %v", tmps)
+	}
+}
+
+func TestStoreGetMissing(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Get(Digest([]byte("never stored")))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing entry error = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestStoreRejectsMalformedDigest(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		"",
+		"short",
+		"../../../../etc/passwd",
+		strings.Repeat("g", 64), // right length, not hex
+		strings.Repeat("A", 64), // uppercase is not a Digest output
+	} {
+		if err := s.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted", bad)
+		}
+		if _, err := s.Get(bad); err == nil {
+			t.Errorf("Get(%q) accepted", bad)
+		}
+		if s.Has(bad) {
+			t.Errorf("Has(%q) = true", bad)
+		}
+	}
+}
+
+// TestStoreQuarantinesCorruptEntry: a bit-flipped store file must never be
+// served. The read detects the digest mismatch, moves the file to
+// quarantine (keeping it for forensics), and counts the corruption.
+func TestStoreQuarantinesCorruptEntry(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte("soon to be corrupted")
+	digest := Digest(raw)
+	if err := s.Put(digest, raw); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit in place, the way silent disk corruption would.
+	path := s.ObjectPath(digest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = s.Get(digest)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of corrupt entry = %v, want ErrCorrupt", err)
+	}
+	if got := s.CorruptTotal(); got != 1 {
+		t.Fatalf("CorruptTotal = %d, want 1", got)
+	}
+	if s.Has(digest) {
+		t.Fatal("corrupt entry still in objects/")
+	}
+	q, err := os.ReadDir(filepath.Join(s.root, "quarantine"))
+	if err != nil || len(q) != 1 {
+		t.Fatalf("quarantine = %v (%v), want exactly one file", q, err)
+	}
+	if !strings.HasPrefix(q[0].Name(), digest) {
+		t.Fatalf("quarantined as %q, want name keyed by digest", q[0].Name())
+	}
+	qraw, err := os.ReadFile(filepath.Join(s.root, "quarantine", q[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(qraw, data) {
+		t.Fatal("quarantine did not preserve the corrupt bytes")
+	}
+
+	// The slot is free again: a fresh Put of the true bytes recovers it.
+	if err := s.Put(digest, raw); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(digest); err != nil || !bytes.Equal(got, raw) {
+		t.Fatalf("re-Put after quarantine: %q %v", got, err)
+	}
+}
+
+// TestStoreRecover: the startup scan indexes every valid entry,
+// quarantines corrupt ones, and sweeps staging debris from a crashed Put.
+func TestStoreRecover(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawA, rawB, rawC := []byte("entry a"), []byte("entry b"), []byte("entry c")
+	dA, dB, dC := Digest(rawA), Digest(rawB), Digest(rawC)
+	for d, raw := range map[string][]byte{dA: rawA, dB: rawB, dC: rawC} {
+		if err := s.Put(d, raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt C on disk and fake a torn Put in the staging area.
+	if err := os.WriteFile(s.ObjectPath(dC), []byte("entry X"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "tmp", "deadbeef-123"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second Store over the same root is "the restarted daemon".
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{dA, dB}
+	if dA > dB {
+		want = []string{dB, dA}
+	}
+	if len(valid) != 2 || valid[0] != want[0] || valid[1] != want[1] {
+		t.Fatalf("Recover = %v, want %v", valid, want)
+	}
+	if got := s2.CorruptTotal(); got != 1 {
+		t.Fatalf("CorruptTotal after scan = %d, want 1", got)
+	}
+	tmps, _ := os.ReadDir(filepath.Join(dir, "tmp"))
+	if len(tmps) != 0 {
+		t.Fatalf("staging debris survived Recover: %v", tmps)
+	}
+}
+
+func TestOpenStoreUnwritableRoot(t *testing.T) {
+	// A plain file where the root should be fails regardless of euid
+	// (permission bits don't stop root, ENOTDIR does).
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(file); err == nil {
+		t.Fatal("OpenStore over a plain file succeeded")
+	}
+	if _, err := OpenStore(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("OpenStore under a plain file succeeded")
+	}
+}

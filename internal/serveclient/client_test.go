@@ -1,0 +1,248 @@
+package serveclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptedServer answers each request with the next scripted response and
+// records what the client sent.
+type scriptedServer struct {
+	t  *testing.T
+	mu sync.Mutex
+	// script entries: status to answer; body is optional.
+	script []scripted
+	// got records (hadBody, trace-query) per request.
+	got []requestSeen
+}
+
+type scripted struct {
+	status     int
+	body       string
+	retryAfter string
+}
+
+type requestSeen struct {
+	hadBody bool
+	trace   string
+}
+
+func (ss *scriptedServer) handler(w http.ResponseWriter, r *http.Request) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	hadBody := false
+	if r.Body != nil {
+		buf := make([]byte, 1)
+		if n, _ := r.Body.Read(buf); n > 0 {
+			hadBody = true
+		}
+	}
+	ss.got = append(ss.got, requestSeen{hadBody: hadBody, trace: r.URL.Query().Get("trace")})
+	if len(ss.script) == 0 {
+		ss.t.Error("unscripted request")
+		w.WriteHeader(http.StatusTeapot)
+		return
+	}
+	next := ss.script[0]
+	ss.script = ss.script[1:]
+	if next.retryAfter != "" {
+		w.Header().Set("Retry-After", next.retryAfter)
+	}
+	w.WriteHeader(next.status)
+	w.Write([]byte(next.body))
+}
+
+func newScripted(t *testing.T, script ...scripted) (*scriptedServer, *httptest.Server) {
+	ss := &scriptedServer{t: t, script: script}
+	ts := httptest.NewServer(http.HandlerFunc(ss.handler))
+	t.Cleanup(ts.Close)
+	return ss, ts
+}
+
+// sleepRecorder captures backoff delays instead of sleeping.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	slept  []time.Duration
+	budget time.Duration
+}
+
+func (sr *sleepRecorder) sleep(d time.Duration) {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	sr.slept = append(sr.slept, d)
+}
+
+func client(ts *httptest.Server, sr *sleepRecorder, opts ...func(*Config)) *Client {
+	cfg := Config{BaseURL: ts.URL, Seed: 7}
+	if sr != nil {
+		cfg.Sleep = sr.sleep
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return New(cfg)
+}
+
+func TestDigestFirstThenUploadOn404(t *testing.T) {
+	ss, ts := newScripted(t,
+		scripted{status: 404, body: `{"error":"unknown trace digest"}`},
+		scripted{status: 200, body: `{"trace":"..."}`},
+	)
+	c := client(ts, &sleepRecorder{})
+	raw := []byte("a log")
+	res, err := c.Predict(context.Background(), raw, url.Values{"cpus": {"1,2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || res.Attempts != 2 || res.Uploads != 1 || res.Retries != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if len(ss.got) != 2 {
+		t.Fatalf("server saw %d requests", len(ss.got))
+	}
+	// First request: digest reference only, no body.
+	if ss.got[0].hadBody || ss.got[0].trace != Digest(raw) {
+		t.Fatalf("first request = %+v, want bodyless digest probe", ss.got[0])
+	}
+	// Second request: the upload, without a trace param.
+	if !ss.got[1].hadBody || ss.got[1].trace != "" {
+		t.Fatalf("second request = %+v, want body upload", ss.got[1])
+	}
+}
+
+func TestRetriesShedWithBackoffAndRetryAfter(t *testing.T) {
+	_, ts := newScripted(t,
+		scripted{status: 503, body: `{"error":"at capacity"}`, retryAfter: "2"},
+		scripted{status: 503, body: `{"error":"at capacity"}`},
+		scripted{status: 404},
+		scripted{status: 200, body: "ok"},
+	)
+	sr := &sleepRecorder{}
+	c := client(ts, sr)
+	res, err := c.Predict(context.Background(), []byte("a log"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || res.Shed != 2 || res.Retries != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	if len(sr.slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(sr.slept))
+	}
+	// First backoff is floored at the server's Retry-After: 2s.
+	if sr.slept[0] < 2*time.Second {
+		t.Fatalf("first sleep %v ignored Retry-After: 2", sr.slept[0])
+	}
+	// Second shed carried no Retry-After: plain jittered backoff, well
+	// under a second at the default base.
+	if sr.slept[1] >= time.Second {
+		t.Fatalf("second sleep %v is not exponential-backoff sized", sr.slept[1])
+	}
+}
+
+func TestBackoffGrowsAndIsCapped(t *testing.T) {
+	c := New(Config{BaseURL: "http://x", BaseBackoff: 100 * time.Millisecond, MaxBackoff: 400 * time.Millisecond, Seed: 3})
+	prevMax := time.Duration(0)
+	for n := 1; n <= 10; n++ {
+		d := c.backoff(n, nil)
+		// Jitter keeps each delay within [50%, 100%] of the capped step.
+		step := 100 * time.Millisecond << (n - 1)
+		if step > 400*time.Millisecond || step <= 0 {
+			step = 400 * time.Millisecond
+		}
+		if d < step/2 || d > step {
+			t.Fatalf("backoff(%d) = %v outside [%v, %v]", n, d, step/2, step)
+		}
+		if d > 400*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v beyond the cap", n, d)
+		}
+		if d > prevMax {
+			prevMax = d
+		}
+	}
+	if prevMax < 200*time.Millisecond {
+		t.Fatalf("backoff never grew (max %v)", prevMax)
+	}
+}
+
+func TestNonRetryableStatusReturnsImmediately(t *testing.T) {
+	ss, ts := newScripted(t,
+		scripted{status: 404},
+		scripted{status: 422, body: `{"error":"unrecoverable log"}`},
+	)
+	c := client(ts, &sleepRecorder{})
+	res, err := c.Predict(context.Background(), []byte("bad log"), nil)
+	if err != nil {
+		t.Fatalf("client error for a terminal 4xx: %v", err)
+	}
+	if res.Status != 422 || res.Retries != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if len(ss.got) != 2 {
+		t.Fatalf("server saw %d requests, want 2 (no retry of a 422)", len(ss.got))
+	}
+}
+
+func TestExhaustionReturnsErrExhausted(t *testing.T) {
+	_, ts := newScripted(t,
+		scripted{status: 503}, scripted{status: 503}, scripted{status: 503},
+	)
+	sr := &sleepRecorder{}
+	c := client(ts, sr, func(cfg *Config) { cfg.MaxAttempts = 3 })
+	res, err := c.Predict(context.Background(), []byte("a log"), nil)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if res.Attempts != 3 || res.Shed != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestDroppedConnectionIsRetried(t *testing.T) {
+	// First request: the server hijacks and closes the connection mid-air;
+	// second request succeeds.
+	var mu sync.Mutex
+	n := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		n++
+		first := n == 1
+		mu.Unlock()
+		if first {
+			panic(http.ErrAbortHandler)
+		}
+		w.WriteHeader(200)
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(ts.Close)
+	c := New(Config{BaseURL: ts.URL, Seed: 5, Sleep: func(time.Duration) {}})
+	res, err := c.Predict(context.Background(), []byte("a log"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || res.Retries != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestContextCancellationStopsRetrying(t *testing.T) {
+	_, ts := newScripted(t, scripted{status: 503}, scripted{status: 503})
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(Config{BaseURL: ts.URL, Seed: 2, Sleep: func(time.Duration) { cancel() }})
+	_, err := c.Predict(ctx, []byte("a log"), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
