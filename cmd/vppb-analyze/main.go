@@ -14,6 +14,7 @@
 //	vppb-analyze -log prodcons.log                     # bound + prediction sweep
 //	vppb-analyze -log prodcons.log -critpath -top 5    # top path sites and scores
 //	vppb-analyze -log app.log -lockorder               # potential deadlocks
+//	vppb-analyze -log trace.out -format gotrace -bound # real Go program, from `go test -trace`
 //	vppb-analyze -log app.log -json > report.json      # machine-readable
 //	vppb-analyze -log app.log -flow -width 120         # flow graph, path in '#'
 //	vppb-analyze -log app.log -svg app.svg             # flow graph with overlay
@@ -47,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		logPath   = fs.String("log", "", "recorded log file (required)")
+		format    = fs.String("format", "auto", "input trace format: auto | vppb | gotrace (a Go runtime execution trace)")
 		cpusList  = fs.String("cpus", "2,4,8", "comma-separated CPU counts for the prediction sweep")
 		bound     = fs.Bool("bound", false, "print only the one-line speed-up bound")
 		critpath  = fs.Bool("critpath", false, "print the critical-path report (top sites and serialization scores)")
@@ -73,7 +75,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	log, err := vppb.ReadLog(*logPath)
+	if err := vppb.CheckLogFormat(*format); err != nil {
+		return err
+	}
+	log, err := vppb.ReadLogFormat(*logPath, *format)
 	if err != nil {
 		return fmt.Errorf("%s: %w", *logPath, err)
 	}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const goTraceFixture = "../../internal/gotrace/testdata/go-mutexchan.trace"
+
+func TestGoTracePrediction(t *testing.T) {
+	for _, format := range []string{"gotrace", "auto"} {
+		out, _, err := runCmd(t, "-log", goTraceFixture, "-format", format, "-cpus", "2")
+		if err != nil {
+			t.Fatalf("-format %s: %v", format, err)
+		}
+		if !strings.Contains(out, "predicted duration") {
+			t.Errorf("-format %s output missing prediction:\n%s", format, out)
+		}
+	}
+}
+
+func TestGoTraceMalformedExitsCleanly(t *testing.T) {
+	// A stream that sniffs as a Go trace but fails to parse must be a
+	// plain error, not a panic and not a zero-event prediction.
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(path, append([]byte("go 1.23 trace\x00\x00\x00"), 0x7f), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := runCmd(t, "-log", path, "-cpus", "2"); err == nil {
+		t.Fatal("malformed Go trace accepted")
+	}
+}
+
+func TestFormatFlagValidation(t *testing.T) {
+	_, _, err := runCmd(t, "-log", goTraceFixture, "-format", "pprof")
+	if err == nil {
+		t.Fatal("unknown -format accepted")
+	}
+	// Forcing the wrong frontend fails instead of misparsing.
+	if _, _, err := runCmd(t, "-log", goTraceFixture, "-format", "vppb"); err == nil {
+		t.Fatal("-format vppb accepted a Go trace")
+	}
+}

@@ -10,6 +10,7 @@
 //	vppb-sim -log app.log -cpus 4 -lwps 2 -commdelay 50
 //	vppb-sim -log app.log -cpus 2 -bind 4=cpu:1 -bind 5=lwp -prio 6=55
 //	vppb-sim -log app.log -sweep 1,2,4,8,16
+//	vppb-sim -log trace.out -format gotrace -cpus 8  # Go runtime execution trace
 //	vppb-sim -log app.log -cpus 8 -policy rr         # what-if: round-robin scheduling
 //	vppb-sim -log app.log -cpus 8 -timeline app.tl   # artifact (g) for vppb-view
 //	vppb-sim -log damaged.log -repair                # print every applied fix
@@ -126,6 +127,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		logPath    = fs.String("log", "", "recorded log file (required)")
+		format     = fs.String("format", "auto", "input trace format: auto | vppb | gotrace (a Go runtime execution trace)")
 		cpus       = fs.Int("cpus", 1, "number of processors")
 		lwps       = fs.Int("lwps", 0, "number of LWPs (0 = one per CPU, honour thr_setconcurrency)")
 		commDelay  = fs.Int64("commdelay", 0, "inter-CPU communication delay in microseconds")
@@ -156,7 +158,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := vppb.CheckPolicy(*policy); err != nil {
 		return usageError{fmt.Errorf("-policy: %w", err)}
 	}
-	log, err := vppb.ReadLog(*logPath)
+	if err := vppb.CheckLogFormat(*format); err != nil {
+		return usageError{err}
+	}
+	log, err := vppb.ReadLogFormat(*logPath, *format)
 	if err != nil {
 		return fmt.Errorf("%s: %w", *logPath, err)
 	}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestChromeTraceExport(t *testing.T) {
+	path := fixtureLog(t)
+	out := filepath.Join(t.TempDir(), "trace.json")
+	_, errOut, err := runCmd(t, "-log", path, "-cpus", "2", "-chrometrace", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errOut, "wrote "+out) {
+		t.Errorf("no confirmation on stderr: %s", errOut)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("export has no events")
+	}
+}
+
+// TestChromeTraceFromGoTrace pipes the whole path end to end: a Go
+// runtime trace in, a Chrome viewer file of the predicted schedule out.
+func TestChromeTraceFromGoTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	_, _, err := runCmd(t,
+		"-log", "../../internal/gotrace/testdata/go-mutexchan.trace",
+		"-format", "gotrace", "-cpus", "4", "-chrometrace", out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(data) {
+		t.Fatal("export is not valid JSON")
+	}
+	if !strings.Contains(string(data), "main.main.func1") {
+		t.Error("export does not name the traced program's goroutines")
+	}
+}
+
+func TestChromeTraceUnwritablePath(t *testing.T) {
+	path := fixtureLog(t)
+	if _, _, err := runCmd(t, "-log", path, "-cpus", "2",
+		"-chrometrace", filepath.Join(t.TempDir(), "no", "such", "dir", "t.json")); err == nil {
+		t.Fatal("unwritable -chrometrace path accepted")
+	}
+}

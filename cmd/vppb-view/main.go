@@ -10,6 +10,7 @@
 //	vppb-view -timeline app.tl -svg out.svg -html out.html
 //	vppb-view -log app.log -cpus 8 -window 0.5,0.6 -compress -lanes
 //	vppb-view -log app.log -cpus 8 -inspect 4 -at 0.25 -source
+//	vppb-view -log trace.out -format gotrace -cpus 4 -chrometrace out.json
 //	vppb-view -log damaged.log -repair       # print every applied fix
 //	vppb-view -log damaged.log -strict       # refuse corrupt input
 //
@@ -60,6 +61,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		logPath  = fs.String("log", "", "recorded log file (simulated on the machine below)")
+		format   = fs.String("format", "auto", "input trace format: auto | vppb | gotrace (a Go runtime execution trace)")
 		tlPath   = fs.String("timeline", "", "predicted execution written by vppb-sim -timeline (bypasses simulation)")
 		cpus     = fs.Int("cpus", 1, "number of processors to simulate")
 		lwps     = fs.Int("lwps", 0, "number of LWPs (0 = one per CPU)")
@@ -72,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		threads  = fs.String("threads", "", "comma-separated thread IDs to show (default all)")
 		svgPath  = fs.String("svg", "", "also write an SVG rendering to this file")
 		htmlPath = fs.String("html", "", "also write a self-contained HTML report to this file")
+		chromeP  = fs.String("chrometrace", "", "also write Chrome/Perfetto trace-event JSON to this file (open in ui.perfetto.dev)")
 		inspect  = fs.Int("inspect", 0, "describe the event of thread TID nearest -at")
 		at       = fs.Float64("at", 0, "time (seconds) for -inspect")
 		showSrc  = fs.Bool("source", false, "with -inspect, print the highlighted source excerpt")
@@ -102,7 +105,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		program = timeline.Program
 	case *logPath != "":
-		log, err := vppb.ReadLog(*logPath)
+		if err := vppb.CheckLogFormat(*format); err != nil {
+			return usageError{err}
+		}
+		log, err := vppb.ReadLogFormat(*logPath, *format)
 		if err != nil {
 			return err
 		}
@@ -218,6 +224,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stderr, "wrote %s\n", *htmlPath)
+	}
+	if *chromeP != "" {
+		data, err := vppb.RenderChromeTrace(timeline)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*chromeP, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "wrote %s\n", *chromeP)
 	}
 	return nil
 }

@@ -1,0 +1,90 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CorruptBytes applies one corruption class to a raw byte stream rather
+// than a parsed log — the adversary for ingestion frontends that consume
+// foreign formats (Go runtime execution traces), where corruption strikes
+// the wire bytes before any structure exists. Each class reuses the
+// structural class's name and models its byte-level analogue:
+//
+//	Truncate       cut the stream at a random point
+//	Reorder        swap two chunks in place
+//	ClockRegress   flip bits inside varint-dense payload (timestamps)
+//	DropAfter      delete a chunk from the middle
+//	Duplicate      store a chunk twice
+//	DanglingThread overwrite a chunk with 0xFF (impossible IDs)
+//	DanglingObject zero a chunk (dangling table references)
+//
+// The returned slice is always a fresh copy; data is never modified. The
+// second result describes the damage. Corruption is deterministic in
+// (data, class, seed).
+func CorruptBytes(data []byte, class Class, seed int64) ([]byte, string) {
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]byte(nil), data...)
+	if len(out) < 16 {
+		return out[:len(out)/2], "truncated short input"
+	}
+	// Damage lands past any magic header so the input still looks like its
+	// format and reaches the parser proper.
+	lo := 16
+	span := len(out) - lo
+	chunk := span / 8
+	if chunk < 1 {
+		chunk = 1
+	}
+	at := func() int { return lo + rng.Intn(span) }
+	region := func() (int, int) {
+		start := at()
+		n := 1 + rng.Intn(chunk)
+		if start+n > len(out) {
+			n = len(out) - start
+		}
+		return start, n
+	}
+	switch class {
+	case Truncate:
+		cut := at()
+		return out[:cut], fmt.Sprintf("truncated to %d of %d bytes", cut, len(data))
+	case Reorder:
+		a, n := region()
+		b, _ := region()
+		if b+n > len(out) {
+			n = len(out) - b
+		}
+		for i := 0; i < n; i++ {
+			out[a+i], out[b+i] = out[b+i], out[a+i]
+		}
+		return out, fmt.Sprintf("swapped %d bytes between offsets %d and %d", n, a, b)
+	case ClockRegress:
+		start, n := region()
+		for i := 0; i < n; i++ {
+			out[start+i] ^= byte(1 << uint(rng.Intn(8)))
+		}
+		return out, fmt.Sprintf("flipped bits in %d bytes at offset %d", n, start)
+	case DropAfter:
+		start, n := region()
+		return append(out[:start], out[start+n:]...), fmt.Sprintf("deleted %d bytes at offset %d", n, start)
+	case Duplicate:
+		start, n := region()
+		dup := append([]byte(nil), out[start:start+n]...)
+		out = append(out[:start+n], append(dup, out[start+n:]...)...)
+		return out, fmt.Sprintf("duplicated %d bytes at offset %d", n, start)
+	case DanglingThread:
+		start, n := region()
+		for i := 0; i < n; i++ {
+			out[start+i] = 0xFF
+		}
+		return out, fmt.Sprintf("overwrote %d bytes at offset %d with 0xFF", n, start)
+	case DanglingObject:
+		start, n := region()
+		for i := 0; i < n; i++ {
+			out[start+i] = 0
+		}
+		return out, fmt.Sprintf("zeroed %d bytes at offset %d", n, start)
+	}
+	return out, "unknown class: returned unmodified copy"
+}

@@ -1,0 +1,68 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+)
+
+func corpusInput() []byte {
+	data := make([]byte, 256)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	copy(data, "go 1.23 trace\x00\x00\x00")
+	return data
+}
+
+func TestCorruptBytesDeterministic(t *testing.T) {
+	data := corpusInput()
+	for _, class := range Classes() {
+		a, descA := CorruptBytes(data, class, 42)
+		b, descB := CorruptBytes(data, class, 42)
+		if !bytes.Equal(a, b) || descA != descB {
+			t.Errorf("%v: not deterministic in (data, class, seed)", class)
+		}
+	}
+}
+
+func TestCorruptBytesDamages(t *testing.T) {
+	data := corpusInput()
+	for _, class := range Classes() {
+		out, desc := CorruptBytes(data, class, 1)
+		if bytes.Equal(out, data) {
+			t.Errorf("%v: output identical to input (%s)", class, desc)
+		}
+		if desc == "" {
+			t.Errorf("%v: empty damage description", class)
+		}
+		// The magic header must survive so the corrupt stream still reaches
+		// the parser proper instead of dying at the sniff.
+		if len(out) >= 16 && !bytes.HasPrefix(out, data[:16]) {
+			t.Errorf("%v: corrupted the 16-byte header (%s)", class, desc)
+		}
+	}
+}
+
+func TestCorruptBytesDoesNotMutateInput(t *testing.T) {
+	data := corpusInput()
+	orig := append([]byte(nil), data...)
+	for _, class := range Classes() {
+		CorruptBytes(data, class, 3)
+		if !bytes.Equal(data, orig) {
+			t.Fatalf("%v: mutated the caller's slice", class)
+		}
+	}
+}
+
+func TestCorruptBytesShortInput(t *testing.T) {
+	for _, class := range Classes() {
+		out, _ := CorruptBytes([]byte("tiny"), class, 9)
+		if len(out) >= 4 {
+			t.Errorf("%v: short input not truncated, got %d bytes", class, len(out))
+		}
+	}
+	out, _ := CorruptBytes(nil, Truncate, 1)
+	if len(out) != 0 {
+		t.Errorf("nil input: got %d bytes", len(out))
+	}
+}

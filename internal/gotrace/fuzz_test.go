@@ -1,0 +1,43 @@
+package gotrace
+
+import (
+	"os"
+	"testing"
+
+	"vppb/internal/faultinject"
+)
+
+// FuzzConvert drives the whole frontend — wire parser, state machine,
+// layout — with arbitrary bytes. The invariant is the ingestion contract:
+// Convert either returns a structurally valid log or a clean error; it
+// never panics and never returns an invalid log (Convert self-validates,
+// so a nil error implies Validate passed). The corpus seeds the committed
+// capture plus one byte-level corruption of it per faultinject class.
+func FuzzConvert(f *testing.F) {
+	data, err := os.ReadFile(fixture)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	for _, class := range faultinject.Classes() {
+		for seed := int64(1); seed <= 3; seed++ {
+			corrupted, _ := faultinject.CorruptBytes(data, class, seed)
+			f.Add(corrupted)
+		}
+	}
+	f.Add([]byte("go 1.23 trace\x00\x00\x00"))
+	f.Add([]byte("go 1.22 trace\x00\x00\x00\x01\x01\x01\x01\x00"))
+
+	f.Fuzz(func(t *testing.T, input []byte) {
+		log, err := Convert(input, Options{})
+		if err != nil {
+			return
+		}
+		if log == nil {
+			t.Fatal("nil log with nil error")
+		}
+		if verr := log.Validate(); verr != nil {
+			t.Fatalf("Convert returned an invalid log: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,23 @@
+// Package gotrace is the second ingestion frontend of the predictor: it
+// reads Go runtime execution traces (the format written by runtime/trace
+// and consumed by `go tool trace`) and rebuilds them as vppb recordings,
+// so every analysis in this repository — prediction sweeps, happens-before
+// bounds, lock-order analysis, timelines — runs against real Go programs
+// instead of only the built-in threadlib workloads.
+//
+// The mapping (detailed in DESIGN.md):
+//
+//	goroutine                    -> thread (main goroutine = thread 1)
+//	GoCreate                     -> thr_create
+//	GoBlock+GoUnblock (sync,
+//	  chan send/receive, select) -> sema_wait / sema_post on an object
+//	                                synthesized per (reason, source site)
+//	GoBlock+GoUnblock (sleep,
+//	  network, ...), syscalls    -> io against a FIFO device
+//	GoStop (preemption)          -> thr_yield
+//	GoDestroy                    -> thr_exit
+//
+// The parser is self-contained (no golang.org/x/exp/trace dependency) and
+// reads trace versions go1.22 and go1.23. Malformed or truncated inputs
+// yield an error, never a panic; FuzzConvert enforces this.
+package gotrace

@@ -1,0 +1,231 @@
+package gotrace
+
+import (
+	"fmt"
+	"sort"
+
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// This file lays the extracted per-goroutine operation streams out as a
+// single uni-processor recording — the only input shape BuildProfile
+// accepts. Operations replay in original-run time order on one virtual
+// CPU; the burst preceding each operation becomes the inter-event gap the
+// profile reconstruction attributes back to the emitting thread.
+
+// laidThread is one kept goroutine during layout.
+type laidThread struct {
+	gs      *gstate
+	tid     trace.ThreadID
+	idx     int
+	started bool
+	waiting *op // the blocked sema_wait whose After is still pending
+}
+
+// layout converts the accumulated goroutine streams to a trace.Log.
+func (c *converter) layout(program string) (*trace.Log, error) {
+	if program == "" {
+		program = "gotrace"
+	}
+
+	// The main goroutine anchors the converted process: Go numbers it 1;
+	// in a truncated trace fall back to the lowest goroutine seen.
+	if len(c.order) == 0 {
+		return nil, fmt.Errorf("gotrace: trace shows no goroutine activity")
+	}
+	mainID, ok := uint64(1), false
+	if _, ok = c.gs[mainID]; !ok {
+		mainID = c.order[0]
+		for _, id := range c.order {
+			if id < mainID {
+				mainID = id
+			}
+		}
+	}
+
+	// Keep goroutines that contributed operations, plus main. Everything
+	// else (idle runtime helpers, goroutines blocked for the whole
+	// recording) is dropped, and creates pointing at dropped goroutines
+	// are folded away so their creator's CPU time survives.
+	keep := make(map[uint64]bool)
+	for _, id := range c.order {
+		if len(c.gs[id].ops) > 0 || id == mainID {
+			keep[id] = true
+		}
+	}
+	for _, id := range c.order {
+		if !keep[id] {
+			continue
+		}
+		gs := c.gs[id]
+		kept := gs.ops[:0]
+		var carry uint64
+		for _, o := range gs.ops {
+			if o.kind == opCreate && !keep[o.target] {
+				carry += o.cpuNS
+				continue
+			}
+			o.cpuNS += carry
+			carry = 0
+			kept = append(kept, o)
+		}
+		if carry > 0 {
+			// Creates at the very end of the stream: keep the burst as a
+			// yield so no CPU time silently disappears.
+			kept = append(kept, op{kind: opYield, timeNS: c.endNS, cpuNS: carry, obj: -1})
+		}
+		gs.ops = kept
+	}
+
+	// Thread numbering: main is 1, everything else 4, 5, ... in
+	// first-seen order, mirroring the Solaris convention.
+	threads := []*laidThread{}
+	byID := make(map[uint64]*laidThread)
+	next := trace.FirstDynamicThread
+	for _, id := range c.order {
+		if !keep[id] {
+			continue
+		}
+		lt := &laidThread{gs: c.gs[id]}
+		if id == mainID {
+			lt.tid, lt.started = trace.MainThread, true
+		} else {
+			lt.tid = next
+			next++
+		}
+		threads = append(threads, lt)
+		byID[id] = lt
+	}
+
+	// Goroutines whose creator is unknown or dropped are adopted by main:
+	// a synthesized create at the start of the recording.
+	var adopted []op
+	for _, lt := range threads {
+		gs := lt.gs
+		if lt.tid == trace.MainThread {
+			continue
+		}
+		if gs.created && keep[gs.creator] {
+			continue
+		}
+		adopted = append(adopted, op{kind: opCreate, timeNS: 0, obj: -1, target: gs.id})
+	}
+	sort.SliceStable(adopted, func(i, j int) bool { return byID[adopted[i].target].tid < byID[adopted[j].target].tid })
+	main := byID[mainID]
+	main.gs.ops = append(adopted, main.gs.ops...)
+
+	l := &trace.Log{
+		Header: trace.Header{Program: program, CPUs: 1, LWPs: 1},
+	}
+	for _, lt := range threads {
+		name := fmt.Sprintf("g%d", lt.gs.id)
+		if lt.tid == trace.MainThread {
+			name = "main"
+		}
+		l.Threads = append(l.Threads, trace.ThreadInfo{
+			ID: lt.tid, Name: name, Func: lt.gs.fn, BoundCPU: -1,
+		})
+	}
+	for i, o := range c.objs {
+		l.Objects = append(l.Objects, trace.ObjectInfo{
+			ID: trace.ObjectID(i + 1), Kind: o.kind, Name: o.name,
+		})
+	}
+
+	var (
+		seq    int64
+		nowNS  uint64
+		counts = make(map[int]int)
+		fifo   = make(map[int][]*laidThread)
+	)
+	emit := func(tid trace.ThreadID, class trace.EventClass, o *op, timeout vtime.Duration) {
+		call := map[opKind]trace.Call{
+			opCreate: trace.CallThrCreate,
+			opWait:   trace.CallSemaWait,
+			opPost:   trace.CallSemaPost,
+			opIO:     trace.CallIO,
+			opYield:  trace.CallThrYield,
+			opExit:   trace.CallThrExit,
+		}[o.kind]
+		ev := trace.Event{
+			Seq:     seq,
+			Time:    vtime.Time(nowNS / 1000),
+			Thread:  tid,
+			Class:   class,
+			Call:    call,
+			Timeout: timeout,
+			Loc:     o.loc,
+		}
+		if o.obj >= 0 {
+			ev.Object = trace.ObjectID(o.obj + 1)
+		}
+		if o.kind == opCreate {
+			ev.Target = byID[o.target].tid
+		}
+		seq++
+		l.Events = append(l.Events, ev)
+	}
+
+	for {
+		var pick *laidThread
+		for _, lt := range threads {
+			if !lt.started || lt.waiting != nil || lt.idx >= len(lt.gs.ops) {
+				continue
+			}
+			if pick == nil || lt.gs.ops[lt.idx].timeNS < pick.gs.ops[pick.idx].timeNS {
+				pick = lt
+			}
+		}
+		if pick == nil {
+			break
+		}
+		o := pick.gs.ops[pick.idx]
+		pick.idx++
+		nowNS += o.cpuNS
+		switch o.kind {
+		case opCreate:
+			emit(pick.tid, trace.Before, &o, 0)
+			emit(pick.tid, trace.After, &o, 0)
+			byID[o.target].started = true
+		case opYield:
+			emit(pick.tid, trace.Before, &o, 0)
+			emit(pick.tid, trace.After, &o, 0)
+		case opExit:
+			emit(pick.tid, trace.Before, &o, 0)
+		case opWait:
+			emit(pick.tid, trace.Before, &o, 0)
+			if counts[o.obj] > 0 {
+				counts[o.obj]--
+				emit(pick.tid, trace.After, &o, 0)
+			} else {
+				held := o
+				pick.waiting = &held
+				fifo[o.obj] = append(fifo[o.obj], pick)
+			}
+		case opPost:
+			emit(pick.tid, trace.Before, &o, 0)
+			emit(pick.tid, trace.After, &o, 0)
+			if q := fifo[o.obj]; len(q) > 0 {
+				w := q[0]
+				fifo[o.obj] = q[1:]
+				emit(w.tid, trace.After, w.waiting, 0)
+				w.waiting = nil
+			} else {
+				counts[o.obj]++
+			}
+		case opIO:
+			timeout := vtime.Duration(o.durNS / 1000)
+			emit(pick.tid, trace.Before, &o, timeout)
+			nowNS += o.durNS
+			emit(pick.tid, trace.After, &o, timeout)
+		}
+	}
+	for _, lt := range threads {
+		if lt.idx < len(lt.gs.ops) || lt.waiting != nil {
+			return nil, fmt.Errorf("gotrace: goroutine %d (thread %d) has unschedulable operations: trace wake/block pairing is inconsistent", lt.gs.id, lt.tid)
+		}
+	}
+	l.Header.End = vtime.Time(nowNS / 1000)
+	return l, nil
+}

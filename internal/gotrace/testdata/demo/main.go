@@ -1,0 +1,91 @@
+// Command demo is the tiny mutex/channel program behind the committed
+// Go runtime trace fixture. Regenerate the fixture with:
+//
+//	cd internal/gotrace/testdata/demo
+//	go run main.go            # writes ../go-mutexchan.trace
+//
+// The program exercises exactly the behaviours the gotrace frontend
+// claims to convert: goroutine creation and exit, mutex contention
+// (sync.Mutex under deliberate spin), channel sends and receives on an
+// unbuffered channel, a select with two live cases, a short sleep, and a
+// WaitGroup join — all on GOMAXPROCS(2) so the trace contains real
+// parallelism for the predictor to rediscover.
+package main
+
+import (
+	"os"
+	"runtime"
+	"runtime/trace"
+	"sync"
+	"time"
+)
+
+// spin burns CPU so goroutines hold the mutex long enough to contend.
+func spin(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i * i
+	}
+	return s
+}
+
+func main() {
+	runtime.GOMAXPROCS(2)
+	f, err := os.Create("../go-mutexchan.trace")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := trace.Start(f); err != nil {
+		panic(err)
+	}
+	defer trace.Stop()
+
+	var mu sync.Mutex
+	counter := 0
+	ch := make(chan int)
+	done := make(chan struct{})
+
+	var wg sync.WaitGroup
+	// Two workers contend on the mutex.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				mu.Lock()
+				counter += spin(20000)
+				mu.Unlock()
+				spin(5000)
+			}
+		}()
+	}
+	// A producer feeds an unbuffered channel; the consumer selects on it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			spin(10000)
+			ch <- i
+		}
+		close(done)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case v := <-ch:
+				counter += v + spin(8000)
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	time.Sleep(2 * time.Millisecond)
+	wg.Wait()
+	mu.Lock()
+	_ = counter
+	mu.Unlock()
+}

@@ -1,0 +1,383 @@
+package gotrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// This file is a self-contained reader for the Go runtime execution trace
+// wire format, version 22/23 (Go 1.22 and later; Go 1.23 only adds event
+// types to the same framing). The format is documented by the runtime's
+// trace writer: a text header, then a stream of per-M batches, each a
+// varint-framed byte run holding either timed scheduling events, the
+// generation's string table, its stack table, CPU profile samples or the
+// tick frequency. We parse it directly instead of importing
+// golang.org/x/exp/trace so the module keeps zero external dependencies.
+
+// headerRe matches the trace file header: "go 1.<minor> trace\x00\x00\x00".
+var headerRe = regexp.MustCompile(`^go 1\.(\d+) trace\x00\x00\x00`)
+
+// Sniff reports whether data begins with a Go execution trace header (any
+// version; Convert separately rejects versions it cannot decode).
+func Sniff(data []byte) bool {
+	return headerRe.Match(data)
+}
+
+// Wire format event types (version 22/23 numbering).
+const (
+	evEventBatch        = 1
+	evStacks            = 2
+	evStack             = 3
+	evStrings           = 4
+	evString            = 5
+	evCPUSamples        = 6
+	evCPUSample         = 7
+	evFrequency         = 8
+	evProcsChange       = 9
+	evProcStart         = 10
+	evProcStop          = 11
+	evProcSteal         = 12
+	evProcStatus        = 13
+	evGoCreate          = 14
+	evGoCreateSyscall   = 15
+	evGoStart           = 16
+	evGoDestroy         = 17
+	evGoDestroySyscall  = 18
+	evGoStop            = 19
+	evGoBlock           = 20
+	evGoUnblock         = 21
+	evGoSyscallBegin    = 22
+	evGoSyscallEnd      = 23
+	evGoSyscallEndBlock = 24
+	evGoStatus          = 25
+	evSTWBegin          = 26
+	evSTWEnd            = 27
+	evGCActive          = 28
+	evGCBegin           = 29
+	evGCEnd             = 30
+	evGCSweepActive     = 31
+	evGCSweepBegin      = 32
+	evGCSweepEnd        = 33
+	evGCMarkAssistActiv = 34
+	evGCMarkAssistBegin = 35
+	evGCMarkAssistEnd   = 36
+	evHeapAlloc         = 37
+	evHeapGoal          = 38
+	evGoLabel           = 39
+	evUserTaskBegin     = 40
+	evUserTaskEnd       = 41
+	evUserRegionBegin   = 42
+	evUserRegionEnd     = 43
+	evUserLog           = 44
+	evGoSwitch          = 45
+	evGoSwitchDestroy   = 46
+	evGoCreateBlocked   = 47
+	evGoStatusStack     = 48
+	evExperimentalBatch = 49
+
+	numWireEvents = 50
+)
+
+// Limits mirroring the runtime's own writer, so a corrupt length field
+// cannot make the parser allocate unbounded memory.
+const (
+	maxBatchSize      = 64 << 10
+	maxFramesPerStack = 128
+	maxStringSize     = 1 << 10
+)
+
+// timedArgs gives, for each timed event type, the total uvarint argument
+// count including the leading dt. Zero means the type is not a timed event
+// and must not appear inside an event batch.
+var timedArgs = [numWireEvents]int{
+	evProcsChange:       3,
+	evProcStart:         3,
+	evProcStop:          1,
+	evProcSteal:         4,
+	evProcStatus:        3,
+	evGoCreate:          4,
+	evGoCreateSyscall:   2,
+	evGoStart:           3,
+	evGoDestroy:         1,
+	evGoDestroySyscall:  1,
+	evGoStop:            3,
+	evGoBlock:           3,
+	evGoUnblock:         4,
+	evGoSyscallBegin:    3,
+	evGoSyscallEnd:      1,
+	evGoSyscallEndBlock: 1,
+	evGoStatus:          4,
+	evSTWBegin:          3,
+	evSTWEnd:            1,
+	evGCActive:          2,
+	evGCBegin:           3,
+	evGCEnd:             2,
+	evGCSweepActive:     2,
+	evGCSweepBegin:      2,
+	evGCSweepEnd:        3,
+	evGCMarkAssistActiv: 2,
+	evGCMarkAssistBegin: 2,
+	evGCMarkAssistEnd:   1,
+	evHeapAlloc:         2,
+	evHeapGoal:          2,
+	evGoLabel:           2,
+	evUserTaskBegin:     5,
+	evUserTaskEnd:       3,
+	evUserRegionBegin:   4,
+	evUserRegionEnd:     4,
+	evUserLog:           5,
+	evGoSwitch:          3,
+	evGoSwitchDestroy:   3,
+	evGoCreateBlocked:   4,
+	evGoStatusStack:     5,
+}
+
+// frame is one stack table frame, with its strings resolved lazily
+// through the generation's string table.
+type frame struct {
+	pc       uint64
+	fn, file uint64 // string IDs
+	line     uint64
+}
+
+// wireEvent is one decoded timed event with an absolute tick timestamp.
+type wireEvent struct {
+	typ  byte
+	m    uint64
+	tick uint64
+	args [4]uint64 // arguments after dt, in spec order
+}
+
+// generation groups one trace generation: its tables and its timed
+// events merged across all M batches into one deterministic order.
+type generation struct {
+	gen     uint64
+	freq    uint64 // ticks per second
+	strings map[uint64]string
+	stacks  map[uint64][]frame
+	events  []wireEvent
+}
+
+// stringAt resolves a string ID, returning "" for unknown IDs (a lossy
+// but non-fatal condition: the runtime never emits dangling IDs, but a
+// truncated trace may).
+func (g *generation) stringAt(id uint64) string { return g.strings[id] }
+
+// parse decodes a complete trace file into its generations, ascending.
+func parse(data []byte) ([]*generation, error) {
+	hdr := headerRe.FindSubmatch(data)
+	if hdr == nil {
+		return nil, fmt.Errorf("gotrace: not a Go execution trace (missing \"go 1.N trace\" header)")
+	}
+	var version int
+	fmt.Sscanf(string(hdr[1]), "%d", &version)
+	if version < 22 {
+		return nil, fmt.Errorf("gotrace: trace version go1.%d predates the self-describing format (need go1.22 or later)", version)
+	}
+	r := bytes.NewReader(data[len(hdr[0]):])
+
+	gens := make(map[uint64]*generation)
+	var order []uint64
+	genOf := func(n uint64) *generation {
+		g, ok := gens[n]
+		if !ok {
+			g = &generation{gen: n, strings: make(map[uint64]string), stacks: make(map[uint64][]frame)}
+			gens[n] = g
+			order = append(order, n)
+		}
+		return g
+	}
+
+	for r.Len() > 0 {
+		typ, err := r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("gotrace: reading batch header: %w", err)
+		}
+		experimental := false
+		switch typ {
+		case evEventBatch:
+		case evExperimentalBatch:
+			experimental = true
+			if _, err := r.ReadByte(); err != nil {
+				return nil, fmt.Errorf("gotrace: reading experiment ID: %w", err)
+			}
+		default:
+			return nil, fmt.Errorf("gotrace: expected batch header, got event type %d", typ)
+		}
+		gen, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("gotrace: reading batch generation: %w", err)
+		}
+		m, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("gotrace: reading batch M: %w", err)
+		}
+		base, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("gotrace: reading batch timestamp: %w", err)
+		}
+		size, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("gotrace: reading batch size: %w", err)
+		}
+		if size > maxBatchSize {
+			return nil, fmt.Errorf("gotrace: batch size %d exceeds the %d-byte maximum", size, maxBatchSize)
+		}
+		if uint64(r.Len()) < size {
+			return nil, fmt.Errorf("gotrace: truncated batch: want %d bytes, have %d", size, r.Len())
+		}
+		batch := make([]byte, size)
+		r.Read(batch)
+		if experimental {
+			continue // opaque experiment data (alloc/free etc.); irrelevant here
+		}
+		if err := parseBatch(genOf(gen), m, base, batch); err != nil {
+			return nil, err
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("gotrace: trace contains no batches")
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]*generation, 0, len(order))
+	for _, n := range order {
+		g := gens[n]
+		if g.freq == 0 {
+			return nil, fmt.Errorf("gotrace: generation %d has no frequency batch", n)
+		}
+		// A stable sort on tick time keeps the file order for ties, which
+		// preserves each M's per-batch event order — the property the
+		// converter's per-M goroutine tracking relies on.
+		sort.SliceStable(g.events, func(i, j int) bool { return g.events[i].tick < g.events[j].tick })
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// parseBatch decodes one batch's payload into the generation's tables or
+// event list, depending on the batch's leading event type.
+func parseBatch(g *generation, m, base uint64, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	r := bytes.NewReader(data)
+	switch data[0] {
+	case evStrings:
+		return parseStrings(g, r)
+	case evStacks:
+		return parseStacks(g, r)
+	case evCPUSamples:
+		return nil // profile samples carry no scheduling information
+	case evFrequency:
+		r.ReadByte()
+		f, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("gotrace: reading frequency: %w", err)
+		}
+		if f == 0 {
+			return fmt.Errorf("gotrace: zero tick frequency")
+		}
+		g.freq = f
+		return nil
+	default:
+		return parseEvents(g, m, base, r)
+	}
+}
+
+func parseStrings(g *generation, r *bytes.Reader) error {
+	r.ReadByte() // evStrings marker
+	for r.Len() > 0 {
+		typ, _ := r.ReadByte()
+		if typ != evString {
+			return fmt.Errorf("gotrace: strings batch holds event type %d", typ)
+		}
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("gotrace: reading string ID: %w", err)
+		}
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("gotrace: reading string length: %w", err)
+		}
+		if n > maxStringSize {
+			return fmt.Errorf("gotrace: string of %d bytes exceeds the %d-byte maximum", n, maxStringSize)
+		}
+		if uint64(r.Len()) < n {
+			return fmt.Errorf("gotrace: truncated string: want %d bytes, have %d", n, r.Len())
+		}
+		buf := make([]byte, n)
+		r.Read(buf)
+		g.strings[id] = string(buf)
+	}
+	return nil
+}
+
+func parseStacks(g *generation, r *bytes.Reader) error {
+	r.ReadByte() // evStacks marker
+	for r.Len() > 0 {
+		typ, _ := r.ReadByte()
+		if typ != evStack {
+			return fmt.Errorf("gotrace: stacks batch holds event type %d", typ)
+		}
+		id, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("gotrace: reading stack ID: %w", err)
+		}
+		nframes, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("gotrace: reading frame count: %w", err)
+		}
+		if nframes > maxFramesPerStack {
+			return fmt.Errorf("gotrace: stack of %d frames exceeds the %d-frame maximum", nframes, maxFramesPerStack)
+		}
+		frames := make([]frame, 0, nframes)
+		for i := uint64(0); i < nframes; i++ {
+			var f frame
+			var err error
+			if f.pc, err = binary.ReadUvarint(r); err == nil {
+				if f.fn, err = binary.ReadUvarint(r); err == nil {
+					if f.file, err = binary.ReadUvarint(r); err == nil {
+						f.line, err = binary.ReadUvarint(r)
+					}
+				}
+			}
+			if err != nil {
+				return fmt.Errorf("gotrace: truncated stack frame: %w", err)
+			}
+			frames = append(frames, f)
+		}
+		g.stacks[id] = frames
+	}
+	return nil
+}
+
+// parseEvents decodes a batch of timed events, accumulating each event's
+// dt delta onto the batch's base timestamp.
+func parseEvents(g *generation, m, base uint64, r *bytes.Reader) error {
+	tick := base
+	for r.Len() > 0 {
+		typ, _ := r.ReadByte()
+		if int(typ) >= numWireEvents || timedArgs[typ] == 0 {
+			return fmt.Errorf("gotrace: unexpected event type %d in event batch", typ)
+		}
+		nargs := timedArgs[typ]
+		dt, err := binary.ReadUvarint(r)
+		if err != nil {
+			return fmt.Errorf("gotrace: truncated event %d: %w", typ, err)
+		}
+		tick += dt
+		ev := wireEvent{typ: typ, m: m, tick: tick}
+		for i := 0; i < nargs-1; i++ {
+			v, err := binary.ReadUvarint(r)
+			if err != nil {
+				return fmt.Errorf("gotrace: truncated event %d argument: %w", typ, err)
+			}
+			ev.args[i] = v
+		}
+		g.events = append(g.events, ev)
+	}
+	return nil
+}

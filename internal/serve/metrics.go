@@ -16,12 +16,13 @@ import (
 // requests in flight, the simulation queue depth, and a request latency
 // histogram.
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[requestKey]int64
-	buckets  []float64 // upper bounds, seconds, ascending; +Inf implied
-	counts   []int64   // one per bucket plus the +Inf bucket
-	sum      float64
-	count    int64
+	mu           sync.Mutex
+	requests     map[requestKey]int64
+	ingestErrors map[string]int64 // rejected uploads, by detected format
+	buckets      []float64        // upper bounds, seconds, ascending; +Inf implied
+	counts       []int64          // one per bucket plus the +Inf bucket
+	sum          float64
+	count        int64
 
 	inflight atomic.Int64
 	simQueue atomic.Int64
@@ -41,9 +42,10 @@ var defaultBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10}
 // NewMetrics creates an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests: make(map[requestKey]int64),
-		buckets:  defaultBuckets,
-		counts:   make([]int64, len(defaultBuckets)+1),
+		requests:     make(map[requestKey]int64),
+		ingestErrors: make(map[string]int64),
+		buckets:      defaultBuckets,
+		counts:       make([]int64, len(defaultBuckets)+1),
 	}
 }
 
@@ -61,6 +63,14 @@ func (m *Metrics) ObserveRequest(route string, code int, seconds float64) {
 		}
 	}
 	m.counts[len(m.buckets)]++
+}
+
+// IngestError counts one rejected upload: format is the detected trace
+// format ("vppb", "gotrace") or "unknown" when the bytes matched neither.
+func (m *Metrics) IngestError(format string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ingestErrors[format]++
 }
 
 // Inflight is the gauge of requests currently being served.
@@ -99,12 +109,27 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, store *Store, break
 	for i, k := range keys {
 		reqs[i] = m.requests[k]
 	}
+	ingestFormats := make([]string, 0, len(m.ingestErrors))
+	for f := range m.ingestErrors {
+		ingestFormats = append(ingestFormats, f)
+	}
+	sort.Strings(ingestFormats)
+	ingestCounts := make([]int64, len(ingestFormats))
+	for i, f := range ingestFormats {
+		ingestCounts[i] = m.ingestErrors[f]
+	}
 	m.mu.Unlock()
 
 	fmt.Fprintln(w, "# HELP vppb_requests_total Requests served, by route and status code.")
 	fmt.Fprintln(w, "# TYPE vppb_requests_total counter")
 	for i, k := range keys {
 		fmt.Fprintf(w, "vppb_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, reqs[i])
+	}
+
+	fmt.Fprintln(w, "# HELP vppb_ingest_errors_total Uploads rejected at ingestion, by detected trace format.")
+	fmt.Fprintln(w, "# TYPE vppb_ingest_errors_total counter")
+	for i, f := range ingestFormats {
+		fmt.Fprintf(w, "vppb_ingest_errors_total{format=%q} %d\n", f, ingestCounts[i])
 	}
 
 	hits, misses, evicted := cache.Stats()

@@ -27,7 +27,6 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -41,8 +40,8 @@ import (
 	"time"
 
 	"vppb/internal/core"
+	"vppb/internal/ingest"
 	"vppb/internal/metrics"
-	"vppb/internal/recorder"
 	"vppb/internal/sched"
 	"vppb/internal/trace"
 	"vppb/internal/viz"
@@ -388,9 +387,20 @@ func (s *Server) resolveEntry(w http.ResponseWriter, r *http.Request, strict boo
 // by fresh uploads and durable-store fault-ins, so an entry rebuilt after
 // a restart gets the exact same repair verdict as the original upload.
 func (s *Server) ingest(raw []byte, strict bool) (*Entry, *httpError) {
-	log, err := recorder.Read(bytes.NewReader(raw))
+	// The format is sniffed from the bytes themselves: native vppb
+	// recordings and Go runtime execution traces are both accepted, and
+	// anything else is a 400 counted per format in the ingest-error metric.
+	// The digest is always computed over the raw uploaded bytes, so
+	// content addressing, durability and replay-by-digest are format-blind.
+	format := ingest.Detect(raw)
+	if format == "" {
+		s.metrics.IngestError("unknown")
+		return nil, errf(http.StatusBadRequest, "unrecognized trace format: want a vppb log or a Go execution trace")
+	}
+	log, err := ingest.Decode(raw, format, "")
 	if err != nil {
-		return nil, errf(http.StatusBadRequest, "not a vppb log: %v", err)
+		s.metrics.IngestError(format)
+		return nil, errf(http.StatusBadRequest, "invalid %s trace: %v", format, err)
 	}
 	e := &Entry{Digest: Digest(raw), Size: len(raw)}
 	if verr := log.Validate(); verr != nil {

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// goTraceUpload reads the committed Go runtime trace capture — the same
+// bytes a user would POST after `go test -trace`.
+func goTraceUpload(t *testing.T) []byte {
+	t.Helper()
+	data, err := os.ReadFile("../gotrace/testdata/go-mutexchan.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestPredictGoTraceUpload is the service-level proof of the Go trace
+// frontend: a raw `go tool trace` capture POSTs straight to /v1/predict,
+// the format is sniffed from the bytes, and replaying the identical bytes
+// is a cache hit on the same digest.
+func TestPredictGoTraceUpload(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	raw := goTraceUpload(t)
+
+	resp1, body1 := post(t, ts.URL+"/v1/predict?cpus=1,2,4", raw)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("first POST: %d %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Vppb-Cache"); got != "miss" {
+		t.Fatalf("first POST cache header = %q, want miss", got)
+	}
+	resp2, body2 := post(t, ts.URL+"/v1/predict?cpus=1,2,4", raw)
+	if got := resp2.Header.Get("X-Vppb-Cache"); got != "hit" {
+		t.Fatalf("second POST cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("replayed Go trace returned a different body")
+	}
+	if resp1.Header.Get("X-Vppb-Trace") != resp2.Header.Get("X-Vppb-Trace") {
+		t.Fatal("digests differ between identical Go trace uploads")
+	}
+
+	// The response must cover every requested CPU count.
+	var doc struct {
+		Predictions []struct {
+			CPUs int `json:"cpus"`
+		} `json:"predictions"`
+	}
+	if err := json.Unmarshal(body1, &doc); err != nil {
+		t.Fatalf("response not JSON: %v", err)
+	}
+	if len(doc.Predictions) != 3 {
+		t.Fatalf("predictions = %d, want 3", len(doc.Predictions))
+	}
+}
+
+// TestPredictUnrecognizedFormat pins the rejection path: bytes that are
+// neither a vppb log nor a Go trace get 400 and count in the per-format
+// ingest-error metric under format="unknown".
+func TestPredictUnrecognizedFormat(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := post(t, ts.URL+"/v1/predict", []byte("definitely not a trace\n"))
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "unrecognized trace format") {
+		t.Errorf("error body does not name the problem: %s", body)
+	}
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	if want := `vppb_ingest_errors_total{format="unknown"} 1`; !strings.Contains(string(metricsBody), want) {
+		t.Errorf("/metrics missing %q:\n%s", want, metricsBody)
+	}
+}
+
+// TestPredictCorruptGoTrace: a stream that sniffs as a Go trace but fails
+// to parse is a 400 attributed to format="gotrace", never a 500.
+func TestPredictCorruptGoTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	bad := append([]byte("go 1.23 trace\x00\x00\x00"), 0x7f) // invalid batch type
+	resp, body := post(t, ts.URL+"/v1/predict", bad)
+	if resp.StatusCode != 400 {
+		t.Fatalf("status = %d, want 400 (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "gotrace") {
+		t.Errorf("error body does not name the format: %s", body)
+	}
+	_, metricsBody := get(t, ts.URL+"/metrics")
+	if want := `vppb_ingest_errors_total{format="gotrace"} 1`; !strings.Contains(string(metricsBody), want) {
+		t.Errorf("/metrics missing %q:\n%s", want, metricsBody)
+	}
+}

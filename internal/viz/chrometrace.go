@@ -1,0 +1,132 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"vppb/internal/trace"
+)
+
+// This file exports a predicted execution as Chrome trace-event JSON (the
+// "JSON Array Format" both chrome://tracing and ui.perfetto.dev load), so
+// timelines predicted from either frontend can be inspected in a standard
+// trace viewer next to the original `go tool trace` capture.
+//
+// Layout: process 1 holds one track per thread carrying its running and
+// runnable spans plus an instant event per thread-library call; process 2
+// holds one track per simulated CPU showing which thread occupied it.
+
+// chromeEvent is one entry of the traceEvents array. Fields follow the
+// trace-event format's one-letter names.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts,omitempty"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+const (
+	chromePidThreads = 1
+	chromePidCPUs    = 2
+)
+
+// RenderChromeTrace serializes a timeline as Chrome/Perfetto trace-event
+// JSON. Output is deterministic: events follow the timeline's thread order
+// and each thread's span/event order.
+func RenderChromeTrace(tl *trace.Timeline) ([]byte, error) {
+	if tl == nil || len(tl.Threads) == 0 {
+		return nil, fmt.Errorf("viz: empty timeline")
+	}
+	var events []chromeEvent
+
+	meta := func(pid int, tid int64, what, name string) {
+		events = append(events, chromeEvent{
+			Name: what, Phase: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(chromePidThreads, 0, "process_name", fmt.Sprintf("%s — threads", tl.Program))
+	meta(chromePidCPUs, 0, "process_name", fmt.Sprintf("%s — CPUs", tl.Program))
+
+	for i := range tl.Threads {
+		th := &tl.Threads[i]
+		tid := int64(th.Info.ID)
+		name := th.Info.Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", th.Info.ID)
+		}
+		if th.Info.Func != "" {
+			name += " (" + th.Info.Func + ")"
+		}
+		meta(chromePidThreads, tid, "thread_name", name)
+
+		for _, s := range th.Spans {
+			if s.End <= s.Start {
+				continue
+			}
+			switch s.State {
+			case trace.StateRunning:
+				events = append(events, chromeEvent{
+					Name: "running", Phase: "X",
+					Ts: float64(s.Start), Dur: float64(s.End - s.Start),
+					Pid: chromePidThreads, Tid: tid,
+					Args: map[string]any{"cpu": s.CPU},
+				})
+				events = append(events, chromeEvent{
+					Name: fmt.Sprintf("T%d %s", th.Info.ID, th.Info.Name), Phase: "X",
+					Ts: float64(s.Start), Dur: float64(s.End - s.Start),
+					Pid: chromePidCPUs, Tid: int64(s.CPU),
+				})
+			case trace.StateRunnable:
+				events = append(events, chromeEvent{
+					Name: "runnable", Phase: "X",
+					Ts: float64(s.Start), Dur: float64(s.End - s.Start),
+					Pid: chromePidThreads, Tid: tid,
+				})
+			}
+		}
+		for _, pe := range th.Events {
+			if pe.Event.Class != trace.Before {
+				continue
+			}
+			args := map[string]any{"cpu": pe.CPU}
+			if pe.Event.Object != 0 {
+				args["object"] = tl.ObjectName(pe.Event.Object)
+			}
+			if pe.Event.Target != 0 {
+				args["target"] = fmt.Sprintf("T%d", pe.Event.Target)
+			}
+			if !pe.Event.Loc.IsZero() {
+				args["source"] = pe.Event.Loc.String()
+			}
+			events = append(events, chromeEvent{
+				Name: pe.Event.Call.String(), Phase: "i",
+				Ts: float64(pe.Start), Pid: chromePidThreads, Tid: tid,
+				Scope: "t", Args: args,
+			})
+		}
+	}
+	for cpu := 0; cpu < tl.CPUs; cpu++ {
+		meta(chromePidCPUs, int64(cpu), "thread_name", fmt.Sprintf("cpu %d", cpu))
+	}
+
+	var buf bytes.Buffer
+	buf.WriteString("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	for i, ev := range events {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return nil, err
+		}
+		if i > 0 {
+			buf.WriteString(",\n")
+		}
+		buf.Write(data)
+	}
+	buf.WriteString("\n]}\n")
+	return buf.Bytes(), nil
+}

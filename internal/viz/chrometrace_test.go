@@ -1,0 +1,95 @@
+package viz
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"vppb/internal/trace"
+)
+
+func TestRenderChromeTrace(t *testing.T) {
+	tl := exampleTimeline(t)
+	data, err := RenderChromeTrace(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			Ts    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			Pid   int     `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+
+	var metas, threadSlices, cpuSlices, instants int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Phase == "M":
+			metas++
+		case ev.Phase == "X" && ev.Pid == chromePidThreads:
+			threadSlices++
+			if ev.Dur <= 0 {
+				t.Errorf("slice %q has non-positive duration %v", ev.Name, ev.Dur)
+			}
+		case ev.Phase == "X" && ev.Pid == chromePidCPUs:
+			cpuSlices++
+		case ev.Phase == "i":
+			instants++
+		default:
+			t.Errorf("unexpected event: phase=%q pid=%d", ev.Phase, ev.Pid)
+		}
+	}
+	if metas == 0 || threadSlices == 0 || cpuSlices == 0 || instants == 0 {
+		t.Errorf("missing event categories: metas=%d threadSlices=%d cpuSlices=%d instants=%d",
+			metas, threadSlices, cpuSlices, instants)
+	}
+
+	// Every running slice on the thread process must be mirrored on the CPU
+	// process, so both views show the same occupancy.
+	var running int
+	for _, th := range tl.Threads {
+		for _, s := range th.Spans {
+			if s.State == trace.StateRunning && s.End > s.Start {
+				running++
+			}
+		}
+	}
+	if cpuSlices != running {
+		t.Errorf("CPU-process slices = %d, want %d (one per running span)", cpuSlices, running)
+	}
+}
+
+func TestRenderChromeTraceDeterministic(t *testing.T) {
+	tl := exampleTimeline(t)
+	a, err := RenderChromeTrace(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RenderChromeTrace(tl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("two renders of the same timeline differ")
+	}
+}
+
+func TestRenderChromeTraceEmpty(t *testing.T) {
+	if _, err := RenderChromeTrace(nil); err == nil {
+		t.Error("nil timeline accepted")
+	}
+	if _, err := RenderChromeTrace(&trace.Timeline{}); err == nil {
+		t.Error("empty timeline accepted")
+	}
+}

@@ -46,7 +46,9 @@ import (
 	"vppb/internal/core"
 	"vppb/internal/experiments"
 	"vppb/internal/faultinject"
+	"vppb/internal/gotrace"
 	"vppb/internal/hb"
+	"vppb/internal/ingest"
 	"vppb/internal/metrics"
 	"vppb/internal/recorder"
 	"vppb/internal/sched"
@@ -139,6 +141,34 @@ func WriteLog(path string, log *Log) error { return recorder.WriteFile(path, log
 
 // ReadLog loads a log written by WriteLog, auto-detecting the format.
 func ReadLog(path string) (*Log, error) { return recorder.ReadFile(path) }
+
+// Trace ingestion formats: native vppb recordings and Go runtime
+// execution traces (the `go tool trace` format).
+const (
+	FormatAuto    = ingest.FormatAuto
+	FormatVPPB    = ingest.FormatVPPB
+	FormatGoTrace = ingest.FormatGoTrace
+)
+
+// ReadLogFormat loads a trace file in the named format; FormatAuto sniffs
+// the format from the file's bytes.
+func ReadLogFormat(path, format string) (*Log, error) { return ingest.File(path, format) }
+
+// CheckLogFormat validates a -format flag value; the error lists the
+// accepted names.
+func CheckLogFormat(format string) error { return ingest.CheckFormat(format) }
+
+// DetectLogFormat sniffs the trace format of raw bytes, returning
+// FormatVPPB, FormatGoTrace or "" when the bytes match neither.
+func DetectLogFormat(data []byte) string { return ingest.Detect(data) }
+
+// ConvertGoTrace rebuilds a Go runtime execution trace as a 1-CPU/1-LWP
+// vppb recording: goroutines become threads, block/wake pairs become
+// synchronization operations. program names the recording ("gotrace" if
+// empty).
+func ConvertGoTrace(data []byte, program string) (*Log, error) {
+	return gotrace.Convert(data, gotrace.Options{Program: program})
+}
 
 // FormatLog renders a log in the paper's figure-2 listing style.
 func FormatLog(log *Log) string { return trace.FormatPaper(log) }
@@ -387,6 +417,10 @@ func RenderSVG(v *View, opts SVGOptions) string { return viz.RenderSVG(v, opts) 
 // RenderHTML produces a self-contained HTML report: both graphs plus the
 // contention and thread tables.
 func RenderHTML(v *View, opts HTMLOptions) (string, error) { return viz.RenderHTML(v, opts) }
+
+// RenderChromeTrace serializes a predicted execution as Chrome/Perfetto
+// trace-event JSON, loadable in ui.perfetto.dev or chrome://tracing.
+func RenderChromeTrace(tl *Timeline) ([]byte, error) { return viz.RenderChromeTrace(tl) }
 
 // Workloads.
 type (
