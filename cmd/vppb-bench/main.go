@@ -30,7 +30,7 @@ import (
 var experimentNames = []string{
 	"table1", "bounds", "fig2", "fig4", "fig5", "case5", "overhead",
 	"logstats", "bound", "commdelay", "lwps", "io", "faults", "policies",
-	"chaos",
+	"chaos", "simspeed",
 }
 
 func main() {
@@ -246,6 +246,12 @@ func runExperiment(name string, opts experiments.Options) benchResult {
 		}
 	case "chaos":
 		res, e := vppb.ExperimentChaos(opts)
+		r.err = e
+		if e == nil {
+			r.report, r.payload = res.Report, res
+		}
+	case "simspeed":
+		res, e := vppb.ExperimentSimSpeed(opts)
 		r.err = e
 		if e == nil {
 			r.report, r.payload = res.Report, res

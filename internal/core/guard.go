@@ -122,10 +122,12 @@ func (e *BudgetError) Error() string {
 
 var sevKindNames = [...]string{"burst", "slice", "timer", "wake", "iodone"}
 
-// deadlockError builds the wait-for graph over every live thread.
+// deadlockError builds the wait-for graph over every live thread, in
+// ascending thread-ID order (the arena's order).
 func (s *sim) deadlockError() error {
 	e := &DeadlockError{At: s.now}
-	for _, t := range s.order {
+	for i := range s.threads {
+		t := &s.threads[i]
 		if t.state == tZombie || t.state == tNotStarted {
 			continue
 		}
@@ -137,7 +139,7 @@ func (s *sim) deadlockError() error {
 		switch {
 		case t.waitObj != nil:
 			w.Object = fmt.Sprintf("%s %q", t.waitObj.info.Kind, t.waitObj.info.Name)
-			w.Holders = holdersOf(t.waitObj)
+			w.Holders = s.holdersOf(t.waitObj)
 		case r != nil && r.Call == trace.CallThrJoin:
 			if r.Target != 0 {
 				w.Object = fmt.Sprintf("thread T%d", r.Target)
@@ -155,7 +157,7 @@ func (s *sim) deadlockError() error {
 
 // holdersOf lists the threads that currently hold a synchronization
 // object, if the object kind has a notion of a holder.
-func holdersOf(o *sobject) []trace.ThreadID {
+func (s *sim) holdersOf(o *sobject) []trace.ThreadID {
 	var ids []trace.ThreadID
 	if o.owner != nil {
 		ids = append(ids, o.owner.id())
@@ -163,8 +165,8 @@ func holdersOf(o *sobject) []trace.ThreadID {
 	if o.writer != nil {
 		ids = append(ids, o.writer.id())
 	}
-	for r := range o.readers {
-		ids = append(ids, r.id())
+	for _, ri := range o.readers {
+		ids = append(ids, s.threads[ri].id())
 	}
 	sortThreadIDs(ids)
 	return ids
@@ -188,7 +190,8 @@ func (s *sim) livelockError(counts [len(sevKindNames)]int64, window int) error {
 	for i, n := range counts {
 		e.Dispatches[sevKindNames[i]] = n
 	}
-	for _, t := range s.order {
+	for i := range s.threads {
+		t := &s.threads[i]
 		if t.state == tZombie || t.state == tNotStarted {
 			continue
 		}

@@ -87,6 +87,13 @@ type Machine struct {
 	// Overrides adjusts individual threads.
 	Overrides map[trace.ThreadID]Override
 
+	// DiscardTimeline skips assembling the per-thread Timeline:
+	// Result.Timeline is nil, while Duration, PerThreadCPU and Events are
+	// byte-identical to a recording run. Callers that only need the
+	// predicted time (capacity probing, throughput measurement) avoid the
+	// dominant allocation cost of a simulation.
+	DiscardTimeline bool
+
 	// Guardrails: budgets that terminate a runaway simulation of a
 	// corrupt or repaired log with a structured diagnostic.
 

@@ -9,19 +9,21 @@ import (
 )
 
 // applyOp executes the semantic effect of the thread's current call record
-// under the paper's replay rules. It returns true when the thread can no
-// longer continue on this CPU.
-func (s *sim) applyOp(cpu *scpu, t *sthread, r *trace.CallRecord) (blocked bool) {
+// under the paper's replay rules. dc carries the record's precomputed
+// arena indices (trace.ProfileIndex), so the hot path resolves objects and
+// target threads without a map lookup. It returns true when the thread can
+// no longer continue on this CPU.
+func (s *sim) applyOp(cpu *scpu, t *sthread, r *trace.CallRecord, dc *trace.DenseCall) (blocked bool) {
 	switch r.Call {
 	case trace.CallStartCollect, trace.CallEndCollect:
 		return false
 	case trace.CallThrCreate:
-		return s.opCreate(t, r)
+		return s.opCreate(t, dc)
 	case trace.CallThrExit:
 		s.exitThread(cpu, t)
 		return true
 	case trace.CallThrJoin:
-		return s.opJoin(cpu, t, r)
+		return s.opJoin(cpu, t, r, dc)
 	case trace.CallThrYield:
 		return s.opYield(cpu, t)
 	case trace.CallThrSetPrio:
@@ -36,115 +38,123 @@ func (s *sim) applyOp(cpu *scpu, t *sthread, r *trace.CallRecord) (blocked bool)
 		s.opSetConcurrency(int(r.Prio))
 		return false
 	case trace.CallMutexLock:
-		return s.opMutexLock(cpu, t, r)
+		return s.opMutexLock(cpu, t, r, dc)
 	case trace.CallMutexTryLock:
 		// Paper rule: a try that succeeded in the log is simulated as a
 		// blocking lock; a failed try is a no-op.
 		if r.OK {
-			return s.opMutexLock(cpu, t, r)
+			return s.opMutexLock(cpu, t, r, dc)
 		}
 		return false
 	case trace.CallMutexUnlock:
-		return s.opMutexUnlock(t, r)
+		return s.opMutexUnlock(t, r, dc)
 	case trace.CallSemaWait:
-		return s.opSemaWait(cpu, t, r)
+		return s.opSemaWait(cpu, t, r, dc)
 	case trace.CallSemaTryWait:
 		if r.OK {
-			return s.opSemaWait(cpu, t, r)
+			return s.opSemaWait(cpu, t, r, dc)
 		}
 		return false
 	case trace.CallSemaPost:
-		s.semaPost(t, s.obj(r.Object))
+		s.semaPost(t, s.obj(dc.Obj, r.Object))
 		return false
 	case trace.CallCondWait:
-		return s.opCondWait(cpu, t, r, false)
+		return s.opCondWait(cpu, t, r, dc)
 	case trace.CallCondTimedWait:
 		if !r.OK {
 			// Timed out in the log: simulated as a delay of the timeout.
-			return s.opTimedOutWait(cpu, t, r)
+			return s.opTimedOutWait(cpu, t, r, dc)
 		}
-		return s.opCondWait(cpu, t, r, true)
+		return s.opCondWait(cpu, t, r, dc)
 	case trace.CallCondSignal:
-		s.condSignal(t, s.obj(r.Object), 1)
+		s.condSignal(t, s.obj(dc.Obj, r.Object), 1)
 		return false
 	case trace.CallCondBroadcast:
-		return s.opBroadcast(cpu, t, r)
+		return s.opBroadcast(cpu, t, r, dc)
 	case trace.CallRWRdLock:
-		return s.opRWRdLock(cpu, t, r)
+		return s.opRWRdLock(cpu, t, r, dc)
 	case trace.CallRWWrLock:
-		return s.opRWWrLock(cpu, t, r)
+		return s.opRWWrLock(cpu, t, r, dc)
 	case trace.CallRWUnlock:
-		return s.opRWUnlock(t, r)
+		return s.opRWUnlock(t, r, dc)
 	case trace.CallIO:
-		return s.opIO(cpu, t, r)
+		return s.opIO(cpu, t, r, dc)
 	case trace.CallThrSuspend:
-		return s.opSuspend(cpu, t, r)
+		return s.opSuspend(cpu, t, dc)
 	case trace.CallThrContinue:
-		s.opContinue(t, r)
+		s.opContinue(t, dc)
 		return false
 	}
 	s.fail(fmt.Errorf("core: thread T%d has unknown call %v in its profile", t.id(), r.Call))
 	return true
 }
 
-// obj resolves an object ID, failing the run on dangling references.
-func (s *sim) obj(id trace.ObjectID) *sobject {
-	o := s.objects[id]
-	if o == nil {
+// obj resolves a dense object index, failing the run on dangling
+// references (di < 0 for an object the recording never declared).
+func (s *sim) obj(di int32, id trace.ObjectID) *sobject {
+	if di == nilIdx {
 		s.fail(fmt.Errorf("core: profile references unknown object %d", id))
 		// Return an inert object so callers can proceed to the error exit.
-		return &sobject{readers: make(map[*sthread]bool)}
+		if s.inert == nil {
+			s.inert = &sobject{}
+			initObject(s.inert, trace.ObjectInfo{Kind: trace.ObjRWLock}, nilIdx)
+		}
+		return s.inert
 	}
-	return o
+	return &s.objects[di]
 }
 
-func (s *sim) opCreate(t *sthread, r *trace.CallRecord) bool {
-	child, ok := s.threads[r.Target]
-	if !ok {
+// objOrNil resolves an optional object reference (a cond_wait's companion
+// mutex) without failing on absence.
+func (s *sim) objOrNil(di int32) *sobject {
+	if di == nilIdx {
+		return nil
+	}
+	return &s.objects[di]
+}
+
+func (s *sim) opCreate(t *sthread, dc *trace.DenseCall) bool {
+	if dc.Target == nilIdx {
 		// The created thread generated no events in the recording;
 		// nothing to replay for it.
 		return false
 	}
-	s.startThread(child)
+	s.startThread(&s.threads[dc.Target])
 	return false
 }
 
-func (s *sim) opJoin(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
+func (s *sim) opJoin(cpu *scpu, t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
 	if r.Target == 0 {
 		// Wildcard join: first exit in the simulation wins (paper
 		// section 6: it "may not be the one that exited in the log").
-		if len(s.zombies) > 0 {
-			z := s.zombies[0]
-			s.zombies = s.zombies[1:]
+		if zi := s.popQ(&s.zombieQ); zi != nilIdx {
+			z := &s.threads[zi]
 			z.reaped = true
 			t.joinedID = z.id()
 			return false
 		}
-		s.anyJoiners = append(s.anyJoiners, t)
+		s.pushQ(&s.anyJoinQ, t.ti)
 		s.blockThread(cpu, t, nil)
 		return true
 	}
-	target, ok := s.threads[r.Target]
-	if ok && target.state == tZombie && !target.reaped {
-		for i, z := range s.zombies {
-			if z == target {
-				s.zombies = append(s.zombies[:i], s.zombies[i+1:]...)
-				break
-			}
+	if dc.Target != nilIdx {
+		target := &s.threads[dc.Target]
+		if target.state == tZombie && !target.reaped {
+			s.removeQ(&s.zombieQ, target.ti)
+			target.reaped = true
+			t.joinedID = target.id()
+			return false
 		}
-		target.reaped = true
-		t.joinedID = target.id()
-		return false
+		if target.state != tZombie {
+			s.pushQ(&target.joinQ, t.ti)
+			s.blockThread(cpu, t, nil)
+			return true
+		}
 	}
-	if !ok || target.state == tZombie {
-		// Already reaped or never recorded: complete immediately, as
-		// thr_join would with ESRCH.
-		t.joinedID = r.Target
-		return false
-	}
-	s.joinWaiters[r.Target] = append(s.joinWaiters[r.Target], t)
-	s.blockThread(cpu, t, nil)
-	return true
+	// Already reaped or never recorded: complete immediately, as thr_join
+	// would with ESRCH.
+	t.joinedID = r.Target
+	return false
 }
 
 func (s *sim) opYield(cpu *scpu, t *sthread) bool {
@@ -176,8 +186,8 @@ func (s *sim) opSetConcurrency(n int) {
 
 // ---- mutex -----------------------------------------------------------------
 
-func (s *sim) opMutexLock(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
-	o := s.obj(r.Object)
+func (s *sim) opMutexLock(cpu *scpu, t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
+	o := s.obj(dc.Obj, r.Object)
 	if o.owner == nil {
 		o.owner = t
 		return false
@@ -186,13 +196,13 @@ func (s *sim) opMutexLock(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
 		s.fail(fmt.Errorf("core: thread T%d relocks mutex %q (replay diverged?)", t.id(), o.info.Name))
 		return true
 	}
-	o.waiters = append(o.waiters, t)
+	s.pushQ(&o.waitQ, t.ti)
 	s.blockThread(cpu, t, o)
 	return true
 }
 
-func (s *sim) opMutexUnlock(t *sthread, r *trace.CallRecord) bool {
-	o := s.obj(r.Object)
+func (s *sim) opMutexUnlock(t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
+	o := s.obj(dc.Obj, r.Object)
 	if o.owner != t {
 		s.fail(fmt.Errorf("core: thread T%d unlocks mutex %q it does not hold in the simulation", t.id(), o.info.Name))
 		return true
@@ -203,11 +213,11 @@ func (s *sim) opMutexUnlock(t *sthread, r *trace.CallRecord) bool {
 
 func (s *sim) mutexRelease(by *sthread, o *sobject) {
 	o.owner = nil
-	if len(o.waiters) == 0 {
+	ni := s.popQ(&o.waitQ)
+	if ni == nilIdx {
 		return
 	}
-	next := o.waiters[0]
-	o.waiters = o.waiters[1:]
+	next := &s.threads[ni]
 	o.owner = next
 	s.wake(next, fromCPUOf(by), true)
 }
@@ -223,22 +233,20 @@ func fromCPUOf(t *sthread) int {
 
 // ---- semaphore ---------------------------------------------------------------
 
-func (s *sim) opSemaWait(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
-	o := s.obj(r.Object)
+func (s *sim) opSemaWait(cpu *scpu, t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
+	o := s.obj(dc.Obj, r.Object)
 	if o.count > 0 {
 		o.count--
 		return false
 	}
-	o.swaiters = append(o.swaiters, t)
+	s.pushQ(&o.semaQ, t.ti)
 	s.blockThread(cpu, t, o)
 	return true
 }
 
 func (s *sim) semaPost(by *sthread, o *sobject) {
-	if len(o.swaiters) > 0 {
-		next := o.swaiters[0]
-		o.swaiters = o.swaiters[1:]
-		s.wake(next, fromCPUOf(by), true)
+	if ni := s.popQ(&o.semaQ); ni != nilIdx {
+		s.wake(&s.threads[ni], fromCPUOf(by), true)
 		return
 	}
 	o.count++
@@ -246,14 +254,14 @@ func (s *sim) semaPost(by *sthread, o *sobject) {
 
 // ---- condition variable -------------------------------------------------------
 
-func (s *sim) opCondWait(cpu *scpu, t *sthread, r *trace.CallRecord, timed bool) bool {
-	o := s.obj(r.Object)
-	m := s.objects[r.MutexObject]
-	if m != nil && m.owner == t {
+func (s *sim) opCondWait(cpu *scpu, t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
+	o := s.obj(dc.Obj, r.Object)
+	if m := s.objOrNil(dc.Mutex); m != nil && m.owner == t {
 		s.mutexRelease(t, m)
 	}
 	t.okResult = true
-	o.cwaiters = append(o.cwaiters, t)
+	s.pushQ(&o.condQ, t.ti)
+	o.condLen++
 	// Suspend first: a pending barrier broadcast may release this very
 	// arrival immediately (it was the last one needed), which requires
 	// the thread to be off-CPU before it is woken again.
@@ -262,15 +270,14 @@ func (s *sim) opCondWait(cpu *scpu, t *sthread, r *trace.CallRecord, timed bool)
 	return true
 }
 
-func (s *sim) opTimedOutWait(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
-	o := s.obj(r.Object)
-	m := s.objects[r.MutexObject]
-	if m != nil && m.owner == t {
+func (s *sim) opTimedOutWait(cpu *scpu, t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
+	o := s.obj(dc.Obj, r.Object)
+	if m := s.objOrNil(dc.Mutex); m != nil && m.owner == t {
 		s.mutexRelease(t, m)
 	}
 	t.okResult = false
 	t.timerEpoch++
-	s.events.Push(s.now.Add(r.Timeout), sevent{kind: evTimer, t: t, epoch: t.timerEpoch})
+	s.events.Push(s.now.Add(r.Timeout), sevent{kind: evTimer, who: t.ti, epoch: t.timerEpoch})
 	s.blockThread(cpu, t, o)
 	return true
 }
@@ -282,9 +289,13 @@ func (s *sim) timerExpired(t *sthread) {
 
 // condSignal releases up to n waiters; each must re-acquire its mutex.
 func (s *sim) condSignal(by *sthread, o *sobject, n int) {
-	for i := 0; i < n && len(o.cwaiters) > 0; i++ {
-		t := o.cwaiters[0]
-		o.cwaiters = o.cwaiters[1:]
+	for i := 0; i < n; i++ {
+		wi := s.popQ(&o.condQ)
+		if wi == nilIdx {
+			return
+		}
+		o.condLen--
+		t := &s.threads[wi]
 		t.okResult = true
 		s.reacquireMutexAndWake(t)
 	}
@@ -294,21 +305,21 @@ func (s *sim) condSignal(by *sthread, o *sobject, n int) {
 // wait on the condition than the recording released, the broadcaster
 // blocks until the recorded number have arrived; the last arrival releases
 // everybody, including the broadcaster.
-func (s *sim) opBroadcast(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
-	o := s.obj(r.Object)
+func (s *sim) opBroadcast(cpu *scpu, t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
+	o := s.obj(dc.Obj, r.Object)
 	needed := int(r.Released)
-	if len(o.cwaiters) >= needed {
-		s.condSignal(t, o, len(o.cwaiters))
+	if o.condLen >= needed {
+		s.condSignal(t, o, o.condLen)
 		return false
 	}
 	// The broadcaster waits "at the barrier" for the recorded number of
 	// arrivals; like a cond_wait it must release the mutex it holds so
 	// that the other threads can reach the condition, and re-acquire it
 	// when released.
-	if m := s.objects[r.MutexObject]; m != nil && m.owner == t {
+	if m := s.objOrNil(dc.Mutex); m != nil && m.owner == t {
 		s.mutexRelease(t, m)
 	}
-	o.pendingBroadcasts = append(o.pendingBroadcasts, &pendingBroadcast{
+	o.pendingBroadcasts = append(o.pendingBroadcasts, pendingBroadcast{
 		broadcaster: t,
 		needed:      needed,
 	})
@@ -323,21 +334,22 @@ func (s *sim) checkPendingBroadcast(arriver *sthread, o *sobject) {
 		return
 	}
 	pb := o.pendingBroadcasts[0]
-	if len(o.cwaiters) < pb.needed {
+	if o.condLen < pb.needed {
 		return
 	}
-	o.pendingBroadcasts = o.pendingBroadcasts[1:]
-	s.condSignal(arriver, o, len(o.cwaiters))
+	n := copy(o.pendingBroadcasts, o.pendingBroadcasts[1:])
+	o.pendingBroadcasts[n] = pendingBroadcast{}
+	o.pendingBroadcasts = o.pendingBroadcasts[:n]
+	s.condSignal(arriver, o, o.condLen)
 	s.reacquireMutexAndWake(pb.broadcaster)
 }
 
 // reacquireMutexAndWake finishes the wait: the thread re-acquires its
 // recorded mutex (queueing if contended) and then wakes.
 func (s *sim) reacquireMutexAndWake(t *sthread) {
-	r := t.rec()
 	var m *sobject
-	if r != nil {
-		m = s.objects[r.MutexObject]
+	if dc := t.drec(); dc != nil {
+		m = s.objOrNil(dc.Mutex)
 	}
 	if m == nil {
 		s.wake(t, -1, true)
@@ -348,41 +360,40 @@ func (s *sim) reacquireMutexAndWake(t *sthread) {
 		s.wake(t, -1, true)
 		return
 	}
-	m.waiters = append(m.waiters, t)
+	s.pushQ(&m.waitQ, t.ti)
 	t.waitObj = m
 }
 
 // ---- readers/writer lock -------------------------------------------------------
 
-func (s *sim) opRWRdLock(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
-	o := s.obj(r.Object)
-	if o.writer == nil && len(o.wwaiters) == 0 {
-		o.readers[t] = true
+func (s *sim) opRWRdLock(cpu *scpu, t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
+	o := s.obj(dc.Obj, r.Object)
+	if o.writer == nil && o.wrWaitQ.empty() {
+		o.readers = append(o.readers, t.ti)
 		return false
 	}
-	o.rwaiters = append(o.rwaiters, t)
+	s.pushQ(&o.rdWaitQ, t.ti)
 	s.blockThread(cpu, t, o)
 	return true
 }
 
-func (s *sim) opRWWrLock(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
-	o := s.obj(r.Object)
+func (s *sim) opRWWrLock(cpu *scpu, t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
+	o := s.obj(dc.Obj, r.Object)
 	if o.writer == nil && len(o.readers) == 0 {
 		o.writer = t
 		return false
 	}
-	o.wwaiters = append(o.wwaiters, t)
+	s.pushQ(&o.wrWaitQ, t.ti)
 	s.blockThread(cpu, t, o)
 	return true
 }
 
-func (s *sim) opRWUnlock(t *sthread, r *trace.CallRecord) bool {
-	o := s.obj(r.Object)
+func (s *sim) opRWUnlock(t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
+	o := s.obj(dc.Obj, r.Object)
 	switch {
 	case o.writer == t:
 		o.writer = nil
-	case o.readers[t]:
-		delete(o.readers, t)
+	case removeReader(o, t.ti):
 		if len(o.readers) > 0 {
 			return false
 		}
@@ -394,46 +405,59 @@ func (s *sim) opRWUnlock(t *sthread, r *trace.CallRecord) bool {
 	return false
 }
 
+// removeReader deletes a thread from the ordered reader set, preserving
+// acquisition order; false if the thread is not a reader.
+func removeReader(o *sobject, ti int32) bool {
+	for i, ri := range o.readers {
+		if ri == ti {
+			o.readers = append(o.readers[:i], o.readers[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
 func (s *sim) rwRelease(by *sthread, o *sobject) {
 	if o.writer != nil || len(o.readers) > 0 {
 		return
 	}
-	if len(o.wwaiters) > 0 {
-		next := o.wwaiters[0]
-		o.wwaiters = o.wwaiters[1:]
+	if ni := s.popQ(&o.wrWaitQ); ni != nilIdx {
+		next := &s.threads[ni]
 		o.writer = next
 		s.wake(next, fromCPUOf(by), true)
 		return
 	}
-	for len(o.rwaiters) > 0 {
-		next := o.rwaiters[0]
-		o.rwaiters = o.rwaiters[1:]
-		o.readers[next] = true
-		s.wake(next, fromCPUOf(by), true)
+	for ni := s.popQ(&o.rdWaitQ); ni != nilIdx; ni = s.popQ(&o.rdWaitQ) {
+		o.readers = append(o.readers, ni)
+		s.wake(&s.threads[ni], fromCPUOf(by), true)
 	}
 }
 
 // ---- I/O device (replayed with the recorded service times) -------------------
 
-func (s *sim) opIO(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
-	o := s.obj(r.Object)
-	service := r.Timeout
-	if service < 0 {
-		service = 0
-	}
+func (s *sim) opIO(cpu *scpu, t *sthread, r *trace.CallRecord, dc *trace.DenseCall) bool {
+	o := s.obj(dc.Obj, r.Object)
 	if o.ioCurrent == nil {
-		s.ioStart(o, t, service)
+		s.ioStart(o, t, ioService(r))
 	} else {
-		o.ioQueue = append(o.ioQueue, sioRequest{t: t, service: service})
+		s.pushQ(&o.ioQ, t.ti)
 	}
 	s.blockThread(cpu, t, o)
 	return true
 }
 
+// ioService is the recorded device service time of an I/O record.
+func ioService(r *trace.CallRecord) vtime.Duration {
+	if r.Timeout < 0 {
+		return 0
+	}
+	return r.Timeout
+}
+
 func (s *sim) ioStart(o *sobject, t *sthread, service vtime.Duration) {
 	o.ioCurrent = t
 	o.ioEpoch++
-	s.events.Push(s.now.Add(service), sevent{kind: evIODone, obj: o, epoch: o.ioEpoch})
+	s.events.Push(s.now.Add(service), sevent{kind: evIODone, who: o.oi, epoch: o.ioEpoch})
 }
 
 func (s *sim) ioDone(o *sobject, epoch uint64) {
@@ -443,20 +467,21 @@ func (s *sim) ioDone(o *sobject, epoch uint64) {
 	done := o.ioCurrent
 	o.ioCurrent = nil
 	s.wake(done, -1, true)
-	if len(o.ioQueue) > 0 {
-		next := o.ioQueue[0]
-		o.ioQueue = o.ioQueue[1:]
-		s.ioStart(o, next.t, next.service)
+	if ni := s.popQ(&o.ioQ); ni != nilIdx {
+		// The queued requester is still parked on its I/O record, so its
+		// recorded service time can be re-read rather than stored.
+		next := &s.threads[ni]
+		s.ioStart(o, next, ioService(next.rec()))
 	}
 }
 
 // ---- thr_suspend / thr_continue (replayed) ------------------------------------
 
-func (s *sim) opSuspend(cpu *scpu, t *sthread, r *trace.CallRecord) bool {
-	target, ok := s.threads[r.Target]
-	if !ok {
+func (s *sim) opSuspend(cpu *scpu, t *sthread, dc *trace.DenseCall) bool {
+	if dc.Target == nilIdx {
 		return false
 	}
+	target := &s.threads[dc.Target]
 	if target.suspended || target.state == tZombie || target.state == tNotStarted {
 		return false
 	}
@@ -518,9 +543,12 @@ func (s *sim) unqueueRunnable(t *sthread) {
 	}
 }
 
-func (s *sim) opContinue(t *sthread, r *trace.CallRecord) {
-	target, ok := s.threads[r.Target]
-	if !ok || !target.suspended || target.state == tZombie {
+func (s *sim) opContinue(t *sthread, dc *trace.DenseCall) {
+	if dc.Target == nilIdx {
+		return
+	}
+	target := &s.threads[dc.Target]
+	if !target.suspended || target.state == tZombie {
 		return
 	}
 	target.suspended = false

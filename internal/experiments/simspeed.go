@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"vppb/internal/core"
+	"vppb/internal/recorder"
+	"vppb/internal/trace"
+	"vppb/internal/workloads"
+)
+
+// Experiment E12: simulator replay throughput. The whole tool rests on
+// simulated re-execution being cheap enough to sweep "what happens on N
+// CPUs?" interactively (paper section 4), and vppb-serve's capacity and
+// the -sim-events-per-sec deadline budget are both directly proportional
+// to how many probe events the replay loop retires per second. This
+// experiment measures events/sec and allocation behaviour per workload and
+// compares against the committed pre-refactor baseline, so the perf
+// trajectory is pinned in results/BENCH_simspeed.json and CI fails loudly
+// on regressions.
+
+// simSpeedBaseline is the pre-refactor throughput of this harness, in
+// events/sec per row, measured at commit ea6e343 (the pointer-graph
+// simulator, before the flat-arena hot loop) with the defaults
+// (-scale 1.0). Each entry is the per-row median over eight interleaved
+// old/new binary runs on the reference dev machine — interleaving is the
+// only honest protocol on a shared box, where back-to-back sessions can
+// differ by tens of percent from host interference alone. Keyed by row
+// name; a zero entry means no baseline was recorded.
+var simSpeedBaseline = map[string]float64{
+	"example_2p":      1_680_457,
+	"fft_8p":          1_003_675,
+	"radix_8p":        1_521_599,
+	"waterspatial_8p": 2_213_667,
+	"lu_8p":           1_825_041,
+	"ocean_8p":        3_066_935,
+	"ocean_16t_8p":    1_472_092,
+}
+
+// SimSpeedRow is one workload's measured replay throughput.
+type SimSpeedRow struct {
+	// Name identifies the row (workload_cpus).
+	Name string `json:"name"`
+	// Workload and CPUs describe the simulated machine.
+	Workload string `json:"workload"`
+	CPUs     int    `json:"cpus"`
+	// Events is the number of simulated probe events per replay.
+	Events int64 `json:"events_per_run"`
+	// Runs is how many timed replays the measurement averaged over.
+	Runs int `json:"runs"`
+	// EventsPerSec is the measured replay throughput.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocsPerRun is the average heap allocations of one full replay
+	// (profile setup included; the steady-state loop itself allocates
+	// nothing — see TestSteadyStateReplayAllocs).
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	// AllocsPerEvent is AllocsPerRun divided by Events.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// BaselineEventsPerSec is the committed pre-refactor throughput of the
+	// same row (0 = no baseline recorded).
+	BaselineEventsPerSec float64 `json:"baseline_events_per_sec,omitempty"`
+	// SpeedupVsBaseline is EventsPerSec / BaselineEventsPerSec.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// SimSpeedResult is experiment E12.
+type SimSpeedResult struct {
+	Rows   []SimSpeedRow `json:"rows"`
+	Report string        `json:"-"`
+}
+
+// simSpeedCase is one measured configuration.
+type simSpeedCase struct {
+	name     string
+	workload string
+	threads  int
+	scale    float64 // multiplied by Options.Scale
+	cpus     int
+}
+
+// simSpeedCases: the five Table 1 kernels at the paper's headline machine
+// size, the running example as the small case, and a scaled-up Ocean as
+// the large case.
+func simSpeedCases() []simSpeedCase {
+	return []simSpeedCase{
+		{"example_2p", "example", 2, 1.0, 2},
+		{"fft_8p", "fft", 8, 1.0, 8},
+		{"radix_8p", "radix", 8, 1.0, 8},
+		{"waterspatial_8p", "waterspatial", 8, 1.0, 8},
+		{"lu_8p", "lu", 8, 1.0, 8},
+		{"ocean_8p", "ocean", 8, 1.0, 8},
+		{"ocean_16t_8p", "ocean", 16, 1.0, 8},
+	}
+}
+
+// simSpeedMinTime is how long each row is measured; enough replays run to
+// fill it (at least simSpeedMinRuns).
+const (
+	simSpeedMinTime = 300 * time.Millisecond
+	simSpeedMinRuns = 3
+)
+
+// SimSpeed measures replay throughput for every case, sequentially (a
+// timing experiment must not share the machine with its own siblings).
+func SimSpeed(opts Options) (*SimSpeedResult, error) {
+	opts = opts.normalized()
+	res := &SimSpeedResult{}
+	for _, c := range simSpeedCases() {
+		row, err := simSpeedRow(c, opts)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, *row)
+	}
+	res.Report = formatSimSpeed(res.Rows)
+	return res, nil
+}
+
+func simSpeedRow(c simSpeedCase, opts Options) (*SimSpeedRow, error) {
+	w, err := workloads.Get(c.workload)
+	if err != nil {
+		return nil, err
+	}
+	prm := workloads.Params{Threads: c.threads, Scale: c.scale * opts.Scale}
+	log, _, err := recorder.Record(w.Bind(prm), recorder.Options{Program: w.Name, Policy: opts.Policy})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: simspeed recording of %s: %w", c.workload, err)
+	}
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		return nil, err
+	}
+	m := core.Machine{CPUs: c.cpus, Policy: opts.Policy}
+	// Warm run: faults surface here, and the measurement below starts from
+	// a steady heap.
+	first, err := core.SimulateProfile(prof, m)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: simspeed replay of %s: %w", c.workload, err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	runs := 0
+	started := time.Now()
+	for elapsed := time.Duration(0); elapsed < simSpeedMinTime || runs < simSpeedMinRuns; elapsed = time.Since(started) {
+		if _, err := core.SimulateProfile(prof, m); err != nil {
+			return nil, err
+		}
+		runs++
+	}
+	wall := time.Since(started)
+	runtime.ReadMemStats(&after)
+	allocsPerRun := float64(after.Mallocs-before.Mallocs) / float64(runs)
+	row := &SimSpeedRow{
+		Name:           c.name,
+		Workload:       c.workload,
+		CPUs:           c.cpus,
+		Events:         first.Events,
+		Runs:           runs,
+		EventsPerSec:   float64(first.Events) * float64(runs) / wall.Seconds(),
+		AllocsPerRun:   allocsPerRun,
+		AllocsPerEvent: allocsPerRun / float64(first.Events),
+	}
+	if base := simSpeedBaseline[c.name]; base > 0 {
+		row.BaselineEventsPerSec = base
+		row.SpeedupVsBaseline = row.EventsPerSec / base
+	}
+	return row, nil
+}
+
+func formatSimSpeed(rows []SimSpeedRow) string {
+	var b strings.Builder
+	b.WriteString("Simulator replay throughput (events = simulated probe events)\n\n")
+	fmt.Fprintf(&b, "%-16s %5s %9s %6s %14s %11s %12s %9s\n",
+		"workload", "cpus", "events", "runs", "events/sec", "allocs/run", "allocs/event", "vs base")
+	for _, r := range rows {
+		base := "n/a"
+		if r.SpeedupVsBaseline > 0 {
+			base = fmt.Sprintf("%.2fx", r.SpeedupVsBaseline)
+		}
+		fmt.Fprintf(&b, "%-16s %5d %9d %6d %14.0f %11.1f %12.4f %9s\n",
+			r.Name, r.CPUs, r.Events, r.Runs, r.EventsPerSec, r.AllocsPerRun, r.AllocsPerEvent, base)
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package sched
+
+import "testing"
+
+// TestCoreSteadyStateAllocs pins the zero-allocation contract of the
+// scheduler hot path: once the queues have reached their peak size, a full
+// undispatch → requeue → dispatch → slice-expiry cycle must not touch the
+// heap. The simulator drives these entry points once or more per simulated
+// event, so a single allocation here is a per-event allocation for every
+// prediction.
+func TestCoreSteadyStateAllocs(t *testing.T) {
+	core, _, cpus := newFakeCore(t, "ts", 2, false)
+	lwps := make([]*fakeLWP, 4)
+	for i := range lwps {
+		lwps[i] = newLWP(i, 30)
+		core.PushKernelQ(lwps[i])
+	}
+	// Warm up: queues and idle list grow to their steady-state capacity.
+	core.DispatchAll()
+	for r := 0; r < 3; r++ {
+		for _, cpu := range cpus {
+			core.Undispatch(cpu)
+		}
+		core.DispatchAll()
+		core.PreemptPass()
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, cpu := range cpus {
+			core.Undispatch(cpu)
+		}
+		core.DispatchAll()
+		core.PreemptPass()
+		for _, cpu := range cpus {
+			if l := cpu.SchedLWP(); l != nil {
+				core.SliceExpired(l)
+			}
+		}
+		core.DispatchAll()
+		core.PreemptPass()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scheduler cycle allocates: %v allocs/cycle", allocs)
+	}
+}
+
+// TestUserRunQSteadyStateAllocs covers the thread-side queue the same way:
+// parking and reclaiming threads through the user run queue must reuse the
+// backing array once it has grown.
+func TestUserRunQSteadyStateAllocs(t *testing.T) {
+	core, _, _ := newFakeCore(t, "ts", 1, false)
+	threads := make([]*fakeThread, 8)
+	for i := range threads {
+		threads[i] = &fakeThread{id: i, prio: 20 + i, boundCPU: -1}
+	}
+	for r := 0; r < 3; r++ {
+		for _, th := range threads {
+			core.PushUserRunQ(th)
+		}
+		for range threads {
+			core.PopUserRunQ()
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, th := range threads {
+			core.PushUserRunQ(th)
+		}
+		for range threads {
+			core.PopUserRunQ()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("user run queue cycle allocates: %v allocs/cycle", allocs)
+	}
+}

@@ -94,22 +94,51 @@ type Core[T Thread[L], L LWP[T, C], C CPU[L]] struct {
 	kernelQ  []L
 	idleLWPs []L
 
+	// dispatchDirty and preemptDirty record whether any state change since
+	// the last DispatchAll / PreemptPass could possibly let the pass do
+	// work. The engines call both passes after every simulated event; on
+	// stale or no-op events (the common case in a contended replay) the
+	// flags turn the O(CPUs) and O(kernelQ x CPUs) scans into a single
+	// branch. A dispatch opportunity requires a kernel-queue insertion or
+	// a CPU going idle; a preemption opportunity requires a kernel-queue
+	// insertion or a running LWP's priority drop (every policy's
+	// ShouldPreempt(q, r) implies Precedes(q, r), so a placement taken
+	// best-first from the queue can never itself be preemptable by what
+	// remains queued).
+	dispatchDirty bool
+	preemptDirty  bool
+
+	// idleCPUs counts CPUs with no linked LWP. All link changes funnel
+	// through Core (dispatch placement, Unlink, NextThread's idle branch),
+	// so the count is exact and DispatchAll can skip its CPU scan outright
+	// while every CPU is busy — the steady state of a contended replay.
+	idleCPUs int
+
 	// OnPushKernelQ, when non-nil, runs before every kernel-queue
 	// insertion — the engines' debug-invariant hook.
 	OnPushKernelQ func(L)
+
+	// OnSliceInvalidated, when non-nil, runs whenever a running LWP's
+	// slice epoch advances outside ArmSlice (it leaves its CPU), so an
+	// engine keeping its own timer bookkeeping can disarm eagerly instead
+	// of re-validating epochs on every delivery.
+	OnSliceInvalidated func(L)
 }
 
 // NewCore builds a scheduler over the given CPUs. hint preallocates the
 // queues (the Simulator knows its thread count up front).
 func NewCore[T Thread[L], L LWP[T, C], C CPU[L]](policy Policy, engine Engine[T, L, C], cpus []C, noPreemption bool, hint int) *Core[T, L, C] {
 	return &Core[T, L, C]{
-		policy:    policy,
-		engine:    engine,
-		cpus:      cpus,
-		noPreempt: noPreemption,
-		userRunQ:  make([]T, 0, hint),
-		kernelQ:   make([]L, 0, hint),
-		idleLWPs:  make([]L, 0, hint),
+		policy:        policy,
+		engine:        engine,
+		cpus:          cpus,
+		noPreempt:     noPreemption,
+		userRunQ:      make([]T, 0, hint),
+		kernelQ:       make([]L, 0, hint),
+		idleLWPs:      make([]L, 0, hint),
+		dispatchDirty: true,
+		preemptDirty:  true,
+		idleCPUs:      len(cpus),
 	}
 }
 
@@ -147,14 +176,19 @@ func (c *Core[T, L, C]) PushUserRunQ(t T) {
 }
 
 // PopUserRunQ removes and returns the best queued thread, or the zero
-// value.
+// value. The pop copies down rather than re-slicing from the front: a
+// front re-slice slides the live window along the backing array, forcing
+// a fresh allocation every cap-many pushes in steady state.
 func (c *Core[T, L, C]) PopUserRunQ() T {
 	if len(c.userRunQ) == 0 {
 		var zero T
 		return zero
 	}
 	t := c.userRunQ[0]
-	c.userRunQ = c.userRunQ[1:]
+	n := copy(c.userRunQ, c.userRunQ[1:])
+	var zero T
+	c.userRunQ[n] = zero
+	c.userRunQ = c.userRunQ[:n]
 	return t
 }
 
@@ -175,6 +209,8 @@ func (c *Core[T, L, C]) PushKernelQ(l L) {
 	if c.OnPushKernelQ != nil {
 		c.OnPushKernelQ(l)
 	}
+	c.dispatchDirty = true
+	c.preemptDirty = true
 	i := len(c.kernelQ)
 	for i > 0 && c.policy.Precedes(l.Node().Prio, c.kernelQ[i-1].Node().Prio) {
 		i--
@@ -240,8 +276,14 @@ func (c *Core[T, L, C]) Wake(t T, boost bool) {
 		return
 	}
 	if len(c.idleLWPs) > 0 {
+		// FIFO, with the same copy-down pop as PopUserRunQ: the oldest
+		// idle LWP is reused first (LIFO would change LWP assignment and
+		// with it recorded LWP ids), and the backing array never slides.
 		l := c.idleLWPs[0]
-		c.idleLWPs = c.idleLWPs[1:]
+		n := copy(c.idleLWPs, c.idleLWPs[1:])
+		var zeroL L
+		c.idleLWPs[n] = zeroL
+		c.idleLWPs = c.idleLWPs[:n]
 		l.SetSchedThread(t)
 		t.SetSchedLWP(l)
 		c.refreshWake(l, boost)
@@ -266,8 +308,13 @@ func (c *Core[T, L, C]) refreshWake(l L, boost bool) {
 // streams — the CPU's burst epoch and the LWP's slice epoch. Every
 // requeue or park of a running LWP funnels through here.
 func (c *Core[T, L, C]) Unlink(cpu C, l L) {
+	c.dispatchDirty = true // the CPU goes idle
+	c.idleCPUs++
 	cpu.Node().Epoch++
 	l.Node().SliceEpoch++
+	if c.OnSliceInvalidated != nil {
+		c.OnSliceInvalidated(l)
+	}
 	var zeroL L
 	var zeroC C
 	cpu.SetSchedLWP(zeroL)
@@ -295,8 +342,21 @@ func (c *Core[T, L, C]) Undispatch(cpu C) {
 // DispatchAll assigns runnable LWPs to idle CPUs until no assignment is
 // possible, invoking the engine's Placed hook for each.
 func (c *Core[T, L, C]) DispatchAll() {
+	if !c.dispatchDirty {
+		return
+	}
 	var zeroL L
 	for {
+		// DispatchAll runs after every simulated event; an empty kernel
+		// queue or a fully busy machine (the two common steady states) must
+		// cost nothing. Clearing the flag on exit is sound because the loop
+		// runs to quiescence: any insertion or CPU release a Placed hook
+		// triggers mid-pass is observed by the final no-progress scan, and
+		// every future CPU release re-sets the flag.
+		if len(c.kernelQ) == 0 || c.idleCPUs == 0 {
+			c.dispatchDirty = false
+			return
+		}
 		progress := false
 		for _, cpu := range c.cpus {
 			if cpu.SchedLWP() != zeroL {
@@ -308,10 +368,12 @@ func (c *Core[T, L, C]) DispatchAll() {
 			}
 			cpu.SetSchedLWP(l)
 			l.SetSchedCPU(cpu)
+			c.idleCPUs--
 			c.engine.Placed(cpu, l)
 			progress = true
 		}
 		if !progress {
+			c.dispatchDirty = false
 			return
 		}
 	}
@@ -322,12 +384,16 @@ func (c *Core[T, L, C]) DispatchAll() {
 // with the lowest priority and re-dispatch. Preemption happens only at
 // event boundaries, never in the middle of an operation.
 func (c *Core[T, L, C]) PreemptPass() {
-	if c.noPreempt {
+	if c.noPreempt || !c.preemptDirty {
 		return
 	}
 	var zeroL L
 	var zeroC C
 	for {
+		if len(c.kernelQ) == 0 {
+			c.preemptDirty = false
+			return
+		}
 		preempted := false
 		for _, l := range c.kernelQ {
 			victim := zeroC
@@ -349,6 +415,10 @@ func (c *Core[T, L, C]) PreemptPass() {
 			}
 		}
 		if !preempted {
+			// Quiescent: the scan just proved no queued LWP can preempt
+			// any runner, so the pass stays a no-op until the next
+			// insertion or priority drop sets the flag again.
+			c.preemptDirty = false
 			return
 		}
 	}
@@ -364,7 +434,12 @@ func (c *Core[T, L, C]) NextThread(cpu C, l L) {
 	if next == zeroT {
 		// No cpu-epoch bump here: the caller already invalidated the
 		// burst stream when it detached the previous thread.
+		c.dispatchDirty = true // the CPU goes idle
+		c.idleCPUs++
 		l.Node().SliceEpoch++
+		if c.OnSliceInvalidated != nil {
+			c.OnSliceInvalidated(l)
+		}
 		var zeroL L
 		var zeroC C
 		l.SetSchedCPU(zeroC)
@@ -419,6 +494,10 @@ func (c *Core[T, L, C]) SliceExpired(l L) bool {
 	waiting, has := c.peekKernelQ(cpu)
 	n := l.Node()
 	newPrio, yield := c.policy.OnSliceExpiry(n.Prio, waiting, has)
+	if newPrio < n.Prio {
+		// A running LWP's priority dropped: queued LWPs may now preempt it.
+		c.preemptDirty = true
+	}
 	n.Prio = newPrio
 	n.QuantumLeft = c.policy.Quantum(newPrio)
 	if yield {

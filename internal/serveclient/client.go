@@ -233,17 +233,40 @@ func (c *Client) backoff(n int, header http.Header) time.Duration {
 	return d
 }
 
-// retryAfter parses a delay-seconds Retry-After header (0 when absent or
-// unparseable; HTTP-date form is not used by vppb-serve).
+// retryAfter parses a Retry-After header in either RFC 9110 §10.2.3 form:
+// delay-seconds, or an HTTP-date (vppb-serve sends delay-seconds, but the
+// client may sit behind proxies that rewrite the header). The result is 0
+// when the header is absent or unparseable, and for an HTTP-date that is
+// not in the future — a past date means "retry now", and with client/server
+// clock skew that is the only safe reading.
 func retryAfter(header http.Header) time.Duration {
+	return retryAfterAt(header, time.Now())
+}
+
+func retryAfterAt(header http.Header, now time.Time) time.Duration {
 	if header == nil {
 		return 0
 	}
-	secs, err := strconv.Atoi(header.Get("Retry-After"))
-	if err != nil || secs < 0 {
+	v := header.Get("Retry-After")
+	if v == "" {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	when, err := http.ParseTime(v)
+	if err != nil {
+		// Unparseable: treat as absent rather than stalling or failing.
+		return 0
+	}
+	d := when.Sub(now)
+	if d < 0 {
+		return 0
+	}
+	return d
 }
 
 // sleep waits d, or returns early with the context's error.

@@ -246,3 +246,55 @@ func TestContextCancellationStopsRetrying(t *testing.T) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
+
+func TestRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, time.August, 8, 12, 0, 0, 0, time.UTC)
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	cases := []struct {
+		name   string
+		header http.Header
+		want   time.Duration
+	}{
+		{"absent", nil, 0},
+		{"empty", mk(""), 0},
+		{"delay-seconds", mk("7"), 7 * time.Second},
+		{"delay-seconds zero", mk("0"), 0},
+		{"negative seconds", mk("-3"), 0},
+		{"http-date future", mk(now.Add(90 * time.Second).Format(http.TimeFormat)), 90 * time.Second},
+		// A server whose clock runs behind ours produces a date already
+		// in the past; the only safe reading is "retry now", not a
+		// negative delay or a parse failure.
+		{"http-date past (clock skew)", mk(now.Add(-30 * time.Second).Format(http.TimeFormat)), 0},
+		{"unparseable", mk("soon"), 0},
+	}
+	for _, tc := range cases {
+		if got := retryAfterAt(tc.header, now); got != tc.want {
+			t.Errorf("%s: retryAfterAt = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRetryAfterHTTPDateFloorsBackoff(t *testing.T) {
+	// An HTTP-date Retry-After must floor the computed backoff exactly
+	// like the delay-seconds form does.
+	date := time.Now().Add(5 * time.Minute).Format(http.TimeFormat)
+	var slept []time.Duration
+	_, ts := newScripted(t, scripted{status: 503, retryAfter: date}, scripted{status: 200, body: "ok"})
+	c := New(Config{BaseURL: ts.URL, Seed: 3, Sleep: func(d time.Duration) { slept = append(slept, d) }})
+	res, err := c.Predict(context.Background(), []byte("a log"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != 200 || res.Retries != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(slept) != 1 || slept[0] < 4*time.Minute {
+		t.Fatalf("slept %v, want one sleep floored near 5m", slept)
+	}
+}

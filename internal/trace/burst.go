@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"vppb/internal/source"
 	"vppb/internal/vtime"
@@ -78,6 +79,82 @@ type Profile struct {
 	// never iterate the Threads map directly (map order is random and
 	// would make replays nondeterministic).
 	IDs []ThreadID
+
+	denseOnce sync.Once
+	dense     *ProfileIndex
+}
+
+// DenseCall carries the dense arena indices of one CallRecord's
+// references, precomputed once per profile so the Simulator's hot loop
+// replays without a single map lookup. A -1 index means the reference is
+// absent (no object on the call, wildcard join target, or a reference to
+// an entity the recording never declared — the Simulator keeps its
+// original diagnostics for those).
+type DenseCall struct {
+	// Obj and Mutex index Log.Objects.
+	Obj, Mutex int32
+	// Target indexes ThreadIDs() (ascending-ID dense thread ids).
+	Target int32
+}
+
+// ProfileIndex is the dense-id view of a Profile: every ThreadID and
+// ObjectID reference resolved to an arena index. It is built once per
+// profile (lazily, concurrency-safe) and shared by all simulations.
+type ProfileIndex struct {
+	threadIdx map[ThreadID]int32
+	// Calls holds one DenseCall per CallRecord, indexed by dense thread
+	// id then call position — aligned with ThreadProfile.Calls.
+	Calls [][]DenseCall
+}
+
+// ThreadIndex resolves a ThreadID to its dense index, or -1.
+func (ix *ProfileIndex) ThreadIndex(id ThreadID) int32 {
+	if i, ok := ix.threadIdx[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Dense returns the profile's dense-id index, building it on first use.
+// Safe for concurrent callers; the result is immutable.
+func (p *Profile) Dense() *ProfileIndex {
+	p.denseOnce.Do(func() { p.dense = p.buildDense() })
+	return p.dense
+}
+
+func (p *Profile) buildDense() *ProfileIndex {
+	ids := p.ThreadIDs()
+	ix := &ProfileIndex{
+		threadIdx: make(map[ThreadID]int32, len(ids)),
+		Calls:     make([][]DenseCall, len(ids)),
+	}
+	for i, id := range ids {
+		ix.threadIdx[id] = int32(i)
+	}
+	objIdx := make(map[ObjectID]int32, len(p.Log.Objects))
+	for i, oi := range p.Log.Objects {
+		objIdx[oi.ID] = int32(i)
+	}
+	resolveObj := func(id ObjectID) int32 {
+		if i, ok := objIdx[id]; ok {
+			return i
+		}
+		return -1
+	}
+	for ti, id := range ids {
+		calls := p.Threads[id].Calls
+		dense := make([]DenseCall, len(calls))
+		for ci := range calls {
+			r := &calls[ci]
+			d := DenseCall{Obj: resolveObj(r.Object), Mutex: resolveObj(r.MutexObject), Target: -1}
+			if t, ok := ix.threadIdx[r.Target]; ok {
+				d.Target = t
+			}
+			dense[ci] = d
+		}
+		ix.Calls[ti] = dense
+	}
+	return ix
 }
 
 // ThreadIDs returns the profiled thread IDs in ascending order. It

@@ -226,33 +226,59 @@ func (tl *Timeline) Validate() error {
 }
 
 // TimelineBuilder incrementally assembles per-thread timelines, coalescing
-// adjacent spans that share a state and CPU.
+// adjacent spans that share a state and CPU. StartThread returns a dense
+// handle; the *H methods take that handle and skip the per-call map
+// lookup, which is what the Simulator's hot loop uses (one span or placed
+// event per simulated state change adds up).
 type TimelineBuilder struct {
-	threads map[ThreadID]*ThreadTimeline
-	order   []ThreadID
+	index map[ThreadID]int
+	tls   []*ThreadTimeline
 }
 
 // NewTimelineBuilder returns an empty builder.
 func NewTimelineBuilder() *TimelineBuilder {
-	return &TimelineBuilder{threads: make(map[ThreadID]*ThreadTimeline)}
+	return &TimelineBuilder{index: make(map[ThreadID]int)}
 }
 
-// StartThread registers a thread and its creation time.
-func (b *TimelineBuilder) StartThread(info ThreadInfo, at vtime.Time) {
-	if _, ok := b.threads[info.ID]; ok {
-		return
+// StartThread registers a thread and its creation time, returning the
+// thread's dense handle for the *H fast paths. Registering a thread twice
+// returns the original handle.
+func (b *TimelineBuilder) StartThread(info ThreadInfo, at vtime.Time) int {
+	if h, ok := b.index[info.ID]; ok {
+		return h
 	}
-	b.threads[info.ID] = &ThreadTimeline{Info: info, Created: at, Ended: at}
-	b.order = append(b.order, info.ID)
+	h := len(b.tls)
+	b.index[info.ID] = h
+	b.tls = append(b.tls, &ThreadTimeline{Info: info, Created: at, Ended: at})
+	return h
+}
+
+// Reserve preallocates a thread's span and event storage. events is an
+// upper bound on AddEvent calls (the Simulator knows it exactly: one per
+// call record plus the exit); spans is a hint.
+func (b *TimelineBuilder) Reserve(h int, spans, events int) {
+	th := b.tls[h]
+	if cap(th.Spans) < spans {
+		th.Spans = make([]Span, 0, spans)
+	}
+	if cap(th.Events) < events {
+		th.Events = make([]PlacedEvent, 0, events)
+	}
 }
 
 // AddSpan appends a state span for a thread. Zero-length spans are
 // dropped; spans adjacent to an identical-state span merge.
 func (b *TimelineBuilder) AddSpan(id ThreadID, s Span) {
-	th, ok := b.threads[id]
+	h, ok := b.index[id]
 	if !ok {
 		panic(fmt.Sprintf("trace: AddSpan for unregistered thread %d", id))
 	}
+	b.AddSpanH(h, s)
+}
+
+// AddSpanH is AddSpan by dense handle.
+func (b *TimelineBuilder) AddSpanH(h int, s Span) {
+	th := b.tls[h]
 	if s.End <= s.Start {
 		return
 	}
@@ -274,16 +300,39 @@ func (b *TimelineBuilder) AddSpan(id ThreadID, s Span) {
 
 // AddEvent appends a placed event for a thread.
 func (b *TimelineBuilder) AddEvent(id ThreadID, pe PlacedEvent) {
-	th, ok := b.threads[id]
+	h, ok := b.index[id]
 	if !ok {
 		panic(fmt.Sprintf("trace: AddEvent for unregistered thread %d", id))
 	}
+	b.AddEventH(h, pe)
+}
+
+// AddEventH is AddEvent by dense handle.
+func (b *TimelineBuilder) AddEventH(h int, pe PlacedEvent) {
+	th := b.tls[h]
 	th.Events = append(th.Events, pe)
+}
+
+// NextEventH appends a zeroed placed event for the thread and returns a
+// pointer to the slot, valid until the thread's next append. The hot path
+// fills the slot in place instead of copying a fully built PlacedEvent
+// twice.
+func (b *TimelineBuilder) NextEventH(h int) *PlacedEvent {
+	th := b.tls[h]
+	th.Events = append(th.Events, PlacedEvent{})
+	return &th.Events[len(th.Events)-1]
 }
 
 // EndThread records a thread's end time.
 func (b *TimelineBuilder) EndThread(id ThreadID, at vtime.Time) {
-	if th, ok := b.threads[id]; ok && at > th.Ended {
+	if h, ok := b.index[id]; ok {
+		b.EndThreadH(h, at)
+	}
+}
+
+// EndThreadH is EndThread by dense handle.
+func (b *TimelineBuilder) EndThreadH(h int, at vtime.Time) {
+	if th := b.tls[h]; at > th.Ended {
 		th.Ended = at
 	}
 }
@@ -291,8 +340,9 @@ func (b *TimelineBuilder) EndThread(id ThreadID, at vtime.Time) {
 // Build assembles the Timeline. Threads appear in registration order.
 func (b *TimelineBuilder) Build(program string, cpus, lwps int, duration vtime.Duration) *Timeline {
 	tl := &Timeline{Program: program, CPUs: cpus, LWPs: lwps, Duration: duration}
-	for _, id := range b.order {
-		tl.Threads = append(tl.Threads, *b.threads[id])
+	tl.Threads = make([]ThreadTimeline, 0, len(b.tls))
+	for _, th := range b.tls {
+		tl.Threads = append(tl.Threads, *th)
 	}
 	return tl
 }

@@ -20,6 +20,18 @@ type entry[T any] struct {
 // Len reports the number of queued items.
 func (q *EventQueue[T]) Len() int { return len(q.heap) }
 
+// Reserve grows the queue's backing storage to hold at least n items
+// without reallocating, so a simulation whose peak queue size is known up
+// front never pays for heap growth mid-run.
+func (q *EventQueue[T]) Reserve(n int) {
+	if cap(q.heap) >= n {
+		return
+	}
+	heap := make([]entry[T], len(q.heap), n)
+	copy(heap, q.heap)
+	q.heap = heap
+}
+
 // Push queues item for delivery at time at.
 func (q *EventQueue[T]) Push(at Time, item T) {
 	q.heap = append(q.heap, entry[T]{at: at, seq: q.seq, item: item})
@@ -31,6 +43,25 @@ func (q *EventQueue[T]) Push(at Time, item T) {
 // queue is empty; check Len first.
 func (q *EventQueue[T]) PeekTime() Time {
 	return q.heap[0].at
+}
+
+// PeekKey returns the full ordering key — timestamp and insertion
+// sequence — of the earliest item. It panics if the queue is empty; check
+// Len first. Callers merging the queue with an external timer source
+// compare keys to deliver in exactly the order one combined queue would.
+func (q *EventQueue[T]) PeekKey() (Time, uint64) {
+	return q.heap[0].at, q.heap[0].seq
+}
+
+// ReserveSeq consumes and returns the next insertion sequence number
+// without queuing anything. An external timer stamped with a reserved
+// sequence number ties with queued items exactly as if it had been pushed
+// here at reservation time — the pattern the simulator uses to keep its
+// per-LWP slice timers out of the heap without perturbing delivery order.
+func (q *EventQueue[T]) ReserveSeq() uint64 {
+	s := q.seq
+	q.seq++
+	return s
 }
 
 // Pop removes and returns the earliest item and its timestamp. It panics if
@@ -46,39 +77,57 @@ func (q *EventQueue[T]) Pop() (Time, T) {
 	return top.at, top.item
 }
 
-func (q *EventQueue[T]) less(i, j int) bool {
-	if q.heap[i].at != q.heap[j].at {
-		return q.heap[i].at < q.heap[j].at
+// The heap is 4-ary with hole-based sifting: half the levels of a binary
+// heap (fewer data-dependent branches per Pop) and one entry move per
+// level instead of a swap. Delivery order is unaffected by the heap
+// shape — the (at, seq) comparator is a total order with a unique seq per
+// entry, so the minimum is unique and arity cannot change which entry any
+// Pop returns.
+const heapArity = 4
+
+func lessEntry[T any](a, b *entry[T]) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q.heap[i].seq < q.heap[j].seq
+	return a.seq < b.seq
 }
 
 func (q *EventQueue[T]) up(i int) {
+	e := q.heap[i]
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		parent := (i - 1) / heapArity
+		if !lessEntry(&e, &q.heap[parent]) {
 			break
 		}
-		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		q.heap[i] = q.heap[parent]
 		i = parent
 	}
+	q.heap[i] = e
 }
 
 func (q *EventQueue[T]) down(i int) {
 	n := len(q.heap)
+	e := q.heap[i]
 	for {
-		left := 2*i + 1
-		if left >= n {
-			return
+		first := heapArity*i + 1
+		if first >= n {
+			break
 		}
-		least := left
-		if right := left + 1; right < n && q.less(right, left) {
-			least = right
+		least := first
+		end := first + heapArity
+		if end > n {
+			end = n
 		}
-		if !q.less(least, i) {
-			return
+		for c := first + 1; c < end; c++ {
+			if lessEntry(&q.heap[c], &q.heap[least]) {
+				least = c
+			}
 		}
-		q.heap[i], q.heap[least] = q.heap[least], q.heap[i]
+		if !lessEntry(&q.heap[least], &e) {
+			break
+		}
+		q.heap[i] = q.heap[least]
 		i = least
 	}
+	q.heap[i] = e
 }

@@ -471,6 +471,7 @@ var (
 	ExperimentBounds      = experiments.Bounds
 	ExperimentPolicySweep = experiments.PolicySweep
 	ExperimentChaos       = experiments.Chaos
+	ExperimentSimSpeed    = experiments.SimSpeed
 	AblationBound         = experiments.AblationBound
 	AblationCommDelay     = experiments.AblationCommDelay
 	AblationLWPs          = experiments.AblationLWPs
