@@ -26,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -51,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		format    = fs.String("format", "auto", "input trace format: auto | vppb | gotrace (a Go runtime execution trace)")
 		cpusList  = fs.String("cpus", "2,4,8", "comma-separated CPU counts for the prediction sweep")
 		bound     = fs.Bool("bound", false, "print only the one-line speed-up bound")
+		boundAt   = fs.String("bound-at", "", "comma-separated CPU counts: print the speed-up bound clamped at each count, with no simulation (honours -json)")
 		critpath  = fs.Bool("critpath", false, "print the critical-path report (top sites and serialization scores)")
 		lockorder = fs.Bool("lockorder", false, "print the lock-order graph and potential deadlocks")
 		top       = fs.Int("top", 10, "number of sites/objects/scores to print")
@@ -103,6 +105,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	a, err := vppb.AnalyzeHB(log)
 	if err != nil {
 		return err
+	}
+
+	if *boundAt != "" {
+		counts, err := parseCPUList(*boundAt)
+		if err != nil {
+			return fmt.Errorf("-bound-at: %w", err)
+		}
+		return printBoundAt(stdout, log, a, counts, *jsonOut)
 	}
 
 	if *jsonOut {
@@ -171,6 +181,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 			fmt.Fprintf(stderr, "wrote %s\n", *svgPath)
 		}
+	}
+	return nil
+}
+
+// printBoundAt prints the machine-independent speed-up bound clamped at
+// each requested CPU count — max(CritPath, Work/c) as a ratio — without
+// running a single simulation. It is the cheap first look /v1/optimize
+// and vppb-sim -optimize use to prune configurations.
+func printBoundAt(stdout io.Writer, log *vppb.Log, a *vppb.HBAnalysis, counts []int, jsonOut bool) error {
+	if jsonOut {
+		type row struct {
+			CPUs  int     `json:"cpus"`
+			Bound float64 `json:"bound"`
+		}
+		doc := struct {
+			Program  string  `json:"program"`
+			WorkUS   int64   `json:"work_us"`
+			CritUS   int64   `json:"crit_path_us"`
+			Bound    float64 `json:"bound"`
+			BoundsAt []row   `json:"bounds_at"`
+		}{log.Header.Program, int64(a.Work), int64(a.CritPath), a.Bound(), make([]row, 0, len(counts))}
+		for _, c := range counts {
+			doc.BoundsAt = append(doc.BoundsAt, row{c, a.BoundAt(c)})
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		stdout.Write(append(data, '\n'))
+		return nil
+	}
+	fmt.Fprintf(stdout, "program            %s\n", log.Header.Program)
+	fmt.Fprintf(stdout, "work / crit path   %s / %s (bound %.2fx)\n", a.Work, a.CritPath, a.Bound())
+	fmt.Fprintf(stdout, "\n%6s %13s\n", "CPUs", "upper bound")
+	for _, c := range counts {
+		fmt.Fprintf(stdout, "%6d %12.2fx\n", c, a.BoundAt(c))
 	}
 	return nil
 }

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -138,6 +139,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cpuReport  = fs.Bool("cpureport", false, "print per-CPU busy time and utilization")
 		timelineP  = fs.String("timeline", "", "write the predicted execution (figure 1's artifact g) to this file for vppb-view")
 		sweep      = fs.String("sweep", "", "comma-separated CPU counts: print a prediction per machine size instead of one simulation")
+		optimize   = fs.Bool("optimize", false, "rank every (policy x CPU count) configuration and print the winner; -sweep overrides the CPU grid (default 1,2,4,8)")
 		repair     = fs.Bool("repair", false, "print the full repair report when the log needs recovery")
 		strict     = fs.Bool("strict", false, "fail on a corrupt log instead of repairing it")
 		maxEvents  = fs.Int64("max-events", 0, "abort the simulation after this many simulated events (0 = unlimited)")
@@ -200,6 +202,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Overrides:      overrides,
 		MaxSimEvents:   *maxEvents,
 		MaxVirtualTime: vppb.Duration(*maxVtime),
+	}
+	if *optimize {
+		return runOptimize(stdout, stderr, log, prof, *sweep)
 	}
 	if *sweep != "" {
 		return runSweep(stdout, prof, *sweep, machine)
@@ -276,6 +281,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 				id, log.ThreadName(id), res.PerThreadCPU[id], tt.WorkTime(), tt.TotalTime())
 		}
 	}
+	return nil
+}
+
+// runOptimize answers "what should I deploy on?": it sweeps every
+// (policy × CPU count) configuration, sharing simulation prefixes across
+// the grid via checkpoints and pruning configurations whose
+// happens-before lower bound already loses to the incumbent, and prints
+// the ranked grid plus the winner. sweepSpec overrides the CPU grid.
+func runOptimize(stdout, stderr io.Writer, log *vppb.Log, prof *vppb.TraceProfile, sweepSpec string) error {
+	var sizes []int
+	if sweepSpec != "" {
+		for _, part := range strings.Split(sweepSpec, ",") {
+			cpus, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || cpus < 1 {
+				return fmt.Errorf("-sweep wants positive CPU counts, got %q", part)
+			}
+			sizes = append(sizes, cpus)
+		}
+	}
+	hbA, err := vppb.AnalyzeHB(log)
+	if err != nil {
+		fmt.Fprintf(stderr, "vppb-sim: optimizing without bound pruning (%v)\n", err)
+		hbA = nil
+	}
+	res, err := vppb.Optimize(context.Background(), prof, hbA, vppb.OptimizeOptions{CPUCounts: sizes})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%-8s %6s %16s %16s %8s\n", "policy", "CPUs", "predicted time", "lower bound", "")
+	for _, c := range res.Candidates {
+		note := ""
+		if c.Pruned {
+			note = "pruned"
+		} else if c.ResumedFromEvents > 0 {
+			note = fmt.Sprintf("resumed@%d", c.ResumedFromEvents)
+		}
+		dur := "-"
+		if !c.Pruned {
+			dur = c.Duration.String()
+		}
+		fmt.Fprintf(stdout, "%-8s %6d %16s %16s %8s\n", c.Policy, c.CPUs, dur, c.LowerBound, note)
+	}
+	fmt.Fprintf(stdout, "\nwinner: %s on %d CPUs (predicted %s); %d of %d configurations simulated, %d pruned\n",
+		res.Winner.Policy, res.Winner.CPUs, res.Winner.Duration, res.Simulated, len(res.Candidates), res.Pruned)
 	return nil
 }
 

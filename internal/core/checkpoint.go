@@ -1,0 +1,590 @@
+package core
+
+import (
+	"fmt"
+
+	"vppb/internal/sched"
+	"vppb/internal/trace"
+	"vppb/internal/vtime"
+)
+
+// Checkpointing snapshots a running simulation "between events" — at the
+// top of the event loop, after the previous event was fully handled and
+// dispatch and preemption settled — so a restored run re-enters the loop
+// with no half-applied transition to reconstruct. Because the simulation
+// state lives in flat arenas addressed by dense indices, a snapshot is a
+// handful of slice copies: arena values are copied wholesale, and the few
+// pointer fields (a thread's LWP, an object's owner) are translated to
+// index form and rebuilt against the restored arenas.
+//
+// A checkpoint restores two ways:
+//
+//   - onto the machine it was captured on (guardrails and DiscardTimeline
+//     may still differ) — always possible, byte-identical by construction:
+//     every piece of mutable state is restored and everything else is
+//     shared read-only profile data;
+//   - onto a machine with a different CPU count or LWP pool, when
+//     PortableTo proves the executed prefix never observed the difference:
+//     at most one thread ever live, no LWP-pool growth, and few enough
+//     idle-pool pops that the pop sequence is pool-size-independent. Under
+//     those facts a fresh run on the target machine replays the exact same
+//     prefix, so resuming from the snapshot is byte-identical to it.
+//
+// Cross-policy resume is deliberately not offered: the ts and rr policies
+// consume an event-queue sequence number per armed time slice while fifo
+// consumes none, so the queues of two policies diverge within the first
+// scheduled burst and no nontrivial prefix is shareable. Sweeps across
+// policies scout once per policy instead (see internal/analysis).
+
+// DefaultCheckpointEvery is the capture cadence (in simulated probe
+// events) when CheckpointOptions.Every is not set. Captures cost a copy of
+// the arenas plus — when the timeline is kept — a copy of all spans built
+// so far, so overly frequent captures turn an O(n) replay into O(n²/K);
+// a few thousand events amortizes the copy well below replay cost.
+const DefaultCheckpointEvery = 4096
+
+// CheckpointOptions configures snapshot capture for
+// SimulateProfileCheckpointed.
+type CheckpointOptions struct {
+	// Every is the number of simulated probe events between captures.
+	// Zero or negative selects DefaultCheckpointEvery.
+	Every int64
+	// OnlyPortable stops capturing as soon as cross-machine portability is
+	// lost for good (a second thread came live, or the LWP pool grew) —
+	// the mode sweep scouts use: there is no point snapshotting state that
+	// only the scout's own machine could resume.
+	OnlyPortable bool
+	// Sink receives each captured checkpoint. It runs synchronously inside
+	// the event loop; keep it cheap (append to a slice).
+	Sink func(*Checkpoint)
+}
+
+// Checkpoint is one simulation snapshot. It shares no mutable storage with
+// the simulation it was captured from or with any simulation restored from
+// it, so one checkpoint may seed any number of ResumeFrom calls, including
+// concurrently.
+type Checkpoint struct {
+	prof *trace.Profile
+	m    Machine // source machine, defaults applied
+
+	now        vtime.Time
+	eventSeq   int64
+	live       int
+	stuck      int
+	stuckKinds [len(sevKindNames)]int64
+
+	// threads holds arena value copies with pointer fields nil'd; the
+	// parallel index arrays carry what the pointers meant.
+	threads    []sthread
+	threadLWP  []int32 // LWP ID carrying thread i, -1 if none
+	threadWait []int32 // object index thread i is blocked on, -1 if none
+
+	objects    []sobject // owner/writer/ioCurrent nil'd, readers deep-copied
+	objOwner   []int32   // thread index, -1
+	objWriter  []int32
+	objIOCur   []int32
+	objPending [][]cpPending
+
+	cpus    []cpCPU
+	lwps    []cpLWP
+	nextLWP int
+
+	zombieQ  tqueue
+	anyJoinQ tqueue
+
+	events     vtime.QueueState[sevent]
+	slices     []sliceEnt // armed slice timers in ring order (ascending key)
+	sliceArmed []bool
+
+	// Scheduler-core state, in index form.
+	userRunQ      []int32 // thread indices
+	kernelQ       []int32 // LWP IDs
+	idleLWPs      []int32 // LWP IDs, pool order
+	dispatchDirty bool
+	preemptDirty  bool
+	idleCPUs      int
+	idlePops      int
+
+	tb *trace.TimelineBuilder // nil when the source discarded the timeline
+
+	// Portability facts (see PortableTo).
+	maxLive  int
+	maxConc  int
+	initPool int
+}
+
+type cpPending struct {
+	broadcaster int32
+	needed      int
+}
+
+type cpLWP struct {
+	node      sched.LWPNode
+	thread    int32 // arena index, -1
+	cpu       int32 // CPU ID, -1
+	dedicated bool
+	dead      bool
+}
+
+type cpCPU struct {
+	epoch         uint64
+	lastAccounted vtime.Time
+	lwp           int32 // LWP ID, -1
+}
+
+// EventSeq reports how many simulated probe events the snapshot's prefix
+// covers — the work a resumed run does not repeat.
+func (cp *Checkpoint) EventSeq() int64 { return cp.eventSeq }
+
+// When reports the virtual time of the snapshot.
+func (cp *Checkpoint) When() vtime.Time { return cp.now }
+
+// Machine reports the configuration the snapshot was captured under, with
+// defaults applied.
+func (cp *Checkpoint) Machine() Machine { return cp.m }
+
+// SimulateProfileCheckpointed is SimulateProfile with snapshot capture:
+// opts.Sink receives a Checkpoint every opts.Every simulated probe events.
+// The run itself is unchanged — captures read state, they never alter it —
+// so the Result is byte-identical to a plain SimulateProfile call.
+func SimulateProfileCheckpointed(prof *trace.Profile, m Machine, opts CheckpointOptions) (*Result, error) {
+	s, err := newSim(prof, m.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	s.cp = opts
+	if s.cp.Every <= 0 {
+		s.cp.Every = DefaultCheckpointEvery
+	}
+	s.cpNext = s.cp.Every
+	return s.run()
+}
+
+// ResumeFrom continues a checkpointed simulation on machine m and runs it
+// to completion. For the capture machine (guardrails and DiscardTimeline
+// may differ) this always succeeds; for any other machine the checkpoint
+// must satisfy PortableTo. The returned Result is byte-identical to a
+// fresh simulation of the whole profile on m.
+//
+// Resuming with a timeline requires the checkpoint to carry one: a
+// snapshot from a DiscardTimeline run cannot reconstruct the spans its
+// prefix would have built.
+func ResumeFrom(cp *Checkpoint, m Machine) (*Result, error) {
+	m = m.withDefaults()
+	same := sameSimMachine(cp.m, m)
+	if !same {
+		if err := cp.PortableTo(m); err != nil {
+			return nil, err
+		}
+	}
+	s, err := newSim(cp.prof, m)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.restore(cp, same); err != nil {
+		return nil, err
+	}
+	return s.loop()
+}
+
+// PortableTo reports whether the checkpoint can seed a run on machine m.
+// The capture machine itself is always accepted. A different machine is
+// accepted only when the executed prefix provably never observed the
+// difference:
+//
+//   - same resolved policy (cross-policy prefixes diverge on the event
+//     queue's sequence counter — see the package comment above);
+//   - same communication delay, preemption setting and bound-cost factors
+//     (these scale costs inside the prefix);
+//   - no per-thread overrides on either side (overrides touch thread slots
+//     at init time in machine-dependent ways);
+//   - at most one thread ever live: with a lone thread the scheduler can
+//     only ever use CPU 0 and spare CPUs stay untouched, so CPU count is
+//     unobservable;
+//   - no LWP-pool growth or dedicated LWPs (LWP IDs would depend on the
+//     initial pool size);
+//   - few enough idle-pool pops that every pop returned a never-used LWP —
+//     pops take the head and releases append behind the unused tail, so
+//     while pops ≤ pool size, pop i returns LWP i-1 on any pool at least
+//     that large, making the recorded LWP IDs pool-size-independent;
+//   - the largest thr_setconcurrency request fits the target pool when the
+//     target honours it (growth would have diverged the prefix there).
+func (cp *Checkpoint) PortableTo(m Machine) error {
+	tm := m.withDefaults()
+	if sameSimMachine(cp.m, tm) {
+		return nil
+	}
+	if resolvedPolicy(cp.m.Policy) != resolvedPolicy(tm.Policy) {
+		return fmt.Errorf("core: checkpoint not portable: policy %q vs %q (cross-policy prefixes diverge)",
+			resolvedPolicy(cp.m.Policy), resolvedPolicy(tm.Policy))
+	}
+	if cp.m.CommDelay != tm.CommDelay {
+		return fmt.Errorf("core: checkpoint not portable: communication delay %v vs %v", cp.m.CommDelay, tm.CommDelay)
+	}
+	if cp.m.NoPreemption != tm.NoPreemption {
+		return fmt.Errorf("core: checkpoint not portable: preemption setting differs")
+	}
+	if cp.m.BoundCreateFactor != tm.BoundCreateFactor || cp.m.BoundSyncFactor != tm.BoundSyncFactor {
+		return fmt.Errorf("core: checkpoint not portable: bound-thread cost factors differ")
+	}
+	if len(cp.m.Overrides) != 0 || len(tm.Overrides) != 0 {
+		return fmt.Errorf("core: checkpoint not portable: per-thread overrides present")
+	}
+	if cp.maxLive > 1 {
+		return fmt.Errorf("core: checkpoint not portable: %d threads were live concurrently (machine differences are observable)", cp.maxLive)
+	}
+	if cp.nextLWP != cp.initPool {
+		return fmt.Errorf("core: checkpoint not portable: LWP pool grew (%d LWPs from an initial %d)", cp.nextLWP, cp.initPool)
+	}
+	tgtPool := tm.LWPs
+	if tgtPool <= 0 {
+		tgtPool = tm.CPUs
+	}
+	if cp.idlePops > cp.initPool || cp.idlePops > tgtPool {
+		return fmt.Errorf("core: checkpoint not portable: %d idle-pool pops exceed a pool of %d (LWP reuse order depends on pool size)",
+			cp.idlePops, min(cp.initPool, tgtPool))
+	}
+	if tm.LWPs == 0 && cp.maxConc > tgtPool {
+		return fmt.Errorf("core: checkpoint not portable: thr_setconcurrency(%d) would grow the target's pool of %d", cp.maxConc, tgtPool)
+	}
+	return nil
+}
+
+// resolvedPolicy maps the empty policy name to the registry default, so
+// machine comparisons see through the "" alias.
+func resolvedPolicy(name string) string {
+	if name == "" {
+		return sched.Default
+	}
+	return name
+}
+
+// sameSimMachine reports whether two machines produce identical
+// simulations: every field that shapes replay is compared; guardrail
+// budgets and DiscardTimeline are not — they bound or trim a run without
+// changing what it computes.
+func sameSimMachine(a, b Machine) bool {
+	return a.CPUs == b.CPUs && a.LWPs == b.LWPs && a.CommDelay == b.CommDelay &&
+		a.NoPreemption == b.NoPreemption &&
+		resolvedPolicy(a.Policy) == resolvedPolicy(b.Policy) &&
+		a.BoundCreateFactor == b.BoundCreateFactor &&
+		a.BoundSyncFactor == b.BoundSyncFactor &&
+		overridesEqual(a.Overrides, b.Overrides)
+}
+
+func overridesEqual(x, y map[trace.ThreadID]Override) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for id, ox := range x {
+		oy, ok := y[id]
+		if !ok || ox.Binding != oy.Binding || ox.CPU != oy.CPU {
+			return false
+		}
+		switch {
+		case ox.Priority == nil && oy.Priority == nil:
+		case ox.Priority != nil && oy.Priority != nil && *ox.Priority == *oy.Priority:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// maybeCapture runs at the top of the event loop once eventSeq crosses the
+// capture threshold. Under OnlyPortable it first re-checks the (monotone)
+// portability facts and permanently disables capture once they fail:
+// maxLive and nextLWP never shrink, so a lost portability never comes
+// back.
+func (s *sim) maybeCapture() {
+	if s.cp.OnlyPortable && (s.maxLive > 1 || s.nextLWP != s.initPool) {
+		s.cp.Sink = nil
+		return
+	}
+	cp := s.capture()
+	s.cpNext = s.eventSeq + s.cp.Every
+	s.cp.Sink(cp)
+}
+
+func tiOf(t *sthread) int32 {
+	if t == nil {
+		return nilIdx
+	}
+	return t.ti
+}
+
+// thrAt resolves a captured thread index against this sim's arena.
+func (s *sim) thrAt(ti int32) *sthread {
+	if ti < 0 {
+		return nil
+	}
+	return &s.threads[ti]
+}
+
+// lwpAt resolves a captured LWP ID against this sim's table (IDs are dense
+// and equal their slice position).
+func (s *sim) lwpAt(id int32) *slwp {
+	if id < 0 {
+		return nil
+	}
+	return s.lwps[id]
+}
+
+// capture deep-copies the simulation's mutable state. Arena values are
+// copied wholesale; pointer fields are nil'd in the copies and recorded as
+// indices so the snapshot shares no mutable storage with the run (the
+// read-only profile data — call records, thread infos — stays shared by
+// design).
+func (s *sim) capture() *Checkpoint {
+	cp := &Checkpoint{
+		prof:       s.prof,
+		m:          s.m,
+		now:        s.now,
+		eventSeq:   s.eventSeq,
+		live:       s.live,
+		stuck:      s.stuck,
+		stuckKinds: s.stuckKinds,
+		nextLWP:    s.nextLWP,
+		zombieQ:    s.zombieQ,
+		anyJoinQ:   s.anyJoinQ,
+		maxLive:    s.maxLive,
+		maxConc:    s.maxConc,
+		initPool:   s.initPool,
+	}
+	if len(s.m.Overrides) > 0 {
+		cp.m.Overrides = make(map[trace.ThreadID]Override, len(s.m.Overrides))
+		for id, ov := range s.m.Overrides {
+			cp.m.Overrides[id] = ov
+		}
+	}
+
+	cp.threads = make([]sthread, len(s.threads))
+	copy(cp.threads, s.threads)
+	cp.threadLWP = make([]int32, len(s.threads))
+	cp.threadWait = make([]int32, len(s.threads))
+	for i := range cp.threads {
+		t := &cp.threads[i]
+		cp.threadLWP[i] = nilIdx
+		if t.lwp != nil {
+			cp.threadLWP[i] = int32(t.lwp.ID)
+		}
+		cp.threadWait[i] = nilIdx
+		if t.waitObj != nil {
+			cp.threadWait[i] = t.waitObj.oi
+		}
+		t.lwp = nil
+		t.waitObj = nil
+	}
+
+	cp.objects = make([]sobject, len(s.objects))
+	copy(cp.objects, s.objects)
+	cp.objOwner = make([]int32, len(s.objects))
+	cp.objWriter = make([]int32, len(s.objects))
+	cp.objIOCur = make([]int32, len(s.objects))
+	cp.objPending = make([][]cpPending, len(s.objects))
+	for i := range cp.objects {
+		o := &cp.objects[i]
+		cp.objOwner[i] = tiOf(o.owner)
+		cp.objWriter[i] = tiOf(o.writer)
+		cp.objIOCur[i] = tiOf(o.ioCurrent)
+		o.owner, o.writer, o.ioCurrent = nil, nil, nil
+		o.readers = append([]int32(nil), o.readers...)
+		if n := len(o.pendingBroadcasts); n > 0 {
+			pend := make([]cpPending, n)
+			for j, p := range o.pendingBroadcasts {
+				pend[j] = cpPending{broadcaster: tiOf(p.broadcaster), needed: p.needed}
+			}
+			cp.objPending[i] = pend
+		}
+		o.pendingBroadcasts = nil
+	}
+
+	cp.cpus = make([]cpCPU, len(s.cpus))
+	for i, c := range s.cpus {
+		e := cpCPU{epoch: c.Epoch, lastAccounted: c.lastAccounted, lwp: nilIdx}
+		if c.lwp != nil {
+			e.lwp = int32(c.lwp.ID)
+		}
+		cp.cpus[i] = e
+	}
+
+	cp.lwps = make([]cpLWP, len(s.lwps))
+	for i, l := range s.lwps {
+		e := cpLWP{node: l.LWPNode, thread: tiOf(l.thread), cpu: -1, dedicated: l.dedicated, dead: l.dead}
+		if l.cpu != nil {
+			e.cpu = int32(l.cpu.ID)
+		}
+		cp.lwps[i] = e
+	}
+
+	cp.events = s.events.Save()
+	cp.slices = make([]sliceEnt, s.slices.n)
+	mask := len(s.slices.buf) - 1
+	for i := 0; i < s.slices.n; i++ {
+		cp.slices[i] = s.slices.buf[(s.slices.head+i)&mask]
+	}
+	cp.sliceArmed = append([]bool(nil), s.sliceArmed...)
+
+	ur := s.sc.UserRunQ()
+	cp.userRunQ = make([]int32, len(ur))
+	for i, t := range ur {
+		cp.userRunQ[i] = t.ti
+	}
+	kq := s.sc.KernelQ()
+	cp.kernelQ = make([]int32, len(kq))
+	for i, l := range kq {
+		cp.kernelQ[i] = int32(l.ID)
+	}
+	il := s.sc.IdleLWPs()
+	cp.idleLWPs = make([]int32, len(il))
+	for i, l := range il {
+		cp.idleLWPs[i] = int32(l.ID)
+	}
+	cp.dispatchDirty, cp.preemptDirty, cp.idleCPUs = s.sc.SchedFlags()
+	cp.idlePops = s.sc.IdlePops()
+
+	if s.tb != nil {
+		cp.tb = s.tb.Clone()
+	}
+	return cp
+}
+
+// restore overlays a freshly built sim (newSim already ran on the target
+// machine) with the checkpoint's state. same marks a restore onto the
+// capture machine: then grown and dedicated LWPs are recreated; otherwise
+// PortableTo has proven the target's fresh pool differs from the source's
+// only in untouched tail LWPs and spare CPUs.
+func (s *sim) restore(cp *Checkpoint, same bool) error {
+	if s.tb != nil {
+		if cp.tb == nil {
+			return fmt.Errorf("core: checkpoint carries no timeline (captured under DiscardTimeline); set DiscardTimeline on the resumed machine")
+		}
+		s.tb = cp.tb.Clone()
+	}
+
+	// Thread slots: arena value copy, pointers rebuilt below. For a
+	// not-yet-started thread the copy equals the fresh slot (same profile,
+	// same overrides — cross-machine portability forbids overrides), so no
+	// slot needs special-casing.
+	copy(s.threads, cp.threads)
+
+	// LWP table. newSim built the target's initial pool; a same-machine
+	// restore recreates growth and dedicated LWPs in ID order, then every
+	// present ID is overlaid. Cross-machine, IDs past the snapshot's reach
+	// stay fresh — identical to what a fresh target run would hold, since
+	// the prefix never popped them (same policy means same fresh quantum).
+	if same {
+		for s.nextLWP < cp.nextLWP {
+			s.newLWP(cp.lwps[s.nextLWP].dedicated)
+		}
+	}
+	for i := 0; i < min(len(cp.lwps), len(s.lwps)); i++ {
+		l := s.lwps[i]
+		e := &cp.lwps[i]
+		l.LWPNode = e.node
+		l.dedicated = e.dedicated
+		l.dead = e.dead
+		l.thread = s.thrAt(e.thread)
+		l.cpu = nil
+		if e.cpu >= 0 && int(e.cpu) < len(s.cpus) {
+			l.cpu = s.cpus[e.cpu]
+		}
+	}
+
+	for i := 0; i < min(len(cp.cpus), len(s.cpus)); i++ {
+		c := s.cpus[i]
+		e := cp.cpus[i]
+		c.Epoch = e.epoch
+		c.lastAccounted = e.lastAccounted
+		c.lwp = s.lwpAt(e.lwp)
+	}
+
+	for i := range s.threads {
+		t := &s.threads[i]
+		t.lwp = s.lwpAt(cp.threadLWP[i])
+		if oi := cp.threadWait[i]; oi >= 0 {
+			t.waitObj = &s.objects[oi]
+		} else {
+			t.waitObj = nil
+		}
+	}
+
+	for i := range s.objects {
+		o := &s.objects[i]
+		freshReaders := o.readers
+		*o = cp.objects[i]
+		// Reuse the fresh slot's readers backing: the restored sim mutates
+		// readers in place and must never alias checkpoint storage.
+		o.readers = append(freshReaders[:0], cp.objects[i].readers...)
+		o.pendingBroadcasts = nil
+		if pend := cp.objPending[i]; len(pend) > 0 {
+			o.pendingBroadcasts = make([]pendingBroadcast, len(pend))
+			for j, p := range pend {
+				o.pendingBroadcasts[j] = pendingBroadcast{broadcaster: s.thrAt(p.broadcaster), needed: p.needed}
+			}
+		}
+		o.owner = s.thrAt(cp.objOwner[i])
+		o.writer = s.thrAt(cp.objWriter[i])
+		o.ioCurrent = s.thrAt(cp.objIOCur[i])
+	}
+
+	s.events.Restore(cp.events)
+
+	s.slices.head = 0
+	s.slices.n = 0
+	for _, ent := range cp.slices {
+		// Entries arrive in ascending (at, seq) order, so each insert is an
+		// O(1) tail append.
+		s.slices.insert(ent)
+	}
+	for i := range s.sliceArmed {
+		s.sliceArmed[i] = false
+	}
+	copy(s.sliceArmed, cp.sliceArmed)
+
+	userRunQ := make([]*sthread, len(cp.userRunQ))
+	for i, ti := range cp.userRunQ {
+		userRunQ[i] = &s.threads[ti]
+	}
+	kernelQ := make([]*slwp, len(cp.kernelQ))
+	for i, id := range cp.kernelQ {
+		kernelQ[i] = s.lwps[id]
+	}
+	var idle []*slwp
+	idleCPUs := cp.idleCPUs
+	if same {
+		idle = make([]*slwp, len(cp.idleLWPs))
+		for i, id := range cp.idleLWPs {
+			idle[i] = s.lwps[id]
+		}
+	} else {
+		// A fresh target run would hold its never-popped tail first (pops
+		// take the head, releases append behind it), then the prefix's
+		// released LWPs in release order — which is exactly the snapshot's
+		// idle list filtered to popped IDs.
+		idle = make([]*slwp, 0, len(s.lwps))
+		for id := cp.idlePops; id < len(s.lwps); id++ {
+			idle = append(idle, s.lwps[id])
+		}
+		for _, id := range cp.idleLWPs {
+			if int(id) < cp.idlePops {
+				idle = append(idle, s.lwps[id])
+			}
+		}
+		// The target has its own spare-CPU count; the prefix's busy CPUs
+		// (zero or one — PortableTo caps live threads at one) carry over.
+		idleCPUs = len(s.cpus) - (len(cp.cpus) - cp.idleCPUs)
+	}
+	s.sc.SetState(userRunQ, kernelQ, idle, cp.dispatchDirty, cp.preemptDirty, idleCPUs, cp.idlePops)
+
+	s.now = cp.now
+	s.eventSeq = cp.eventSeq
+	s.live = cp.live
+	s.stuck = cp.stuck
+	s.stuckKinds = cp.stuckKinds
+	s.zombieQ = cp.zombieQ
+	s.anyJoinQ = cp.anyJoinQ
+	s.maxLive = cp.maxLive
+	s.maxConc = cp.maxConc
+	return nil
+}

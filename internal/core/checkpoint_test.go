@@ -1,0 +1,323 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"vppb/internal/ingest"
+	"vppb/internal/sched"
+	"vppb/internal/threadlib"
+	"vppb/internal/trace"
+)
+
+// Checkpoint fidelity is the tentpole claim of the snapshot/restore
+// refactor: a simulation resumed from any checkpoint must be byte-identical
+// to a fresh simulation of the whole profile. The tests here enforce it
+// differentially — at every captured index, for every registered policy,
+// for both frontends (vppb threadlib recordings and the committed go tool
+// trace capture) — and pin that ResumeFrom does not reintroduce per-event
+// allocations into the replay loop.
+
+// checkpointProfiles returns named profiles from both frontends.
+func checkpointProfiles(t *testing.T) map[string]*trace.Profile {
+	t.Helper()
+	profs := make(map[string]*trace.Profile)
+
+	log := record(t, rwReaderHeavyProg)
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs["vppb/rwlock"] = prof
+
+	log = record(t, soloPrefixProg)
+	prof, err = trace.BuildProfile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs["vppb/mutexjoin"] = prof
+
+	raw, err := os.ReadFile("../gotrace/testdata/go-mutexchan.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	glog, err := ingest.Decode(raw, ingest.FormatAuto, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err = trace.BuildProfile(glog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs["gotrace/go-mutexchan"] = prof
+	return profs
+}
+
+// simCheckpointed runs one checkpointed simulation and returns the result
+// and every captured snapshot.
+func simCheckpointed(t *testing.T, prof *trace.Profile, m Machine, opts CheckpointOptions) (*Result, []*Checkpoint) {
+	t.Helper()
+	var cps []*Checkpoint
+	opts.Sink = func(cp *Checkpoint) { cps = append(cps, cp) }
+	res, err := SimulateProfileCheckpointed(prof, m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, cps
+}
+
+// TestCheckpointCaptureIsFree pins that a checkpointed run predicts exactly
+// what an uninstrumented run predicts: captures read state, never alter it.
+func TestCheckpointCaptureIsFree(t *testing.T) {
+	for name, prof := range checkpointProfiles(t) {
+		m := Machine{CPUs: 4}
+		fresh, err := SimulateProfile(prof, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, cps := simCheckpointed(t, prof, m, CheckpointOptions{Every: 64})
+		if len(cps) == 0 {
+			t.Fatalf("%s: no checkpoints captured", name)
+		}
+		if !bytes.Equal(marshalResult(t, fresh), marshalResult(t, res)) {
+			t.Fatalf("%s: checkpointed run diverged from plain run", name)
+		}
+	}
+}
+
+// TestResumeEveryIndexEveryPolicy is the differential fidelity test: for
+// every registered policy and both frontends, resume from every captured
+// checkpoint on the capture machine and demand a byte-identical marshaled
+// Result versus the fresh run.
+func TestResumeEveryIndexEveryPolicy(t *testing.T) {
+	profs := checkpointProfiles(t)
+	for _, policy := range sched.Names() {
+		for name, prof := range profs {
+			t.Run(policy+"/"+strings.ReplaceAll(name, "/", "_"), func(t *testing.T) {
+				m := Machine{CPUs: 4, Policy: policy}
+				// A deliberately tiny cadence: every index of every workload
+				// gets exercised, including the small gotrace capture.
+				fresh, cps := simCheckpointed(t, prof, m, CheckpointOptions{Every: 8})
+				want := marshalResult(t, fresh)
+				if len(cps) < 3 {
+					t.Fatalf("only %d checkpoints; workload too small for a meaningful test", len(cps))
+				}
+				for i, cp := range cps {
+					res, err := ResumeFrom(cp, m)
+					if err != nil {
+						t.Fatalf("checkpoint %d (event %d): %v", i, cp.EventSeq(), err)
+					}
+					if got := marshalResult(t, res); !bytes.Equal(got, want) {
+						t.Fatalf("checkpoint %d (event %d): resumed result diverged from fresh run", i, cp.EventSeq())
+					}
+				}
+			})
+		}
+	}
+}
+
+// soloPrefixProg has a long single-threaded prefix — compute bursts and
+// uncontended mutex cycles on the main thread — before any worker exists.
+// That prefix is exactly the machine-independent region cross-machine
+// checkpoint portability covers.
+func soloPrefixProg(p *threadlib.Process) func(*threadlib.Thread) {
+	mu := p.NewMutex("warmup")
+	work := p.NewMutex("work")
+	worker := func(t *threadlib.Thread) {
+		for i := 0; i < 10; i++ {
+			t.Compute(50)
+			work.Lock(t)
+			t.Compute(20)
+			work.Unlock(t)
+		}
+	}
+	return func(main *threadlib.Thread) {
+		for i := 0; i < 120; i++ {
+			main.Compute(35)
+			mu.Lock(main)
+			main.Compute(10)
+			mu.Unlock(main)
+		}
+		ids := make([]trace.ThreadID, 4)
+		for i := range ids {
+			ids[i] = main.Create(worker)
+		}
+		for _, id := range ids {
+			main.Join(id)
+		}
+	}
+}
+
+// TestPortableResumeAcrossMachines captures portable checkpoints on an
+// 8-CPU scout run and resumes the last one under different CPU counts —
+// the sweep engine's prefix-sharing move — demanding byte-identical
+// results versus fresh runs on each target machine.
+func TestPortableResumeAcrossMachines(t *testing.T) {
+	log := record(t, soloPrefixProg)
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, policy := range sched.Names() {
+		t.Run(policy, func(t *testing.T) {
+			scout := Machine{CPUs: 8, Policy: policy}
+			_, cps := simCheckpointed(t, prof, scout, CheckpointOptions{Every: 32, OnlyPortable: true})
+			if len(cps) == 0 {
+				t.Fatal("no portable checkpoints captured; solo prefix too short")
+			}
+			cp := cps[len(cps)-1]
+			for _, cpus := range []int{1, 2, 4, 8} {
+				target := Machine{CPUs: cpus, Policy: policy}
+				if err := cp.PortableTo(target); err != nil {
+					t.Fatalf("last portable checkpoint rejected for %d CPUs: %v", cpus, err)
+				}
+				fresh, err := SimulateProfile(prof, target)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := ResumeFrom(cp, target)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(marshalResult(t, res), marshalResult(t, fresh)) {
+					t.Fatalf("resume on %d CPUs from event %d diverged from fresh run", cpus, cp.EventSeq())
+				}
+			}
+		})
+	}
+}
+
+// TestPortabilityRejections pins the portability guard rails: checkpoints
+// taken after parallelism began, cross-policy resumes, and timeline
+// resurrection from a DiscardTimeline capture must all fail loudly.
+func TestPortabilityRejections(t *testing.T) {
+	log := record(t, soloPrefixProg)
+	prof, err := trace.BuildProfile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Without OnlyPortable, capture continues into the parallel phase; the
+	// late checkpoints must refuse cross-machine resume.
+	_, all := simCheckpointed(t, prof, Machine{CPUs: 8}, CheckpointOptions{Every: 32})
+	_, portable := simCheckpointed(t, prof, Machine{CPUs: 8}, CheckpointOptions{Every: 32, OnlyPortable: true})
+	if len(all) <= len(portable) {
+		t.Fatalf("expected capture past the portable prefix: %d total vs %d portable", len(all), len(portable))
+	}
+	last := all[len(all)-1]
+	if err := last.PortableTo(Machine{CPUs: 2}); err == nil {
+		t.Fatal("checkpoint from the parallel phase accepted for a different machine")
+	}
+	if _, err := ResumeFrom(last, Machine{CPUs: 2}); err == nil {
+		t.Fatal("ResumeFrom accepted a non-portable cross-machine checkpoint")
+	}
+	// The same late checkpoint still resumes fine on its own machine.
+	if _, err := ResumeFrom(last, Machine{CPUs: 8}); err != nil {
+		t.Fatalf("same-machine resume of a late checkpoint failed: %v", err)
+	}
+
+	cp := portable[len(portable)-1]
+	if err := cp.PortableTo(Machine{CPUs: 2, Policy: "fifo"}); err == nil {
+		t.Fatal("cross-policy resume accepted")
+	}
+
+	// A timeline cannot be resurrected from a DiscardTimeline capture.
+	_, blind := simCheckpointed(t, prof, Machine{CPUs: 8, DiscardTimeline: true}, CheckpointOptions{Every: 32})
+	if len(blind) == 0 {
+		t.Fatal("no checkpoints captured under DiscardTimeline")
+	}
+	if _, err := ResumeFrom(blind[0], Machine{CPUs: 8}); err == nil {
+		t.Fatal("resume with timeline from a timeline-less checkpoint succeeded")
+	}
+	// But dropping the timeline on resume from a timeline capture is fine,
+	// and predicts the same duration and event count.
+	full, err := SimulateProfile(prof, Machine{CPUs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ResumeFrom(cp, Machine{CPUs: 8, DiscardTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline != nil {
+		t.Fatal("DiscardTimeline resume built a timeline")
+	}
+	if res.Duration != full.Duration || res.Events != full.Events {
+		t.Fatalf("DiscardTimeline resume diverged: %v/%d events vs %v/%d",
+			res.Duration, res.Events, full.Duration, full.Events)
+	}
+}
+
+// TestResumeFromAllocs pins that ResumeFrom keeps the replay loop
+// allocation-free: resuming a ~4x-longer workload from a same-position
+// checkpoint must cost the same allocations as the short one (both pay
+// only the O(state) restore), so the marginal cost per replayed event
+// stays at zero.
+func TestResumeFromAllocs(t *testing.T) {
+	mkCheckpoint := func(iters int) (*Checkpoint, int64) {
+		prog := func(p *threadlib.Process) func(*threadlib.Thread) {
+			mu := p.NewMutex("m")
+			worker := func(t *threadlib.Thread) {
+				for i := 0; i < iters; i++ {
+					t.Compute(40)
+					mu.Lock(t)
+					t.Compute(15)
+					mu.Unlock(t)
+				}
+			}
+			return func(main *threadlib.Thread) {
+				main.SetConcurrency(4)
+				ids := make([]trace.ThreadID, 4)
+				for i := range ids {
+					ids[i] = main.Create(worker)
+				}
+				for _, id := range ids {
+					main.Join(id)
+				}
+			}
+		}
+		log := record(t, prog)
+		prof, err := trace.BuildProfile(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first *Checkpoint
+		res, err := SimulateProfileCheckpointed(prof, Machine{CPUs: 4, DiscardTimeline: true},
+			CheckpointOptions{Every: 64, Sink: func(cp *Checkpoint) {
+				if first == nil {
+					first = cp
+				}
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			t.Fatal("no checkpoint captured")
+		}
+		return first, res.Events - first.EventSeq()
+	}
+
+	smallCP, smallEvents := mkCheckpoint(20)
+	bigCP, bigEvents := mkCheckpoint(80)
+	if bigEvents < 2*smallEvents {
+		t.Fatalf("workload sizing broken: %d resumed events vs %d", bigEvents, smallEvents)
+	}
+	m := Machine{CPUs: 4, DiscardTimeline: true}
+	measure := func(cp *Checkpoint) float64 {
+		return testing.AllocsPerRun(20, func() {
+			if _, err := ResumeFrom(cp, m); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := measure(smallCP)
+	big := measure(bigCP)
+	perEvent := (big - small) / float64(bigEvents-smallEvents)
+	t.Logf("allocs/resume: small=%v (%d events), big=%v (%d events), marginal allocs/event=%g",
+		small, smallEvents, big, bigEvents, perEvent)
+	if perEvent > 0.01 {
+		t.Fatalf("resumed replay loop allocates: %g allocs/event (small %v, big %v)", perEvent, small, big)
+	}
+}

@@ -28,6 +28,10 @@ type Metrics struct {
 	simQueue atomic.Int64
 	shed     atomic.Int64
 	panics   atomic.Int64
+
+	optimizeSimulated  atomic.Int64
+	optimizePruned     atomic.Int64
+	singleflightShared atomic.Int64
 }
 
 type requestKey struct {
@@ -85,6 +89,18 @@ func (m *Metrics) Shed() *atomic.Int64 { return &m.shed }
 
 // Panics counts handler panics converted into 500 responses.
 func (m *Metrics) Panics() *atomic.Int64 { return &m.panics }
+
+// OptimizeSimulated counts grid candidates /v1/optimize actually
+// simulated (fresh or resumed from a checkpoint).
+func (m *Metrics) OptimizeSimulated() *atomic.Int64 { return &m.optimizeSimulated }
+
+// OptimizePruned counts grid candidates /v1/optimize skipped because
+// their happens-before lower bound already lost to the incumbent.
+func (m *Metrics) OptimizePruned() *atomic.Int64 { return &m.optimizePruned }
+
+// SingleflightShared counts requests that joined another identical
+// in-flight request instead of simulating themselves.
+func (m *Metrics) SingleflightShared() *atomic.Int64 { return &m.singleflightShared }
 
 // WritePrometheus renders the registry (and the cache, store and breaker
 // counters) in the Prometheus text exposition format. Output is
@@ -177,6 +193,15 @@ func (m *Metrics) WritePrometheus(w io.Writer, cache *Cache, store *Store, break
 	fmt.Fprintln(w, "# HELP vppb_sim_queue_depth Machine simulations queued or running in the worker pool.")
 	fmt.Fprintln(w, "# TYPE vppb_sim_queue_depth gauge")
 	fmt.Fprintf(w, "vppb_sim_queue_depth %d\n", m.simQueue.Load())
+	fmt.Fprintln(w, "# HELP vppb_optimize_simulated_total Optimize grid candidates simulated (fresh or checkpoint-resumed).")
+	fmt.Fprintln(w, "# TYPE vppb_optimize_simulated_total counter")
+	fmt.Fprintf(w, "vppb_optimize_simulated_total %d\n", m.optimizeSimulated.Load())
+	fmt.Fprintln(w, "# HELP vppb_optimize_pruned_total Optimize grid candidates pruned by the happens-before lower bound.")
+	fmt.Fprintln(w, "# TYPE vppb_optimize_pruned_total counter")
+	fmt.Fprintf(w, "vppb_optimize_pruned_total %d\n", m.optimizePruned.Load())
+	fmt.Fprintln(w, "# HELP vppb_singleflight_shared_total Requests served by joining an identical in-flight request.")
+	fmt.Fprintln(w, "# TYPE vppb_singleflight_shared_total counter")
+	fmt.Fprintf(w, "vppb_singleflight_shared_total %d\n", m.singleflightShared.Load())
 
 	fmt.Fprintln(w, "# HELP vppb_request_duration_seconds Request latency.")
 	fmt.Fprintln(w, "# TYPE vppb_request_duration_seconds histogram")

@@ -10,6 +10,10 @@
 //	POST /v1/predict      trace upload -> per-machine-size predictions
 //	                      (?cpus=1,2,4,8 ?policy=ts ?strict=true),
 //	                      or ?trace=<digest> to reuse an uploaded trace
+//	POST /v1/optimize     rank every (policy x CPU) configuration; the
+//	                      sweep shares checkpoints and prunes by the
+//	                      happens-before bound (?cpus= ?policies=
+//	                      ?exhaustive=true for the naive baseline)
 //	GET  /v1/bounds       critical-path speed-up bound  (?trace= or POST body)
 //	GET  /v1/lockorder    lock-order cycles / potential deadlocks
 //	GET  /v1/view.svg     predicted-execution rendering (?cpus=N ?width=)
@@ -157,7 +161,13 @@ type Server struct {
 	metrics  *Metrics
 	adm      *admission  // nil when inflight is unlimited
 	breakers *breakerSet // nil when the breaker is disabled
+	flights  *flightGroup
 	mux      *http.ServeMux
+
+	// onSimulate, when set, runs inside every singleflight leader just
+	// before it simulates — a test hook for observing (and delaying) the
+	// one simulation N collapsed requests share.
+	onSimulate func()
 }
 
 // New creates a Server. With a StoreDir configured it opens the durable
@@ -173,6 +183,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.adm = newAdmission(s.cfg.MaxInflight, s.cfg.AdmissionWait)
 	s.breakers = newBreakerSet(s.cfg.BreakerFailures, s.cfg.BreakerCooldown)
+	s.flights = newFlightGroup(func() { s.metrics.SingleflightShared().Add(1) })
 	if s.cfg.StoreDir != "" {
 		store, err := OpenStore(s.cfg.StoreDir)
 		if err != nil {
@@ -195,6 +206,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.route("/v1/predict", true, s.handlePredict)
+	s.route("/v1/optimize", true, s.handleOptimize)
 	s.route("/v1/bounds", true, s.handleBounds)
 	s.route("/v1/lockorder", true, s.handleLockOrder)
 	s.route("/v1/view.svg", true, s.handleViewSVG)
@@ -593,9 +605,46 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 		return writeError(w, herr)
 	}
 
+	resolved := policy
+	if resolved == "" {
+		resolved = sched.Default
+	}
+	// Concurrent identical requests (same trace, policy and CPU grid)
+	// collapse into one simulation; followers share the leader's response.
+	key := flightKey(e.Digest, resolved, sizes)
+	resp, herr, _ := s.flights.do(r.Context(), key, func() (*predictResponse, *httpError) {
+		return s.predict(r.Context(), e, resolved, policy, sizes)
+	})
+	if herr != nil {
+		return writeError(w, herr)
+	}
+	entryHeaders(w, e, cached)
+	return writeJSON(w, resp)
+}
+
+// flightKey identifies a prediction for singleflight collapsing.
+func flightKey(digest, policy string, sizes []int) string {
+	var b strings.Builder
+	b.WriteString(digest)
+	b.WriteByte('|')
+	b.WriteString(policy)
+	for _, c := range sizes {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// predict runs the simulations of one /v1/predict request and assembles
+// the response body — the work a singleflight leader does once for every
+// collapsed request.
+func (s *Server) predict(ctx context.Context, e *Entry, resolved, policy string, sizes []int) (*predictResponse, *httpError) {
+	if s.onSimulate != nil {
+		s.onSimulate()
+	}
 	// Machine 0 is the uniprocessor baseline every speed-up divides by;
 	// the requested sizes follow in input order.
-	base := s.machineFor(r.Context(), policy)
+	base := s.machineFor(ctx, policy)
 	machines := make([]core.Machine, 0, len(sizes)+1)
 	machines = append(machines, base.Uniprocessor())
 	for _, cpus := range sizes {
@@ -603,17 +652,13 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 		m.CPUs = cpus
 		machines = append(machines, m)
 	}
-	results, herr := s.simulateAll(r.Context(), e, machines)
+	results, herr := s.simulateAll(ctx, e, machines)
 	if herr != nil {
-		return writeError(w, herr)
+		return nil, herr
 	}
 	uni := results[0]
 
-	resolved := policy
-	if resolved == "" {
-		resolved = sched.Default
-	}
-	resp := predictResponse{
+	resp := &predictResponse{
 		Trace:         e.Digest,
 		Program:       e.Log.Header.Program,
 		RecordedUS:    int64(e.Log.Duration()),
@@ -631,8 +676,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) int {
 			Events:      res.Events,
 		})
 	}
-	entryHeaders(w, e, cached)
-	return writeJSON(w, resp)
+	return resp, nil
 }
 
 func (s *Server) handleBounds(w http.ResponseWriter, r *http.Request) int {

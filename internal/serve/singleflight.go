@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup collapses concurrent identical prediction requests into one
+// simulation: the first request for a key becomes the leader and runs the
+// work; every request that arrives for the same key while the leader is
+// in flight waits for the leader's result instead of simulating again.
+// The window is deliberately only the leader's lifetime — once the call
+// finishes the key is forgotten, and the next identical request takes the
+// ordinary (profile-cached) path, so nothing here acts as a response
+// cache with an invalidation problem.
+//
+// The key must capture everything the shared result depends on (trace
+// digest, policy, CPU grid). The deadline-derived event budget is
+// intentionally excluded: two otherwise identical requests with slightly
+// different remaining deadlines would never share, and a successful
+// leader result is byte-identical regardless of which budget it ran
+// under. A follower therefore inherits the leader's outcome even when the
+// leader's budget was tighter — including the leader's error, which is
+// the same trade SimulateManyCtx makes for one request's machines.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+	// onShared, when set, runs once per joining follower at join time
+	// (before waiting) — the Server wires the singleflight metric here.
+	onShared func()
+}
+
+// flightCall is one in-flight leader and its published result.
+type flightCall struct {
+	done chan struct{} // closed when resp/herr are published
+	resp *predictResponse
+	herr *httpError
+}
+
+func newFlightGroup(onShared func()) *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall), onShared: onShared}
+}
+
+// do runs fn for key, unless an identical call is already in flight, in
+// which case it waits for that call's result. The boolean reports whether
+// this request was a follower (shared someone else's work). A follower
+// whose context expires while waiting stops waiting and returns the
+// context error; the leader is unaffected.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*predictResponse, *httpError)) (*predictResponse, *httpError, bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		if g.onShared != nil {
+			g.onShared()
+		}
+		select {
+		case <-c.done:
+			return c.resp, c.herr, true
+		case <-ctx.Done():
+			return nil, simError(ctx.Err()), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.resp, c.herr = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.resp, c.herr, false
+}

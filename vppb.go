@@ -288,6 +288,59 @@ func SimulateManyCtx(ctx context.Context, prof *TraceProfile, machines []Machine
 	return core.SimulateManyCtx(ctx, prof, machines)
 }
 
+// Checkpointed simulation: snapshot a replay mid-flight and resume it,
+// possibly on a different machine (see core.Checkpoint.PortableTo).
+type (
+	// SimCheckpoint is a resumable snapshot of a simulation.
+	SimCheckpoint = core.Checkpoint
+	// CheckpointOptions sets the capture cadence and portability mode.
+	CheckpointOptions = core.CheckpointOptions
+)
+
+// DefaultCheckpointEvery is the default capture cadence in simulated
+// events.
+const DefaultCheckpointEvery = core.DefaultCheckpointEvery
+
+// SimulateProfileCheckpointed is SimulateProfile with periodic snapshots
+// delivered to opts.Sink.
+func SimulateProfileCheckpointed(prof *TraceProfile, m Machine, opts CheckpointOptions) (*SimResult, error) {
+	return core.SimulateProfileCheckpointed(prof, m, opts)
+}
+
+// ResumeSimulation continues a checkpointed replay to completion on
+// machine m — byte-identical to a fresh simulation of the same machine.
+// m may differ from the checkpoint's machine when cp.PortableTo(m) allows
+// it.
+func ResumeSimulation(cp *SimCheckpoint, m Machine) (*SimResult, error) {
+	return core.ResumeFrom(cp, m)
+}
+
+// Deployment optimization: rank every (policy × CPU count) configuration
+// of a grid by predicted execution time, sharing simulation prefixes via
+// checkpoints and pruning provably hopeless configurations with the
+// happens-before lower bound.
+type (
+	// OptimizeOptions configures an Optimize sweep.
+	OptimizeOptions = analysis.OptimizeOptions
+	// OptimizeResult is the ranked outcome.
+	OptimizeResult = analysis.OptimizeResult
+	// OptimizeCandidate is one grid point's outcome.
+	OptimizeCandidate = analysis.Candidate
+)
+
+// DefaultOptimizeCPUs is the default CPU grid (the paper's Table 1
+// processor counts).
+func DefaultOptimizeCPUs() []int {
+	return append([]int(nil), analysis.DefaultOptimizeCPUs...)
+}
+
+// Optimize sweeps the configuration grid over one behaviour profile. hbA
+// supplies the pruning bounds (AnalyzeHB of the same recording); nil
+// disables pruning.
+func Optimize(ctx context.Context, prof *TraceProfile, hbA *HBAnalysis, opts OptimizeOptions) (*OptimizeResult, error) {
+	return analysis.Optimize(ctx, prof, hbA, opts)
+}
+
 // DefaultPolicy is the scheduling discipline both engines use when none is
 // named: the Solaris TS class driven by the dispatch table.
 const DefaultPolicy = sched.Default
@@ -472,6 +525,7 @@ var (
 	ExperimentPolicySweep = experiments.PolicySweep
 	ExperimentChaos       = experiments.Chaos
 	ExperimentSimSpeed    = experiments.SimSpeed
+	ExperimentOptimize    = experiments.OptimizeSweep
 	AblationBound         = experiments.AblationBound
 	AblationCommDelay     = experiments.AblationCommDelay
 	AblationLWPs          = experiments.AblationLWPs
