@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/exec"
@@ -312,5 +313,104 @@ func TestMainExitCodeUsageError(t *testing.T) {
 	}
 	if !strings.Contains(string(out), "vppb-serve:") {
 		t.Fatalf("diagnostic missing:\n%s", out)
+	}
+}
+
+// TestServeClusterEndToEnd boots three daemons with a shared -peers
+// membership over real TCP and proves any node answers for a digest only
+// one of them owns, with the owner named in X-Vppb-Peer.
+func TestServeClusterEndToEnd(t *testing.T) {
+	// Reserve three loopback ports, then hand them to the daemons. The
+	// close-then-rebind window is the standard (tiny) race; membership
+	// must be known before any node starts.
+	addrs := make([]string, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	peers := strings.Join(addrs, ",")
+	for _, addr := range addrs {
+		ready := make(chan string, 1)
+		done := make(chan error, 1)
+		go func(addr string) {
+			done <- run([]string{"-addr", addr, "-peers", peers, "-self", addr},
+				io.Discard, io.Discard, ready)
+		}(addr)
+		select {
+		case <-ready:
+		case err := <-done:
+			t.Fatalf("node %s exited early: %v", addr, err)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("node %s never became ready", addr)
+		}
+	}
+
+	raw := traceBytes(t)
+	resp, err := http.Post("http://"+addrs[0]+"/v1/predict?cpus=1,2", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("upload: %d %s", resp.StatusCode, body)
+	}
+	digest := resp.Header.Get("X-Vppb-Trace")
+
+	// Every node answers the digest identically; exactly one (the owner)
+	// serves it itself, the other two name that owner.
+	var bodies [][]byte
+	ownerVotes := map[string]int{}
+	for _, addr := range addrs {
+		r, err := http.Get("http://" + addr + "/v1/bounds?trace=" + digest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(r.Body)
+		r.Body.Close()
+		if r.StatusCode != 200 {
+			t.Fatalf("bounds via %s: %d %s", addr, r.StatusCode, b)
+		}
+		bodies = append(bodies, b)
+		ownerVotes[r.Header.Get("X-Vppb-Peer")]++
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("node %d body differs:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if ownerVotes[""] != 1 {
+		t.Fatalf("want exactly 1 self-served response, got peer headers %v", ownerVotes)
+	}
+	for peer, n := range ownerVotes {
+		if peer != "" && n != 2 {
+			t.Fatalf("want the 2 proxied responses to agree on one owner, got %v", ownerVotes)
+		}
+	}
+}
+
+func TestClusterFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-peers", "a:1,b:1"},                  // -peers without -self
+		{"-self", "a:1"},                       // -self without -peers
+		{"-peers", "a:1,,b:1", "-self", "a:1"}, // empty membership entry
+	} {
+		err := run(args, io.Discard, io.Discard, nil)
+		if err == nil {
+			t.Errorf("args %v accepted", args)
+			continue
+		}
+		if code := exitCode(err); code != 2 {
+			t.Errorf("args %v: exitCode = %d, want 2", args, code)
+		}
+	}
+	// Self outside the membership is caught by the serve layer at startup.
+	err := run([]string{"-addr", "127.0.0.1:0", "-peers", "a:1,b:1", "-self", "c:1"}, io.Discard, io.Discard, nil)
+	if err == nil {
+		t.Fatal("self outside -peers accepted")
 	}
 }

@@ -1,0 +1,133 @@
+// Package cluster implements the consistent-hash peer layer that lets N
+// vppb-serve daemons shard the content-addressed profile cache by trace
+// digest. Every node builds the same ring from the same membership list,
+// so any node can compute which peer owns a digest without coordination:
+// ownership is a pure function of (members, key), stable across process
+// restarts and identical on every node.
+//
+// The ring places VirtualNodes points per peer on a 64-bit circle; a key
+// is owned by the peer whose next point clockwise from the key's hash
+// comes first. Virtual nodes smooth the per-peer share toward 1/N, and
+// consistent hashing bounds membership churn: adding or removing one peer
+// moves only the keys that peer gains or loses (about 1/N of the space),
+// never reshuffles the rest.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is the points-per-peer count when Options leaves it
+// zero: enough that a 3-node ring's shares stay within a few percent of
+// 1/3, cheap enough that building a ring is microseconds.
+const DefaultVirtualNodes = 128
+
+// Options tunes ring construction.
+type Options struct {
+	// VirtualNodes is the number of ring points per peer
+	// (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// Seed perturbs every point placement. The same (seed, members) always
+	// builds the same ring — the seed exists so tests can produce
+	// differently shaped rings, not to randomize production placement.
+	Seed uint64
+}
+
+// Ring is an immutable consistent-hash ring over a fixed membership.
+// Safe for concurrent use.
+type Ring struct {
+	peers  []string // sorted, deduplicated membership
+	points []point  // sorted by (hash, peer index)
+	vnodes int
+	seed   uint64
+}
+
+type point struct {
+	hash uint64
+	peer int32 // index into peers
+}
+
+// New builds the ring for members. The member order is irrelevant — the
+// list is sorted first, so every node that agrees on the set agrees on
+// the ring. Empty and duplicate members are configuration mistakes and
+// are rejected rather than silently papered over.
+func New(members []string, opts Options) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one member")
+	}
+	vnodes := opts.VirtualNodes
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	peers := append([]string(nil), members...)
+	sort.Strings(peers)
+	for i, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("cluster: empty member address")
+		}
+		if i > 0 && peers[i-1] == p {
+			return nil, fmt.Errorf("cluster: duplicate member %q", p)
+		}
+	}
+	r := &Ring{peers: peers, vnodes: vnodes, seed: opts.Seed}
+	r.points = make([]point, 0, len(peers)*vnodes)
+	var label []byte
+	for pi, p := range peers {
+		for v := 0; v < vnodes; v++ {
+			label = label[:0]
+			label = strconv.AppendUint(label, opts.Seed, 16)
+			label = append(label, '|')
+			label = append(label, p...)
+			label = append(label, '#')
+			label = strconv.AppendInt(label, int64(v), 10)
+			r.points = append(r.points, point{hash: hash64(label), peer: int32(pi)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit collision between labels is astronomically rare,
+		// but the tie-break keeps even that case deterministic.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r, nil
+}
+
+// Owner returns the member that owns key — for vppb-serve, the node whose
+// cache shard holds the trace digest.
+func (r *Ring) Owner(key string) string {
+	h := hash64([]byte(key))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) { // wrap past the highest point
+		i = 0
+	}
+	return r.peers[r.points[i].peer]
+}
+
+// Members returns the sorted membership.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.peers...)
+}
+
+// Has reports whether addr is a ring member.
+func (r *Ring) Has(addr string) bool {
+	i := sort.SearchStrings(r.peers, addr)
+	return i < len(r.peers) && r.peers[i] == addr
+}
+
+// N returns the member count.
+func (r *Ring) N() int { return len(r.peers) }
+
+// hash64 is the ring's placement hash: the first 8 bytes of SHA-256.
+// SHA-256 keeps placement identical across Go versions, architectures and
+// process restarts — maphash or any seeded runtime hash would silently
+// re-shard the cluster on every restart.
+func hash64(b []byte) uint64 {
+	sum := sha256.Sum256(b)
+	return binary.BigEndian.Uint64(sum[:8])
+}

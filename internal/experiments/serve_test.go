@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestServeScaleClusterOutperformsSingleNode(t *testing.T) {
+	res, err := ServeScale(Options{Scale: 0.3, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Topologies) != 2 {
+		t.Fatalf("%d topologies, want 2", len(res.Topologies))
+	}
+	single, cluster := res.Topologies[0], res.Topologies[1]
+	if single.Nodes != 1 || cluster.Nodes != 3 {
+		t.Fatalf("topology sizes %d and %d, want 1 and 3", single.Nodes, cluster.Nodes)
+	}
+	// Sharding must never change results; this is the hard gate.
+	if !res.BodiesIdentical {
+		t.Fatal("cluster and single-node bodies differ for some digest")
+	}
+	// Every request (garbage included) reached a verdict.
+	if single.Succeeded != single.Requests || cluster.Succeeded != cluster.Requests {
+		t.Fatalf("failures: single %d/%d, cluster %d/%d",
+			single.Succeeded, single.Requests, cluster.Succeeded, cluster.Requests)
+	}
+	if res.CorruptRejected == 0 {
+		t.Fatal("no garbage uploads in the mix")
+	}
+	// The economics the experiment exists to show: the single node's
+	// cache (smaller than the working set) thrashes, the cluster's
+	// shards stay warmer in aggregate. The smoke run is small and shares
+	// one machine, so the gate here is loose; the CI job gates the real
+	// run at 1.5x/2x.
+	if res.ThroughputRatio <= 1.0 {
+		t.Fatalf("cluster throughput ratio %.2fx, want > 1x", res.ThroughputRatio)
+	}
+	singleHits, clusterHits := int64(0), int64(0)
+	for _, n := range single.PerNode {
+		singleHits += n.CacheHits
+	}
+	for _, n := range cluster.PerNode {
+		clusterHits += n.CacheHits
+	}
+	if clusterHits <= singleHits {
+		t.Fatalf("cluster cache hits %d <= single node's %d; sharding kept nothing warm",
+			clusterHits, singleHits)
+	}
+	// Forwarding actually happened in the cluster topology.
+	forwarded := int64(0)
+	for _, n := range cluster.PerNode {
+		forwarded += n.Forwarded
+	}
+	if forwarded == 0 {
+		t.Fatal("no requests were proxied between cluster nodes")
+	}
+	for _, want := range []string{"throughput ratio", "bodies identical", "per-node hit rates"} {
+		if !strings.Contains(res.Report, want) {
+			t.Fatalf("report lacks %q:\n%s", want, res.Report)
+		}
+	}
+}

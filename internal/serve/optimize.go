@@ -67,7 +67,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) int {
 
 	// The remaining deadline becomes a per-candidate event budget, exactly
 	// like /v1/predict.
-	base := s.machineFor(r.Context(), "")
+	base, deadlineBudget := s.machineFor(r.Context(), "")
 	opts := analysis.OptimizeOptions{
 		CPUCounts:    cpus,
 		Policies:     policies,
@@ -87,7 +87,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) int {
 		s.breakers.record(e.Digest, err == nil)
 	}
 	if err != nil {
-		return writeError(w, simError(err))
+		return writeError(w, mapSimFailure(err, deadlineBudget))
 	}
 	s.metrics.OptimizeSimulated().Add(int64(res.Simulated))
 	s.metrics.OptimizePruned().Add(int64(res.Pruned))

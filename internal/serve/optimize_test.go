@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"strings"
@@ -114,7 +115,7 @@ func TestPredictSingleflightCollapse(t *testing.T) {
 	// joined the flight (or a generous timeout passes), so the test cannot
 	// pass by accident of one request finishing before the next begins.
 	var sims atomic.Int64
-	s.onSimulate = func() {
+	s.onSimulate = func(context.Context) {
 		sims.Add(1)
 		deadline := time.Now().Add(5 * time.Second)
 		for s.Metrics().SingleflightShared().Load() < n-1 && time.Now().Before(deadline) {

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// newClusterNodes starts n in-process daemons sharing one membership
+// list, each on a real loopback listener (the proxy dials peers over
+// TCP, so httptest's in-memory transport is not enough). Returns the
+// servers and their addresses, index-aligned.
+func newClusterNodes(t *testing.T, n int, cfg Config) ([]*Server, []string) {
+	t.Helper()
+	// Listeners first: every node needs the full membership before it
+	// can build its ring.
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	servers := make([]*Server, n)
+	for i := range lns {
+		c := cfg
+		c.Peers = addrs
+		c.Self = addrs[i]
+		s, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		go hs.Serve(lns[i])
+		t.Cleanup(func() { hs.Close() })
+		servers[i] = s
+	}
+	return servers, addrs
+}
+
+// traceEndpoints is every trace-addressed route, with the query that
+// exercises it against an already-uploaded digest.
+func traceEndpoints(digest string) []struct{ method, path string } {
+	q := "?trace=" + digest
+	return []struct{ method, path string }{
+		{http.MethodPost, "/v1/predict" + q + "&cpus=1,2"},
+		{http.MethodPost, "/v1/optimize" + q + "&cpus=1,2&policies=ts,fifo"},
+		{http.MethodGet, "/v1/bounds" + q},
+		{http.MethodGet, "/v1/lockorder" + q},
+		{http.MethodGet, "/v1/view.svg" + q + "&cpus=2"},
+		{http.MethodGet, "/v1/view.html" + q + "&cpus=2"},
+	}
+}
+
+func doReq(t *testing.T, method, url string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestProxyDifferentialByteIdentical is the sharding correctness proof:
+// for every trace-addressed endpoint, the response a client gets from any
+// node of a 3-node cluster is byte-identical to a standalone daemon's.
+// The cluster must change where work happens, never what it computes.
+func TestProxyDifferentialByteIdentical(t *testing.T) {
+	servers, addrs := newClusterNodes(t, 3, Config{})
+	_, standalone := newTestServer(t, Config{})
+	raw := traceBytes(t, "example", 0.2)
+
+	// Seed both topologies through a full upload.
+	respC, bodyC := post(t, "http://"+addrs[0]+"/v1/predict?cpus=1,2", raw)
+	respS, bodyS := post(t, standalone.URL+"/v1/predict?cpus=1,2", raw)
+	if respC.StatusCode != 200 || respS.StatusCode != 200 {
+		t.Fatalf("seeding uploads: cluster %d %s, standalone %d %s", respC.StatusCode, bodyC, respS.StatusCode, bodyS)
+	}
+	if !bytes.Equal(bodyC, bodyS) {
+		t.Fatalf("upload responses differ:\ncluster:    %s\nstandalone: %s", bodyC, bodyS)
+	}
+	digest := respS.Header.Get("X-Vppb-Trace")
+	owner := servers[0].Ring().Owner(digest)
+
+	for _, ep := range traceEndpoints(digest) {
+		_, want := doReq(t, ep.method, standalone.URL+ep.path)
+		for i, addr := range addrs {
+			resp, got := doReq(t, ep.method, "http://"+addr+ep.path)
+			if resp.StatusCode != 200 {
+				t.Fatalf("%s %s via node %d: status %d %s", ep.method, ep.path, i, resp.StatusCode, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s %s via node %d differs from standalone:\ngot:  %.200s\nwant: %.200s",
+					ep.method, ep.path, i, got, want)
+			}
+			// Attribution: a proxied response names the owner; a response
+			// the receiving node served itself does not.
+			peer := resp.Header.Get(HeaderPeer)
+			if addr == owner && peer != "" {
+				t.Fatalf("%s via owner node carries %s=%q, want none", ep.path, HeaderPeer, peer)
+			}
+			if addr != owner && peer != owner {
+				t.Fatalf("%s via node %d: %s=%q, want owner %s", ep.path, i, HeaderPeer, peer, owner)
+			}
+			// The owner's cache verdict survives the relay: the digest was
+			// ingested at upload time, so every replay is a hit.
+			if c := resp.Header.Get("X-Vppb-Cache"); c != "hit" {
+				t.Fatalf("%s via node %d: X-Vppb-Cache=%q, want hit", ep.path, i, c)
+			}
+		}
+	}
+
+	// Only the owner ever ingested the trace: the other nodes' caches are
+	// empty, which is the whole point of sharding.
+	for i, s := range servers {
+		_, owns := s.Cache().Load(digest)
+		if (addrs[i] == owner) != owns {
+			t.Fatalf("node %d (owner=%v) cache has digest=%v", i, addrs[i] == owner, owns)
+		}
+	}
+	// Forwarding showed up in the non-owners' metrics.
+	forwarded := int64(0)
+	for _, s := range servers {
+		forwarded += s.Metrics().ProxyForwardedTotal(owner)
+	}
+	if forwarded == 0 {
+		t.Fatal("no node counted a forward in vppb_proxy_forwarded_total")
+	}
+}
+
+// TestProxyLoopGuard: a request arriving with its hop budget spent is
+// served locally — never forwarded again — and counted. Local service on
+// a non-owner means a 404 for a digest only the owner has: degraded, but
+// halting.
+func TestProxyLoopGuard(t *testing.T) {
+	servers, addrs := newClusterNodes(t, 3, Config{})
+	raw := traceBytes(t, "example", 0.2)
+	resp, body := post(t, "http://"+addrs[0]+"/v1/predict?cpus=1,2", raw)
+	if resp.StatusCode != 200 {
+		t.Fatalf("seed upload: %d %s", resp.StatusCode, body)
+	}
+	digest := resp.Header.Get("X-Vppb-Trace")
+	owner := servers[0].Ring().Owner(digest)
+
+	var nonOwner int
+	for i, addr := range addrs {
+		if addr != owner {
+			nonOwner = i
+			break
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, "http://"+addrs[nonOwner]+"/v1/predict?trace="+digest+"&cpus=1,2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(HeaderHops, "99")
+	hresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("hop-exhausted request to non-owner: status %d, want 404 (served locally)", hresp.StatusCode)
+	}
+	if got := servers[nonOwner].Metrics().ProxyLoops().Load(); got != 1 {
+		t.Fatalf("vppb_proxy_loops_total = %d, want 1", got)
+	}
+
+	// A malformed hop count is a client error, not a panic or a forward.
+	req2, _ := http.NewRequest(http.MethodPost, "http://"+addrs[nonOwner]+"/v1/predict?trace="+digest, nil)
+	req2.Header.Set(HeaderHops, "banana")
+	hresp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp2.Body.Close()
+	if hresp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage %s: status %d, want 400", HeaderHops, hresp2.StatusCode)
+	}
+}
+
+// TestProxyOwnerDownDegradesToLocal: when the owning peer is unreachable,
+// the receiving node serves the request itself — slower and outside its
+// shard, but correct — and counts the degrade.
+func TestProxyOwnerDownDegradesToLocal(t *testing.T) {
+	// A real node plus a membership entry nobody listens on. The dead
+	// address is grabbed-then-released so nothing can be bound there.
+	deadLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := deadLn.Addr().String()
+	deadLn.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	self := ln.Addr().String()
+	s, err := New(Config{Peers: []string{self, deadAddr}, Self: self})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+
+	// Find an upload whose digest the dead peer owns; the recorder is
+	// deterministic per scale, so scan scales until one maps there.
+	var raw []byte
+	for scale := 0.2; scale < 0.9; scale += 0.05 {
+		b := traceBytes(t, "example", scale)
+		if s.Ring().Owner(Digest(b)) == deadAddr {
+			raw = b
+			break
+		}
+	}
+	if raw == nil {
+		t.Fatal("no test trace hashed to the dead peer; widen the scan")
+	}
+
+	resp, body := post(t, "http://"+self+"/v1/predict?cpus=1,2", raw)
+	if resp.StatusCode != 200 {
+		t.Fatalf("degraded request: status %d %s, want 200 served locally", resp.StatusCode, body)
+	}
+	if peer := resp.Header.Get(HeaderPeer); peer != "" {
+		t.Fatalf("locally degraded response carries %s=%q", HeaderPeer, peer)
+	}
+	if got := s.Metrics().ProxyDegraded().Load(); got != 1 {
+		t.Fatalf("vppb_proxy_degraded_total = %d, want 1", got)
+	}
+	// The degraded node kept the entry, so a repeat is an ordinary local
+	// hit even while the owner stays down.
+	resp2, _ := post(t, "http://"+self+"/v1/predict?cpus=1,2", raw)
+	if resp2.StatusCode != 200 || resp2.Header.Get("X-Vppb-Cache") != "hit" {
+		t.Fatalf("repeat degraded request: status %d cache %q, want 200 hit",
+			resp2.StatusCode, resp2.Header.Get("X-Vppb-Cache"))
+	}
+}
+
+// TestClusterConfigValidation: the membership mistakes that would
+// otherwise produce a silently wrong cluster are rejected at startup.
+func TestClusterConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"self outside peers", Config{Peers: []string{"a:1", "b:1"}, Self: "c:1"}},
+		{"peers without self", Config{Peers: []string{"a:1", "b:1"}}},
+		{"self without peers", Config{Self: "a:1"}},
+		{"duplicate peer", Config{Peers: []string{"a:1", "a:1"}, Self: "a:1"}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.cfg); err == nil {
+			t.Errorf("%s: New accepted a broken membership", c.name)
+		}
+	}
+}
+
+// TestProxyMetricsExposition: the proxy counters appear in /metrics with
+// the per-peer forward series.
+func TestProxyMetricsExposition(t *testing.T) {
+	servers, addrs := newClusterNodes(t, 2, Config{})
+	raw := traceBytes(t, "example", 0.2)
+	resp, _ := post(t, "http://"+addrs[0]+"/v1/predict?cpus=1", raw)
+	digest := resp.Header.Get("X-Vppb-Trace")
+	owner := servers[0].Ring().Owner(digest)
+	var nonOwner string
+	for _, a := range addrs {
+		if a != owner {
+			nonOwner = a
+		}
+	}
+	// Guarantee at least one forward regardless of who got the upload.
+	r2, _ := doReq(t, http.MethodGet, "http://"+nonOwner+"/v1/bounds?trace="+digest)
+	if r2.StatusCode != 200 {
+		t.Fatalf("bounds via non-owner: %d", r2.StatusCode)
+	}
+	_, metricsBody := get(t, "http://"+nonOwner+"/metrics")
+	text := string(metricsBody)
+	wantSeries := fmt.Sprintf("vppb_proxy_forwarded_total{peer=%q}", owner)
+	if !strings.Contains(text, wantSeries) {
+		t.Fatalf("/metrics missing %s:\n%s", wantSeries, text)
+	}
+	for _, series := range []string{"vppb_proxy_degraded_total", "vppb_proxy_loops_total"} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("/metrics missing %s", series)
+		}
+	}
+}

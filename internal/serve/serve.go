@@ -43,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"vppb/internal/cluster"
 	"vppb/internal/core"
 	"vppb/internal/ingest"
 	"vppb/internal/metrics"
@@ -95,6 +96,21 @@ type Config struct {
 	// handler faults here; a panicking middleware is recovered, counted in
 	// vppb_panics_total and answered with 500 like any handler panic.
 	Middleware func(http.Handler) http.Handler
+
+	// Peers is the cluster membership (host:port per node, this node
+	// included). When set, the nodes build identical consistent-hash rings
+	// and shard the profile cache by trace digest: a request for a digest
+	// owned by a peer is proxied to it, so any node answers any request.
+	// Empty keeps the daemon standalone.
+	Peers []string
+	// Self is this node's own entry in Peers. Required when Peers is set.
+	Self string
+	// MaxProxyHops bounds forwarding during membership disagreement
+	// (0 = DefaultMaxProxyHops). A request at the limit is served locally.
+	MaxProxyHops int
+	// PeerHTTP is the client used for peer forwarding (nil = a shared
+	// keep-alive pool). Tests inject fault-injecting transports here.
+	PeerHTTP *http.Client
 }
 
 // Defaults for the zero Config.
@@ -164,10 +180,17 @@ type Server struct {
 	flights  *flightGroup
 	mux      *http.ServeMux
 
+	// Consistent-hash peer layer; all nil/zero when standalone.
+	ring     *cluster.Ring
+	self     string
+	peerHTTP *http.Client
+	maxHops  int
+
 	// onSimulate, when set, runs inside every singleflight leader just
 	// before it simulates — a test hook for observing (and delaying) the
-	// one simulation N collapsed requests share.
-	onSimulate func()
+	// one simulation N collapsed requests share. It receives the leader's
+	// request context so a test can park a leader until that request dies.
+	onSimulate func(context.Context)
 }
 
 // New creates a Server. With a StoreDir configured it opens the durable
@@ -204,13 +227,19 @@ func New(cfg Config) (*Server, error) {
 			return e, nil
 		})
 	}
+	if err := s.initCluster(); err != nil {
+		return nil, err
+	}
 	s.mux = http.NewServeMux()
-	s.route("/v1/predict", true, s.handlePredict)
-	s.route("/v1/optimize", true, s.handleOptimize)
-	s.route("/v1/bounds", true, s.handleBounds)
-	s.route("/v1/lockorder", true, s.handleLockOrder)
-	s.route("/v1/view.svg", true, s.handleViewSVG)
-	s.route("/v1/view.html", true, s.handleViewHTML)
+	// Every trace-addressed route goes through the digest-ownership proxy
+	// (a no-op for a standalone daemon); observability routes are local by
+	// definition.
+	s.route("/v1/predict", true, s.proxied(s.handlePredict))
+	s.route("/v1/optimize", true, s.proxied(s.handleOptimize))
+	s.route("/v1/bounds", true, s.proxied(s.handleBounds))
+	s.route("/v1/lockorder", true, s.proxied(s.handleLockOrder))
+	s.route("/v1/view.svg", true, s.proxied(s.handleViewSVG))
+	s.route("/v1/view.html", true, s.proxied(s.handleViewHTML))
 	s.route("/metrics", false, s.handleMetrics)
 	s.route("/healthz", false, s.handleHealthz)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -333,12 +362,34 @@ func writeError(w http.ResponseWriter, e *httpError) int {
 
 // simError maps a simulation or analysis failure to an HTTP status: a
 // blown deadline is 504, everything else (deadlocked replay, exhausted
-// budget, unprofilable recording) is the client's trace and gets 422.
+// operator-configured budget, unprofilable recording) is the client's
+// trace and gets 422.
 func simError(err error) *httpError {
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		return errf(http.StatusGatewayTimeout, "deadline exceeded before all simulations finished")
+		return deadlineExceededError()
 	}
 	return errf(http.StatusUnprocessableEntity, "%v", err)
+}
+
+// deadlineExceededError is the one 504 body every deadline path produces
+// — the direct simulation path, a singleflight follower whose context
+// expires while waiting, and a deadline-derived budget exhaustion must
+// all be indistinguishable to the client.
+func deadlineExceededError() *httpError {
+	return errf(http.StatusGatewayTimeout, "deadline exceeded before all simulations finished")
+}
+
+// mapSimFailure is simError plus the deadline-derived budget case: when
+// the event budget that blew was computed from the request's remaining
+// deadline (not configured by the operator), the honest verdict is "you
+// ran out of time" (504), not "your trace is unprocessable" (422) — the
+// same recording simulates fine under a healthier deadline.
+func mapSimFailure(err error, deadlineBudget bool) *httpError {
+	var be *core.BudgetError
+	if deadlineBudget && errors.As(err, &be) && be.Kind == "events" {
+		return deadlineExceededError()
+	}
+	return simError(err)
 }
 
 // resolveEntry produces the cached entry for a request: via ?trace=digest
@@ -358,14 +409,9 @@ func (s *Server) resolveEntry(w http.ResponseWriter, r *http.Request, strict boo
 		return e, true, nil
 	}
 
-	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	raw, err := io.ReadAll(body)
-	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			return nil, false, errf(http.StatusRequestEntityTooLarge, "trace exceeds the %d-byte upload limit", tooBig.Limit)
-		}
-		return nil, false, errf(http.StatusBadRequest, "reading request body: %v", err)
+	raw, herr := readBody(w, r, s.cfg.MaxBodyBytes)
+	if herr != nil {
+		return nil, false, herr
 	}
 	if len(raw) == 0 {
 		return nil, false, errf(http.StatusBadRequest, "upload a recorded log in the request body or pass ?trace=<digest>")
@@ -441,12 +487,19 @@ func (s *Server) ingest(raw []byte, strict bool) (*Entry, *httpError) {
 // to an event budget (remaining seconds x SimEventsPerSecond). Simulated
 // virtual time is decoupled from wall time, so the event budget — not a
 // wall-clock check — is what actually stops a runaway replay.
-func (s *Server) machineFor(ctx context.Context, policy string) core.Machine {
+//
+// The boolean reports whether the effective event budget came from the
+// deadline rather than the operator's MaxSimEvents. The distinction
+// decides the failure's HTTP status: exhausting a deadline-derived budget
+// means the request ran out of time (504), exhausting an operator budget
+// means the trace is too big for this deployment (422).
+func (s *Server) machineFor(ctx context.Context, policy string) (core.Machine, bool) {
 	m := core.Machine{
 		Policy:         policy,
 		MaxSimEvents:   s.cfg.MaxSimEvents,
 		MaxVirtualTime: s.cfg.MaxVirtualTime,
 	}
+	deadlineBudget := false
 	if deadline, ok := ctx.Deadline(); ok && s.cfg.SimEventsPerSecond > 0 {
 		remaining := time.Until(deadline).Seconds()
 		if remaining < 0 {
@@ -455,9 +508,10 @@ func (s *Server) machineFor(ctx context.Context, policy string) core.Machine {
 		derived := int64(remaining*float64(s.cfg.SimEventsPerSecond)) + 1
 		if m.MaxSimEvents == 0 || derived < m.MaxSimEvents {
 			m.MaxSimEvents = derived
+			deadlineBudget = true
 		}
 	}
-	return m
+	return m, deadlineBudget
 }
 
 // simulateAll fans the machines out over the bounded worker pool, keeping
@@ -465,7 +519,7 @@ func (s *Server) machineFor(ctx context.Context, policy string) core.Machine {
 // circuit breaker first: a trace whose replays keep failing fast-fails
 // with 503 until the cooldown admits a probe, so one poisonous digest
 // cannot repeatedly burn full event budgets.
-func (s *Server) simulateAll(ctx context.Context, e *Entry, machines []core.Machine) ([]*core.Result, *httpError) {
+func (s *Server) simulateAll(ctx context.Context, e *Entry, machines []core.Machine, deadlineBudget bool) ([]*core.Result, *httpError) {
 	if s.breakers != nil && !s.breakers.allow(e.Digest) {
 		return nil, errShed(http.StatusServiceUnavailable,
 			"circuit breaker open for trace %s after repeated simulation failures; retry later", e.Digest)
@@ -477,7 +531,7 @@ func (s *Server) simulateAll(ctx context.Context, e *Entry, machines []core.Mach
 		s.breakers.record(e.Digest, err == nil)
 	}
 	if err != nil {
-		return nil, simError(err)
+		return nil, mapSimFailure(err, deadlineBudget)
 	}
 	return results, nil
 }
@@ -640,11 +694,11 @@ func flightKey(digest, policy string, sizes []int) string {
 // collapsed request.
 func (s *Server) predict(ctx context.Context, e *Entry, resolved, policy string, sizes []int) (*predictResponse, *httpError) {
 	if s.onSimulate != nil {
-		s.onSimulate()
+		s.onSimulate(ctx)
 	}
 	// Machine 0 is the uniprocessor baseline every speed-up divides by;
 	// the requested sizes follow in input order.
-	base := s.machineFor(ctx, policy)
+	base, deadlineBudget := s.machineFor(ctx, policy)
 	machines := make([]core.Machine, 0, len(sizes)+1)
 	machines = append(machines, base.Uniprocessor())
 	for _, cpus := range sizes {
@@ -652,7 +706,7 @@ func (s *Server) predict(ctx context.Context, e *Entry, resolved, policy string,
 		m.CPUs = cpus
 		machines = append(machines, m)
 	}
-	results, herr := s.simulateAll(ctx, e, machines)
+	results, herr := s.simulateAll(ctx, e, machines, deadlineBudget)
 	if herr != nil {
 		return nil, herr
 	}
@@ -753,9 +807,9 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request, contentType 
 	if herr != nil {
 		return writeError(w, herr)
 	}
-	m := s.machineFor(r.Context(), policy)
+	m, deadlineBudget := s.machineFor(r.Context(), policy)
 	m.CPUs = cpus
-	results, herr := s.simulateAll(r.Context(), e, []core.Machine{m})
+	results, herr := s.simulateAll(r.Context(), e, []core.Machine{m}, deadlineBudget)
 	if herr != nil {
 		return writeError(w, herr)
 	}

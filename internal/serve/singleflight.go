@@ -19,9 +19,12 @@ import (
 // intentionally excluded: two otherwise identical requests with slightly
 // different remaining deadlines would never share, and a successful
 // leader result is byte-identical regardless of which budget it ran
-// under. A follower therefore inherits the leader's outcome even when the
-// leader's budget was tighter — including the leader's error, which is
-// the same trade SimulateManyCtx makes for one request's machines.
+// under. That reasoning only holds for successes. A leader *error* is a
+// fact about the leader's own budget — a leader admitted with 50ms of
+// deadline left exhausts its event budget on a trace that a follower with
+// 30s remaining would simulate comfortably — so errors are never shared:
+// a follower that observes a failed leader falls through to its own
+// simulation (or joins the next leader for the key) under its own budget.
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
@@ -43,31 +46,51 @@ func newFlightGroup(onShared func()) *flightGroup {
 
 // do runs fn for key, unless an identical call is already in flight, in
 // which case it waits for that call's result. The boolean reports whether
-// this request was a follower (shared someone else's work). A follower
-// whose context expires while waiting stops waiting and returns the
-// context error; the leader is unaffected.
+// this request ever waited on someone else's work.
+//
+// Only successful results are shared. When the leader fails, each waiting
+// follower retries the flight: one becomes the new leader and simulates
+// under its own (typically healthier) deadline-derived budget, the rest
+// join it. A follower whose context expires while waiting stops waiting
+// and returns its context's error mapped through the same deadline path
+// as a direct simulation (504 for a blown deadline — never a 422/500
+// "bad trace" verdict, which would misreport the client's recording as
+// unprocessable); the leader is unaffected.
 func (g *flightGroup) do(ctx context.Context, key string, fn func() (*predictResponse, *httpError)) (*predictResponse, *httpError, bool) {
-	g.mu.Lock()
-	if c, ok := g.calls[key]; ok {
+	shared := false
+	for {
+		g.mu.Lock()
+		c, ok := g.calls[key]
+		if !ok {
+			c = &flightCall{done: make(chan struct{})}
+			g.calls[key] = c
+			g.mu.Unlock()
+
+			c.resp, c.herr = fn()
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+			return c.resp, c.herr, shared
+		}
 		g.mu.Unlock()
-		if g.onShared != nil {
-			g.onShared()
+		if !shared {
+			shared = true
+			if g.onShared != nil {
+				g.onShared()
+			}
 		}
 		select {
 		case <-c.done:
-			return c.resp, c.herr, true
+			if c.herr == nil {
+				return c.resp, nil, true
+			}
+			// The leader failed under its own budget; don't inherit its
+			// verdict. Loop: the key was already deleted before done
+			// closed, so this follower either becomes the new leader or
+			// joins whoever beat it to the lock.
 		case <-ctx.Done():
 			return nil, simError(ctx.Err()), true
 		}
 	}
-	c := &flightCall{done: make(chan struct{})}
-	g.calls[key] = c
-	g.mu.Unlock()
-
-	c.resp, c.herr = fn()
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
-	return c.resp, c.herr, false
 }

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vppb/internal/core"
+)
+
+// waitUntil polls cond until it holds or the timeout passes.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSingleflightLeaderErrorNotInherited is the regression test for the
+// error-sharing bug: a singleflight leader that fails under its own
+// (canceled) budget must not hand its error to followers. The follower
+// here joins a leader that is then killed mid-simulation; the fixed
+// flight group has the follower re-run the simulation itself and succeed.
+//
+// Before the fix the follower inherited the leader's context error and
+// answered 504 for a request that had ~30s of deadline left.
+func TestSingleflightLeaderErrorNotInherited(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	raw := traceBytes(t, "example", 0.2)
+
+	// The first simulation (the doomed leader's) parks until the leader's
+	// own request context dies, guaranteeing it fails. Later simulations
+	// (the follower retrying as the new leader) run normally.
+	var sims atomic.Int64
+	s.onSimulate = func(ctx context.Context) {
+		if sims.Add(1) == 1 {
+			<-ctx.Done()
+		}
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		req, err := http.NewRequestWithContext(leaderCtx, http.MethodPost,
+			ts.URL+"/v1/predict?cpus=1,2", bytes.NewReader(raw))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			t.Error("canceled leader request succeeded; the test killed nobody")
+		}
+	}()
+	waitUntil(t, "leader to reach its simulation", func() bool { return sims.Load() == 1 })
+
+	type result struct {
+		code int
+		body []byte
+	}
+	followerDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/predict?cpus=1,2", "application/octet-stream", bytes.NewReader(raw))
+		if err != nil {
+			t.Error(err)
+			followerDone <- result{}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		followerDone <- result{resp.StatusCode, buf.Bytes()}
+	}()
+	// Only kill the leader after the follower is provably waiting on it —
+	// otherwise the follower might never share anything and the test
+	// passes without exercising the bug.
+	waitUntil(t, "follower to join the flight", func() bool {
+		return s.Metrics().SingleflightShared().Load() >= 1
+	})
+	cancelLeader()
+
+	got := <-followerDone
+	<-leaderDone
+	if got.code != http.StatusOK {
+		t.Fatalf("follower after leader failure: status %d %s, want 200", got.code, got.body)
+	}
+	var resp predictResponse
+	if err := json.Unmarshal(got.body, &resp); err != nil {
+		t.Fatalf("follower body is not a prediction: %v\n%s", err, got.body)
+	}
+	if len(resp.Predictions) != 2 {
+		t.Fatalf("follower got %d predictions, want 2", len(resp.Predictions))
+	}
+	if n := sims.Load(); n != 2 {
+		t.Fatalf("ran %d simulations, want 2 (failed leader + follower retry)", n)
+	}
+}
+
+// TestSingleflightFollowerDeadlineMapsTo504 pins the status-mapping
+// contract: a follower whose deadline expires while waiting on a leader
+// answers with the same status and byte-identical body as a request whose
+// own simulation blows the deadline. Before the fix the two paths could
+// diverge, misreporting a server-side timeout as a client error.
+func TestSingleflightFollowerDeadlineMapsTo504(t *testing.T) {
+	s, ts := newTestServer(t, Config{RequestTimeout: 700 * time.Millisecond})
+	raw := traceBytes(t, "example", 0.2)
+
+	// The leader parks on a test channel that outlives every request
+	// deadline in the test, so the follower is guaranteed to hit its own
+	// deadline while still waiting on the flight (the follower's deadline
+	// starts later than the leader's, so parking the leader merely until
+	// its own context dies would free the follower in time to succeed).
+	var sims atomic.Int64
+	release := make(chan struct{})
+	s.onSimulate = func(ctx context.Context) {
+		if sims.Add(1) == 1 {
+			<-release
+		}
+	}
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		resp, _ := post(t, ts.URL+"/v1/predict?cpus=1,2", raw)
+		_ = resp
+	}()
+	waitUntil(t, "leader to reach its simulation", func() bool { return sims.Load() == 1 })
+
+	followerResp, followerBody := post(t, ts.URL+"/v1/predict?cpus=1,2", raw)
+	close(release)
+	<-leaderDone
+
+	// The direct path: a fresh server whose only simulation parks until
+	// the request deadline, producing the reference 504.
+	s2, ts2 := newTestServer(t, Config{RequestTimeout: 300 * time.Millisecond})
+	s2.onSimulate = func(ctx context.Context) { <-ctx.Done() }
+	directResp, directBody := post(t, ts2.URL+"/v1/predict?cpus=1,2", raw)
+
+	if directResp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("direct deadline path: status %d %s, want 504", directResp.StatusCode, directBody)
+	}
+	if followerResp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("follower deadline path: status %d %s, want 504", followerResp.StatusCode, followerBody)
+	}
+	if !bytes.Equal(followerBody, directBody) {
+		t.Fatalf("deadline bodies differ between the follower and direct paths:\nfollower: %s\ndirect:   %s",
+			followerBody, directBody)
+	}
+}
+
+type result1 struct {
+	code int
+	body []byte
+}
+
+// TestMapSimFailureBudgetStatus pins the deadline-derived budget mapping
+// at the unit level: an event budget computed from the request deadline
+// that blows is a timeout (504), the operator's configured budget blowing
+// is an unprocessable trace (422), and virtual-time budgets are always
+// the operator's.
+func TestMapSimFailureBudgetStatus(t *testing.T) {
+	evErr := &core.BudgetError{Kind: "events", Limit: 100, Events: 100}
+	vtErr := &core.BudgetError{Kind: "virtual-time", Limit: 100, Events: 42}
+	cases := []struct {
+		name           string
+		err            error
+		deadlineBudget bool
+		want           int
+	}{
+		{"deadline-derived event budget", evErr, true, http.StatusGatewayTimeout},
+		{"operator event budget", evErr, false, http.StatusUnprocessableEntity},
+		{"virtual-time budget under deadline", vtErr, true, http.StatusUnprocessableEntity},
+		{"context deadline", context.DeadlineExceeded, false, http.StatusGatewayTimeout},
+	}
+	for _, c := range cases {
+		if got := mapSimFailure(c.err, c.deadlineBudget); got.code != c.want {
+			t.Errorf("%s: status %d, want %d", c.name, got.code, c.want)
+		}
+	}
+	direct := mapSimFailure(context.DeadlineExceeded, false)
+	derived := mapSimFailure(evErr, true)
+	if direct.msg != derived.msg {
+		t.Errorf("deadline messages differ: %q vs %q", direct.msg, derived.msg)
+	}
+}

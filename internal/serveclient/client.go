@@ -108,6 +108,13 @@ type Result struct {
 	Header http.Header
 	// Digest is the trace's content address.
 	Digest string
+	// Peer names the cluster node that served the final response
+	// (X-Vppb-Peer); empty when the node that received the request served
+	// it itself or the daemon is standalone.
+	Peer string
+	// Cache is the final X-Vppb-Cache verdict: "hit", "miss", or empty on
+	// an error response.
+	Cache string
 	// Attempts counts HTTP round trips made, including digest-only probes.
 	Attempts int
 	// Uploads counts how many attempts carried the full trace body.
@@ -139,6 +146,8 @@ func (c *Client) Predict(ctx context.Context, raw []byte, query url.Values) (*Re
 			lastErr = err // dropped connection, torn response: retry
 		} else {
 			res.Status, res.Body, res.Header = status, body, header
+			res.Peer = header.Get("X-Vppb-Peer")
+			res.Cache = header.Get("X-Vppb-Cache")
 			switch {
 			case status == http.StatusNotFound && !uploadNext:
 				// The server has never seen (or has quarantined) this
@@ -191,8 +200,16 @@ func (c *Client) post(ctx context.Context, raw []byte, query url.Values, res *Re
 	if err != nil {
 		return 0, nil, nil, err
 	}
+	// Drain and close on every exit path, including read errors. A body
+	// left undrained strands its keep-alive connection, and a retry loop
+	// that strands one connection per attempt re-dials the server
+	// MaxAttempts times — under load shedding, exactly when the server can
+	// least afford an accept storm.
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
 	data, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
 	if err != nil {
 		// A torn response is as retryable as a refused connection.
 		return 0, nil, nil, fmt.Errorf("reading response: %w", err)

@@ -3,10 +3,14 @@ package serveclient
 import (
 	"context"
 	"errors"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -296,5 +300,47 @@ func TestRetryAfterHTTPDateFloorsBackoff(t *testing.T) {
 	}
 	if len(slept) != 1 || slept[0] < 4*time.Minute {
 		t.Fatalf("slept %v, want one sleep floored near 5m", slept)
+	}
+}
+
+// TestRetrySequenceReusesOneConnection pins the body-hygiene contract at
+// the transport level: every attempt's response body is drained and
+// closed, so a full retry sequence against a shedding server rides a
+// single keep-alive connection. A leaked (undrained) body strands its
+// connection and forces a fresh dial per attempt — this test counts real
+// dials and fails on the first stranded one.
+func TestRetrySequenceReusesOneConnection(t *testing.T) {
+	body := strings.Repeat("overloaded, go away\n", 64) // big enough that an undrained body strands the conn
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, body)
+	}))
+	defer ts.Close()
+
+	var dials atomic.Int64
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dials.Add(1)
+			return (&net.Dialer{}).DialContext(ctx, network, addr)
+		},
+	}
+	defer transport.CloseIdleConnections()
+
+	c := New(Config{
+		BaseURL:     ts.URL,
+		HTTP:        &http.Client{Transport: transport},
+		MaxAttempts: 5,
+		Sleep:       func(time.Duration) {},
+	})
+	res, err := c.Predict(context.Background(), []byte("hello trace"), nil)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	if res.Attempts != 5 {
+		t.Fatalf("attempts = %d, want 5", res.Attempts)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("5 retry attempts dialed %d connections, want 1 (bodies not drained/closed)", got)
 	}
 }
